@@ -1,0 +1,65 @@
+// Experiment E9 — Section 6's message-passing snapshot via ABD emulation.
+//
+// Reports messages per snapshot operation as the cluster grows, and
+// demonstrates liveness under minority crashes: updates/scans keep
+// completing, at a reduced message cost (crashed nodes' traffic vanishes).
+// Expected shape: a scan is n register reads, each ~2 quorum rounds of ~2n
+// messages, so messages/scan grows ~n^2 (times retries under contention).
+#include <cstdint>
+#include <cstdio>
+
+#include "abd/abd_snapshot.hpp"
+#include "lin/history.hpp"
+
+namespace {
+
+using namespace asnap;
+
+struct OpCost {
+  double update_msgs;
+  double scan_msgs;
+};
+
+OpCost measure(abd::MessagePassingSnapshot<std::uint64_t>& snap,
+               std::size_t live_process) {
+  constexpr int kOps = 10;
+  const auto pid = static_cast<ProcessId>(live_process);
+  const std::uint64_t before_updates = snap.messages_sent();
+  for (int i = 0; i < kOps; ++i) snap.update(pid, i + 1);
+  const std::uint64_t after_updates = snap.messages_sent();
+  for (int i = 0; i < kOps; ++i) (void)snap.scan(pid);
+  const std::uint64_t after_scans = snap.messages_sent();
+  return OpCost{
+      static_cast<double>(after_updates - before_updates) / kOps,
+      static_cast<double>(after_scans - after_updates) / kOps,
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%4s %8s %14s %12s %14s %12s\n", "n", "crashed",
+              "msgs/update", "msgs/scan", "msgs/update", "msgs/scan");
+  std::printf("%4s %8s %27s %27s\n", "", "", "(all nodes alive)",
+              "(minority crashed)");
+  for (const std::size_t n : {3u, 5u, 7u, 9u}) {
+    abd::MessagePassingSnapshot<std::uint64_t> snap(n, 0);
+    const OpCost healthy = measure(snap, 0);
+
+    // Crash a minority (floor((n-1)/2) nodes from the top).
+    const std::size_t to_crash = (n - 1) / 2;
+    for (std::size_t c = 0; c < to_crash; ++c) {
+      snap.crash(static_cast<ProcessId>(n - 1 - c));
+    }
+    const OpCost degraded = measure(snap, 0);
+
+    std::printf("%4zu %8zu %14.1f %12.1f %14.1f %12.1f\n", n, to_crash,
+                healthy.update_msgs, healthy.scan_msgs, degraded.update_msgs,
+                degraded.scan_msgs);
+  }
+  std::printf("\nA scan = n ABD reads (each 2 quorum rounds) inside >=1 "
+              "double collect: messages/scan ~ 4n^2 + handshake-free.\n"
+              "Minority crashes reduce traffic but never block operations "
+              "(liveness needs only a majority).\n");
+  return 0;
+}

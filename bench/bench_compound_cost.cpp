@@ -1,0 +1,193 @@
+// Experiment E7 — Section 6's compound-cost comparison, traced back to
+// single-writer register operations:
+//
+//   "Our multi-writer algorithm, based on multi-writer registers, in turn
+//    implemented from single-writer registers, requires O(n^3) single-writer
+//    operations per update or scan operation in the worst case ... [the
+//    bounded single-writer algorithm requires O(n^2)]."
+//
+// We instantiate Figure 4 over reg::VitanyiAwerbuchMwmr (each MWMR op =
+// n+1 SWMR ops) and count actual SWMR primitive steps per operation, solo
+// and under a deterministic adversarial schedule, next to the bounded
+// single-writer algorithm and the direct-MWMR variant. Expected measured
+// exponents: SW ~2, compound MW ~3 (adversarial); one factor of n less when
+// uncontended.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/instrumentation.hpp"
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/layered_mw_snapshot.hpp"
+#include "reg/mwmr_register.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace asnap;
+
+template <typename Snap, typename MakeSnap, typename UpdateOnce>
+double solo_scan_steps(const MakeSnap& make, const UpdateOnce& update_once,
+                       std::size_t n) {
+  auto snap = make(n);
+  for (std::size_t p = 0; p < n; ++p) update_once(*snap, p, p + 1);
+  constexpr int kOps = 20;
+  StepMeter meter;
+  for (int i = 0; i < kOps; ++i) (void)snap->scan(0);
+  return static_cast<double>(meter.elapsed().total()) / kOps;
+}
+
+template <typename Snap, typename MakeSnap, typename UpdateOnce>
+double adversarial_scan_steps(const MakeSnap& make,
+                              const UpdateOnce& update_once, std::size_t n,
+                              sched::ScriptedAdversaryPolicy::Script script) {
+  auto snap = make(n);
+  std::atomic<bool> scanner_done{false};
+  StepCounters counters;
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] {
+    StepMeter meter;
+    (void)snap->scan(0);
+    counters = meter.elapsed();
+    scanner_done.store(true, std::memory_order_relaxed);
+  });
+  for (std::size_t p = 1; p < n; ++p) {
+    bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+      std::uint64_t it = 0;
+      while (!scanner_done.load(std::memory_order_relaxed)) {
+        update_once(*snap, pid, ++it);
+      }
+    });
+  }
+  sched::ScriptedAdversaryPolicy policy(std::move(script));
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+  return static_cast<double>(counters.total());
+}
+
+void fill_movers(sched::ScriptedAdversaryPolicy::Script& s, std::size_t n,
+                 int rounds_per_mover) {
+  for (int round = 0; round < rounds_per_mover; ++round) {
+    for (std::size_t p = 1; p < n; ++p) s.movers.push_back(p);
+  }
+  s.movers.push_back(1);
+}
+
+template <typename Snap, typename MakeSnap, typename UpdateOnce,
+          typename ScriptFor>
+void run_series(const char* name, const MakeSnap& make,
+                const UpdateOnce& update_once, const ScriptFor& script_for,
+                const std::vector<std::size_t>& ns) {
+  std::printf("\n== %s ==\n", name);
+  std::printf("%6s %16s %20s\n", "n", "solo_swmr_ops", "worstcase_swmr_ops");
+  std::vector<double> xs;
+  std::vector<double> solo;
+  std::vector<double> adv;
+  for (const std::size_t n : ns) {
+    const double s = solo_scan_steps<Snap>(make, update_once, n);
+    const double a =
+        adversarial_scan_steps<Snap>(make, update_once, n, script_for(n));
+    std::printf("%6zu %16.1f %20.1f\n", n, s, a);
+    xs.push_back(static_cast<double>(n));
+    solo.push_back(s);
+    adv.push_back(a);
+  }
+  std::printf("fitted exponent: solo ~ n^%.2f, worstcase ~ n^%.2f\n",
+              asnap::bench::fitted_exponent(xs, solo),
+              asnap::bench::fitted_exponent(xs, adv));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> ns{2, 4, 8, 16, 32};
+
+  using Sw = core::BoundedSwSnapshot<std::uint64_t>;
+  run_series<Sw>(
+      "Figure 3 bounded SW over SWMR registers (paper: O(n^2) worst case)",
+      [](std::size_t n) { return std::make_unique<Sw>(n, 0); },
+      [](Sw& s, ProcessId pid, std::uint64_t it) { s.update(pid, it); },
+      [](std::size_t n) {
+        sched::ScriptedAdversaryPolicy::Script s;
+        s.scanner = 0;
+        s.attempt_steps = 4 * n;
+        s.inject_offset = 3 * n;
+        s.update_steps = 5 * n + 1;
+        fill_movers(s, n, 1);
+        return s;
+      },
+      ns);
+
+  using MwDirect = core::BoundedMwSnapshot<std::uint64_t,
+                                           reg::DirectMwmrRegister>;
+  run_series<MwDirect>(
+      "Figure 4 MW over native MWMR registers (MWMR ops; O(n^2) worst case)",
+      [](std::size_t n) { return std::make_unique<MwDirect>(n, n, 0); },
+      [](MwDirect& s, ProcessId pid, std::uint64_t it) {
+        s.update(pid, pid % s.words(), it);
+      },
+      [](std::size_t n) {
+        sched::ScriptedAdversaryPolicy::Script s;
+        s.scanner = 0;
+        s.attempt_steps = 5 * n;
+        s.inject_offset = 3 * n;
+        s.update_steps = 7 * n + 2;
+        fill_movers(s, n, 2);
+        return s;
+      },
+      ns);
+
+  using Layered = core::LayeredMwSnapshot<std::uint64_t>;
+  run_series<Layered>(
+      "MW layered on Fig3 SW snapshot (UNBOUNDED tags; extension — the "
+      "Section 6 open question made concrete: O(n^2) if tags may grow)",
+      [](std::size_t n) { return std::make_unique<Layered>(n, n, 0); },
+      [](Layered& s, ProcessId pid, std::uint64_t it) {
+        s.update(pid, pid % s.words(), it);
+      },
+      [](std::size_t n) {
+        // A layered scan is exactly one Figure-3 scan: same attempt shape.
+        // A layered update = one SW scan (4n) + one SW update (5n+1).
+        sched::ScriptedAdversaryPolicy::Script s;
+        s.scanner = 0;
+        s.attempt_steps = 4 * n;
+        s.inject_offset = 3 * n;
+        s.update_steps = 9 * n + 1;
+        fill_movers(s, n, 1);
+        return s;
+      },
+      ns);
+
+  using MwCompound = core::BoundedMwSnapshot<std::uint64_t,
+                                             reg::VitanyiAwerbuchMwmr>;
+  run_series<MwCompound>(
+      "Figure 4 MW over MWMR-from-SWMR (compound; paper: O(n^3) worst case)",
+      [](std::size_t n) { return std::make_unique<MwCompound>(n, n, 0); },
+      [](MwCompound& s, ProcessId pid, std::uint64_t it) {
+        s.update(pid, pid % s.words(), it);
+      },
+      [](std::size_t n) {
+        // In SWMR step units every MWMR word-register op expands to n+1
+        // primitive steps (n collect reads + 1 write in the VA protocol):
+        // attempt = handshake 2n + two collects 2m(n+1) + h-collect n,
+        // update = handshake 2n + embedded scan + view write + VA write.
+        sched::ScriptedAdversaryPolicy::Script s;
+        const std::size_t m = n;
+        const std::size_t attempt = 3 * n + 2 * m * (n + 1);
+        s.scanner = 0;
+        s.attempt_steps = attempt;
+        s.inject_offset = 2 * n + m * (n + 1);  // end of collect a
+        s.update_steps = 2 * n + attempt + 1 + (n + 1);
+        fill_movers(s, n, 2);
+        return s;
+      },
+      ns);
+
+  return 0;
+}

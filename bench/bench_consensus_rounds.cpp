@@ -1,0 +1,64 @@
+// Ablation bench — rounds-to-decision of the snapshot-based randomized
+// consensus (apps/consensus.hpp) as the process count grows, for agreeing
+// and split proposals. Termination is probabilistic; the paper's snapshot
+// object is what makes each round's adopt-commit safe. Expected shape:
+// unanimous proposals decide in <= 2 rounds; split proposals decide in a
+// small number of rounds that grows mildly with n (coin-flip convergence).
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/consensus.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace asnap;
+
+struct Trial {
+  double mean_rounds;
+  std::size_t max_rounds;
+};
+
+Trial run_trials(std::size_t n, bool split, int trials) {
+  std::uint64_t total_rounds = 0;
+  std::size_t max_rounds = 0;
+  for (int t = 0; t < trials; ++t) {
+    apps::SnapshotConsensus consensus(n);
+    std::vector<apps::SnapshotConsensus::Result> results(n);
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < n; ++p) {
+        const bool proposal = split ? (p % 2 == 0) : true;
+        threads.emplace_back([&, p, proposal] {
+          Rng rng(static_cast<std::uint64_t>(t) * 7919 + p);
+          results[p] =
+              consensus.decide(static_cast<ProcessId>(p), proposal, rng);
+        });
+      }
+    }
+    for (const auto& r : results) {
+      total_rounds += r.rounds_used;
+      max_rounds = std::max(max_rounds, r.rounds_used);
+    }
+  }
+  return Trial{static_cast<double>(total_rounds) /
+                   (static_cast<double>(trials) * static_cast<double>(n)),
+               max_rounds};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 30;
+  std::printf("%4s %22s %22s\n", "n", "unanimous(mean/max)", "split(mean/max)");
+  for (const std::size_t n : {2u, 3u, 4u, 6u, 8u}) {
+    const Trial unanimous = run_trials(n, /*split=*/false, kTrials);
+    const Trial split = run_trials(n, /*split=*/true, kTrials);
+    std::printf("%4zu %15.2f / %-4zu %15.2f / %-4zu\n", n,
+                unanimous.mean_rounds, unanimous.max_rounds, split.mean_rounds,
+                split.max_rounds);
+  }
+  return 0;
+}

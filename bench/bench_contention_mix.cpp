@@ -1,0 +1,80 @@
+// Experiment E10c — algorithm x workload-mix matrix.
+//
+// Sweeps the scan fraction from update-only to scan-only for each snapshot
+// implementation and reports ops/sec. Key shapes:
+//  * Figure 2/3 updates embed a scan, so update-heavy mixes cost the same
+//    O(n) as scan-heavy ones — unusual for register objects;
+//  * the double-collect baseline has O(1) updates but pays for it with
+//    starving scans as the update fraction grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "core/snapshot.hpp"
+
+namespace {
+
+using namespace asnap;
+
+constexpr std::size_t kN = 8;
+
+template <typename Snap, typename Update, typename Scan>
+void mix_loop(benchmark::State& state, Snap& snap, const Update& update,
+              const Scan& scan) {
+  const auto scan_percent = static_cast<unsigned>(state.range(0));
+  Rng rng(7);
+  std::uint64_t it = 0;
+  for (auto _ : state) {
+    if (rng.below(100) < scan_percent) {
+      scan(snap);
+    } else {
+      update(snap, ++it);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["scan_pct"] = static_cast<double>(scan_percent);
+}
+
+#define DEFINE_MIX_BENCH(NAME, SNAP_DECL, UPDATE, SCAN)                  \
+  void NAME(benchmark::State& state) {                                   \
+    SNAP_DECL;                                                            \
+    mix_loop(state, snap, UPDATE, SCAN);                                  \
+  }                                                                       \
+  BENCHMARK(NAME)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+
+DEFINE_MIX_BENCH(
+    BM_Mix_Unbounded, core::UnboundedSwSnapshot<std::uint64_t> snap(kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+DEFINE_MIX_BENCH(
+    BM_Mix_Bounded, core::BoundedSwSnapshot<std::uint64_t> snap(kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+DEFINE_MIX_BENCH(
+    BM_Mix_MultiWriter,
+    core::BoundedMwSnapshot<std::uint64_t> snap(kN, kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i % kN, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+DEFINE_MIX_BENCH(
+    BM_Mix_Mutex, core::MutexSnapshot<std::uint64_t> snap(kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+DEFINE_MIX_BENCH(
+    BM_Mix_Seqlock, core::SeqlockSnapshot<std::uint64_t> snap(kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+DEFINE_MIX_BENCH(
+    BM_Mix_DoubleCollect,
+    core::DoubleCollectSnapshot<std::uint64_t> snap(kN, 0),
+    [](auto& s, std::uint64_t i) { s.update(0, i); },
+    [](auto& s) { benchmark::DoNotOptimize(s.scan(0)); });
+
+}  // namespace
+
+BENCHMARK_MAIN();

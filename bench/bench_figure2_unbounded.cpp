@@ -1,0 +1,97 @@
+// Experiment E2 — Figure 2, Theorem 3.5: the unbounded single-writer
+// snapshot. Reports wall time and primitive register steps per operation as
+// n grows, solo and under concurrent updater interference. The paper's
+// claim reproduced here: every operation completes in O(n^2) primitive
+// steps (see steps_per_op growing ~quadratically and staying bounded under
+// interference).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+
+namespace {
+
+using asnap::ProcessId;
+using asnap::StepMeter;
+using Snap = asnap::core::UnboundedSwSnapshot<std::uint64_t>;
+
+void BM_Fig2_ScanSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  for (ProcessId p = 0; p < n; ++p) snap.update(p, p);  // realistic contents
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig2_ScanSolo)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig2_UpdateSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    snap.update(0, ops);
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig2_UpdateSolo)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig2_ScanUnderInterference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  asnap::bench::InterferencePool updaters(
+      1, n - 1,
+      [&snap](ProcessId pid, std::uint64_t it) { snap.update(pid, it); });
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["max_double_collects"] =
+      static_cast<double>(snap.stats(0).max_double_collects);
+  state.counters["borrowed_views"] =
+      static_cast<double>(snap.stats(0).borrowed_views);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig2_ScanUnderInterference)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig2_UpdateUnderInterference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  asnap::bench::InterferencePool updaters(
+      1, n - 1,
+      [&snap](ProcessId pid, std::uint64_t it) { snap.update(pid, it); });
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    snap.update(0, ops);
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig2_UpdateUnderInterference)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Experiment E3 — Figure 3, Theorem 4.5: the bounded single-writer
+// snapshot. Same series as E2 so the two constructions are directly
+// comparable: the bounded algorithm pays a constant-factor premium for the
+// handshake reads/writes (3n reads + n bit-writes per double collect vs 2n
+// reads) but eliminates the unbounded sequence-number field.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+
+namespace {
+
+using asnap::ProcessId;
+using asnap::StepMeter;
+using Snap = asnap::core::BoundedSwSnapshot<std::uint64_t>;
+
+void BM_Fig3_ScanSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  for (ProcessId p = 0; p < n; ++p) snap.update(p, p);
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig3_ScanSolo)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig3_UpdateSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    snap.update(0, ops);
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig3_UpdateSolo)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig3_ScanUnderInterference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  asnap::bench::InterferencePool updaters(
+      1, n - 1,
+      [&snap](ProcessId pid, std::uint64_t it) { snap.update(pid, it); });
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["max_double_collects"] =
+      static_cast<double>(snap.stats(0).max_double_collects);
+  state.counters["borrowed_views"] =
+      static_cast<double>(snap.stats(0).borrowed_views);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig3_ScanUnderInterference)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_Fig3_UpdateUnderInterference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Snap snap(n, 0);
+  asnap::bench::InterferencePool updaters(
+      1, n - 1,
+      [&snap](ProcessId pid, std::uint64_t it) { snap.update(pid, it); });
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    snap.update(0, ops);
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Fig3_UpdateUnderInterference)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

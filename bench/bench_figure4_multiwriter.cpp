@@ -1,0 +1,101 @@
+// Experiment E4 — Figure 4, Theorem 5.4: the bounded multi-writer snapshot.
+// Sweeps the process count n and the word count m independently (the
+// multi-writer memory decouples them) and reports steps per operation; the
+// cost shape is O((m + n) * n) per the 2n+1 pigeonhole bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "core/bounded_mw_snapshot.hpp"
+
+namespace {
+
+using asnap::ProcessId;
+using asnap::StepMeter;
+using Snap = asnap::core::BoundedMwSnapshot<std::uint64_t>;
+
+void BM_Fig4_ScanSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  Snap snap(n, m, 0);
+  for (std::size_t k = 0; k < m; ++k) snap.update(0, k, k);
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_Fig4_ScanSolo)
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({4, 32})    // words dominate
+    ->Args({32, 4});   // processes dominate
+
+void BM_Fig4_UpdateSolo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  Snap snap(n, m, 0);
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    snap.update(0, ops % m, ops);
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_Fig4_UpdateSolo)
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({4, 32})
+    ->Args({32, 4});
+
+void BM_Fig4_ScanUnderInterference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  Snap snap(n, m, 0);
+  asnap::bench::InterferencePool updaters(
+      1, n - 1, [&snap, m](ProcessId pid, std::uint64_t it) {
+        snap.update(pid, it % m, it);
+      });
+
+  StepMeter meter;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+    ++ops;
+  }
+  state.counters["steps_per_op"] =
+      static_cast<double>(meter.elapsed().total()) / static_cast<double>(ops);
+  state.counters["max_double_collects"] =
+      static_cast<double>(snap.stats(0).max_double_collects);
+  state.counters["borrowed_views"] =
+      static_cast<double>(snap.stats(0).borrowed_views);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_Fig4_ScanUnderInterference)
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Args({16, 16});
+
+}  // namespace
+
+BENCHMARK_MAIN();

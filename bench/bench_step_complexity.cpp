@@ -1,0 +1,176 @@
+// Experiment E5 — Lemmas 3.4 / 4.4: every scan and update completes within
+// O(n^2) primitive register operations.
+//
+// Two series per algorithm:
+//   * solo:        uncontended operations — one double collect, so steps
+//                  grow LINEARLY in n (measured exponent ~1);
+//   * adversarial: a deterministic starvation schedule (sched::StarvePolicy)
+//                  forces the maximum number of failed double collects, so
+//                  worst-case steps grow QUADRATICALLY in n (measured
+//                  exponent ~2) — and, critically, NOT with the run length:
+//                  the adversary can retry the scanner only n+1 (resp. 2n+1)
+//                  times before a borrowed view ends the scan.
+//
+// Output: one table per algorithm plus fitted log-log exponents.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/instrumentation.hpp"
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace asnap;
+
+struct Row {
+  std::size_t n;
+  double solo_scan;
+  double solo_update;
+  double adversarial_scan;
+  std::uint64_t double_collects;
+};
+
+/// Worst-case scan steps under the tight scripted adversary: one solo
+/// update by a fresh mover lands between the two collects of every attempt
+/// (the schedule from the pigeonhole bound's tightness argument).
+template <typename Snap, typename MakeSnap, typename UpdateOnce>
+std::pair<double, std::uint64_t> adversarial_scan_steps(
+    std::size_t n, const MakeSnap& make, const UpdateOnce& update_once,
+    const sched::ScriptedAdversaryPolicy::Script& script_shape) {
+  auto snap = make(n);
+  std::atomic<bool> scanner_done{false};
+  StepCounters scan_steps;
+  std::uint64_t double_collects = 0;
+
+  auto scanner = [&] {
+    StepMeter meter;
+    (void)snap->scan(0);
+    scan_steps = meter.elapsed();
+    double_collects = snap->stats(0).max_double_collects;
+    scanner_done.store(true, std::memory_order_relaxed);
+  };
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back(scanner);
+  for (std::size_t p = 1; p < n; ++p) {
+    bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+      std::uint64_t it = 0;
+      while (!scanner_done.load(std::memory_order_relaxed)) {
+        update_once(*snap, pid, ++it);
+      }
+    });
+  }
+  sched::ScriptedAdversaryPolicy policy(script_shape);
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+  return {static_cast<double>(scan_steps.total()), double_collects};
+}
+
+/// Script for the single-writer algorithms: movers 1..n-1 then a repeat.
+sched::ScriptedAdversaryPolicy::Script sw_script(std::size_t n,
+                                                 std::size_t attempt_steps,
+                                                 std::size_t inject_offset,
+                                                 std::size_t update_steps) {
+  sched::ScriptedAdversaryPolicy::Script s;
+  s.scanner = 0;
+  s.attempt_steps = attempt_steps;
+  s.inject_offset = inject_offset;
+  s.update_steps = update_steps;
+  for (std::size_t p = 1; p < n; ++p) s.movers.push_back(p);
+  s.movers.push_back(1);
+  return s;
+}
+
+/// Script for the multi-writer algorithm: each mover must move three times.
+sched::ScriptedAdversaryPolicy::Script mw_script(std::size_t n) {
+  sched::ScriptedAdversaryPolicy::Script s;
+  s.scanner = 0;
+  s.attempt_steps = 5 * n;
+  s.inject_offset = 3 * n;
+  s.update_steps = 7 * n + 2;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t p = 1; p < n; ++p) s.movers.push_back(p);
+  }
+  s.movers.push_back(1);
+  return s;
+}
+
+template <typename Snap, typename MakeSnap, typename UpdateOnce,
+          typename ScriptFor>
+void run_series(const char* name, const MakeSnap& make,
+                const UpdateOnce& update_once, const ScriptFor& script_for,
+                const std::vector<std::size_t>& ns) {
+  std::printf("\n== %s ==\n", name);
+  std::printf("%6s %14s %14s %18s %16s\n", "n", "solo_scan", "solo_update",
+              "worstcase_scan", "double_collects");
+  std::vector<double> xs;
+  std::vector<double> solo;
+  std::vector<double> adv;
+  for (const std::size_t n : ns) {
+    Row row{n, 0, 0, 0, 0};
+    {
+      auto snap = make(n);
+      constexpr int kOps = 50;
+      StepMeter meter;
+      for (int i = 0; i < kOps; ++i) (void)snap->scan(0);
+      row.solo_scan =
+          static_cast<double>(meter.elapsed().total()) / kOps;
+      meter.reset();
+      for (int i = 0; i < kOps; ++i) update_once(*snap, 0, i + 1);
+      row.solo_update =
+          static_cast<double>(meter.elapsed().total()) / kOps;
+    }
+    const auto [adv_steps, collects] =
+        adversarial_scan_steps<Snap>(n, make, update_once, script_for(n));
+    row.adversarial_scan = adv_steps;
+    row.double_collects = collects;
+
+    std::printf("%6zu %14.1f %14.1f %18.1f %16llu\n", row.n, row.solo_scan,
+                row.solo_update, row.adversarial_scan,
+                static_cast<unsigned long long>(row.double_collects));
+    xs.push_back(static_cast<double>(n));
+    solo.push_back(row.solo_scan);
+    adv.push_back(row.adversarial_scan);
+  }
+  std::printf("fitted exponent: solo_scan ~ n^%.2f, worstcase_scan ~ n^%.2f "
+              "(paper: O(n) uncontended, O(n^2) worst case)\n",
+              asnap::bench::fitted_exponent(xs, solo),
+              asnap::bench::fitted_exponent(xs, adv));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> ns{2, 4, 8, 16, 32};
+
+  using Unbounded = core::UnboundedSwSnapshot<std::uint64_t>;
+  run_series<Unbounded>(
+      "Figure 2: unbounded single-writer",
+      [](std::size_t n) { return std::make_unique<Unbounded>(n, 0); },
+      [](Unbounded& s, ProcessId pid, std::uint64_t it) { s.update(pid, it); },
+      [](std::size_t n) { return sw_script(n, 2 * n, n, 2 * n + 1); }, ns);
+
+  using Bounded = core::BoundedSwSnapshot<std::uint64_t>;
+  run_series<Bounded>(
+      "Figure 3: bounded single-writer",
+      [](std::size_t n) { return std::make_unique<Bounded>(n, 0); },
+      [](Bounded& s, ProcessId pid, std::uint64_t it) { s.update(pid, it); },
+      [](std::size_t n) { return sw_script(n, 4 * n, 3 * n, 5 * n + 1); }, ns);
+
+  using Multi = core::BoundedMwSnapshot<std::uint64_t>;
+  run_series<Multi>(
+      "Figure 4: bounded multi-writer (m = n)",
+      [](std::size_t n) { return std::make_unique<Multi>(n, n, 0); },
+      [](Multi& s, ProcessId pid, std::uint64_t it) {
+        s.update(pid, pid % s.words(), it);  // own word: clean attribution
+      },
+      [](std::size_t n) { return mw_script(n); }, ns);
+
+  return 0;
+}

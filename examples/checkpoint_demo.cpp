@@ -1,0 +1,62 @@
+// Instantaneously checkpointable store — Section 6's application of the
+// multi-writer snapshot ("a shared memory object that can be
+// instantaneously checkpointed").
+//
+//   build/examples/checkpoint_demo
+//
+// Worker threads keep mutating a shared table of cells (any worker may
+// write any cell); a checkpointer takes consistent images mid-flight and
+// diffs consecutive checkpoints. No stop-the-world, no locks: writers never
+// block, and every checkpoint is an exact instant of the store.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/checkpoint_store.hpp"
+
+int main() {
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::size_t kCells = 8;
+  constexpr asnap::ProcessId kCheckpointer = 0;
+
+  asnap::apps::CheckpointStore<std::uint64_t> store(kWorkers + 1, kCells, 0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> workers;
+  for (std::size_t w = 1; w <= kWorkers; ++w) {
+    workers.emplace_back([&store, &stop, w] {
+      const auto pid = static_cast<asnap::ProcessId>(w);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++i;
+        store.put(pid, (w * 3 + i) % kCells, w * 1000 + i);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  auto previous = store.checkpoint(kCheckpointer);
+  for (int cp = 1; cp <= 6; ++cp) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const auto current = store.checkpoint(kCheckpointer);
+    const std::vector<std::size_t> changed = current.changed_since(previous);
+
+    std::printf("checkpoint %d: %zu/%zu cells changed since last |", cp,
+                changed.size(), kCells);
+    for (std::size_t k = 0; k < kCells; ++k) {
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(current.cells[k].value));
+    }
+    std::printf("\n");
+    previous = current;
+  }
+  stop.store(true, std::memory_order_release);
+
+  std::printf("\nEach line is an instantaneous image taken while %zu "
+              "writers kept writing, plus an incremental diff computed "
+              "from per-cell versions.\n",
+              kWorkers);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Distributed snapshots vs atomic snapshot memories — the paper's Section 6
+// discussion, measured:
+//
+//   "Interestingly, distributed snapshots are not true instantaneous images
+//    of the global state, such as scans of snapshot memories produce.
+//    However, distributed snapshots are indistinguishable, within the
+//    system itself, from true instantaneous images."
+//
+//   build/examples/distributed_vs_atomic
+//
+// Left: a Chandy–Lamport snapshot of token-passing processes — always a
+// CONSISTENT cut (tokens conserved), but the per-process record instants
+// are spread across many state changes: no single moment looked like this.
+// Right: an atomic snapshot memory scan — by linearizability there IS a
+// single instant at which the returned view was the exact global state
+// (spread zero by definition).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cl/chandy_lamport.hpp"
+#include "core/snapshot.hpp"
+
+int main() {
+  // --- Chandy–Lamport over message passing --------------------------------
+  std::printf("Chandy-Lamport distributed snapshot (4 processes, 100 tokens "
+              "each, transfers in flight):\n");
+  std::printf("%6s %10s %10s %14s %14s\n", "snap#", "total", "in_flight",
+              "conserved", "instant_spread");
+  {
+    asnap::cl::TokenBank bank(4, 100, /*seed=*/99);
+    for (int i = 1; i <= 5; ++i) {
+      const asnap::cl::GlobalSnapshot snap = bank.snapshot();
+      std::printf("%6d %10lld %10zu %14s %14llu\n", i,
+                  static_cast<long long>(snap.total()),
+                  snap.in_flight_count(),
+                  snap.total() == bank.expected_total() ? "yes" : "NO",
+                  static_cast<unsigned long long>(snap.instant_spread()));
+    }
+  }
+  std::printf("-> every cut conserves tokens (consistent), but its pieces "
+              "were recorded many state-changes apart:\n"
+              "   the cut is a state the system could have been in, not one "
+              "it necessarily was in.\n\n");
+
+  // --- Atomic snapshot memory ---------------------------------------------
+  std::printf("Atomic snapshot memory scan (same observation, shared "
+              "memory):\n");
+  {
+    constexpr std::size_t kProcs = 4;
+    asnap::core::BoundedSwSnapshot<std::uint64_t> snap(kProcs + 1, 0);
+    std::atomic<bool> stop{false};
+    std::vector<std::jthread> writers;
+    for (asnap::ProcessId p = 1; p <= kProcs; ++p) {
+      writers.emplace_back([&snap, &stop, p] {
+        std::uint64_t v = 0;
+        while (!stop.load(std::memory_order_acquire)) snap.update(p, ++v);
+      });
+    }
+    for (int i = 1; i <= 5; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::vector<std::uint64_t> view = snap.scan(0);
+      std::printf("  scan %d: [", i);
+      for (std::size_t j = 1; j <= kProcs; ++j) {
+        std::printf(" %llu", static_cast<unsigned long long>(view[j]));
+      }
+      std::printf(" ]  instant_spread = 0 (one linearization point)\n");
+    }
+    stop.store(true, std::memory_order_release);
+  }
+  std::printf("-> a scan IS an instantaneous image: all components belong "
+              "to one serialization point inside the scan's interval "
+              "(Theorem 4.5).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Message-passing atomic snapshots with crash tolerance — Section 6's
+// remark made executable: the UNCHANGED Figure 2 algorithm runs over
+// ABD-emulated registers on a simulated asynchronous network, and keeps
+// working while a minority of nodes is crashed.
+//
+//   build/examples/message_passing_snapshot
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "abd/abd_snapshot.hpp"
+
+int main() {
+  constexpr std::size_t kNodes = 5;  // tolerates 2 crashes (majority = 3)
+  asnap::abd::MessagePassingSnapshot<std::uint64_t> snapshot(kNodes, 0);
+
+  // Every node publishes a value...
+  {
+    std::vector<std::jthread> clients;
+    for (std::size_t p = 0; p < kNodes; ++p) {
+      clients.emplace_back([&snapshot, p] {
+        snapshot.update(static_cast<asnap::ProcessId>(p), 100 + p);
+      });
+    }
+  }
+  std::printf("initial scan from node 0:      [");
+  for (const std::uint64_t v : snapshot.scan(0)) std::printf(" %llu",
+      static_cast<unsigned long long>(v));
+  std::printf(" ]  (%llu messages so far)\n",
+              static_cast<unsigned long long>(snapshot.messages_sent()));
+
+  // ... then a minority of nodes fail-stops.
+  snapshot.crash(3);
+  snapshot.crash(4);
+  std::printf("crashed nodes 3 and 4; %zu of %zu alive (majority: %zu)\n",
+              snapshot.alive_count(), kNodes, kNodes / 2 + 1);
+
+  // Survivors keep updating and scanning — operations still terminate, and
+  // the crashed nodes' last values remain visible (they reached a majority).
+  {
+    std::vector<std::jthread> clients;
+    for (std::size_t p = 0; p < 3; ++p) {
+      clients.emplace_back([&snapshot, p] {
+        for (std::uint64_t i = 1; i <= 3; ++i) {
+          snapshot.update(static_cast<asnap::ProcessId>(p), 200 + p * 10 + i);
+          (void)snapshot.scan(static_cast<asnap::ProcessId>(p));
+        }
+      });
+    }
+  }
+  std::printf("post-crash scan from node 1:   [");
+  for (const std::uint64_t v : snapshot.scan(1)) std::printf(" %llu",
+      static_cast<unsigned long long>(v));
+  std::printf(" ]\n");
+  std::printf("total messages: %llu — every scan/update is a few quorum "
+              "rounds per register; no operation ever blocked on the "
+              "crashed minority.\n",
+              static_cast<unsigned long long>(snapshot.messages_sent()));
+  return 0;
+}

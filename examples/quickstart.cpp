@@ -1,0 +1,67 @@
+// Quickstart: the atomic-snapshot public API in ~60 lines.
+//
+//   build/examples/quickstart
+//
+// Creates a bounded single-writer snapshot (Figure 3 of Afek et al. 1990),
+// runs a few updater threads against a scanner, and shows that every scan
+// is an instantaneous picture: the per-process counters in one view are
+// exactly simultaneous, never a torn mix of old and new.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+
+int main() {
+  constexpr std::size_t kProcesses = 4;
+
+  // One word per process; process i may only update word i (single-writer).
+  asnap::core::BoundedSwSnapshot<std::uint64_t> snapshot(kProcesses, 0);
+
+  // Three updater threads, each bound to a process id, each bumping its own
+  // word as fast as it can.
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> updaters;
+  for (asnap::ProcessId pid = 1; pid < kProcesses; ++pid) {
+    updaters.emplace_back([&snapshot, &stop, pid] {
+      std::uint64_t value = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        snapshot.update(pid, ++value);
+      }
+    });
+  }
+
+  // Process 0 scans: each scan returns the entire memory as of one instant,
+  // wait-free, no matter how fast the updaters are writing.
+  std::printf("%8s %12s %12s %12s\n", "scan#", "P1", "P2", "P3");
+  std::vector<std::uint64_t> previous(kProcesses, 0);
+  for (int i = 1; i <= 10; ++i) {
+    const std::vector<std::uint64_t> view = snapshot.scan(0);
+    std::printf("%8d %12llu %12llu %12llu\n", i,
+                static_cast<unsigned long long>(view[1]),
+                static_cast<unsigned long long>(view[2]),
+                static_cast<unsigned long long>(view[3]));
+    // Linearizability in action: views are componentwise monotone.
+    for (std::size_t j = 0; j < kProcesses; ++j) {
+      if (view[j] < previous[j]) {
+        std::printf("TORN VIEW — this must never print\n");
+        return 1;
+      }
+    }
+    previous = view;
+  }
+  stop.store(true, std::memory_order_release);
+
+  const asnap::core::ScanStats& stats = snapshot.stats(0);
+  std::printf("\nscans: %llu, double collects: %llu, borrowed views: %llu\n",
+              static_cast<unsigned long long>(stats.scans),
+              static_cast<unsigned long long>(stats.double_collects),
+              static_cast<unsigned long long>(stats.borrowed_views));
+  std::printf("every scan finished within the wait-free bound of n+1 = %zu "
+              "double collects (max seen: %llu)\n",
+              kProcesses + 1,
+              static_cast<unsigned long long>(stats.max_double_collects));
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: builds, runs the full test
+# suite, then every benchmark binary, teeing outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
+
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name =="
+  # google-benchmark binaries honor the flag; the table binaries ignore argv.
+  "$b" --benchmark_min_time=0.05 2>&1 | tee "results/$name.txt"
+done
+
+echo
+echo "Outputs captured under results/. Update EXPERIMENTS.md from them."

@@ -1,0 +1,233 @@
+// ABD emulation of single-writer multi-reader atomic registers over the
+// simulated asynchronous network (Attiya, Bar-Noy, Dolev: "Sharing Memory
+// Robustly in Message-Passing Systems", cited as [ABD] in Section 6).
+//
+// Each of the n nodes keeps a timestamped replica of every register.
+//   write (by the register's owner): stamp the value with a fresh local
+//     timestamp, broadcast WRITE(ts, v), wait for a majority of acks.
+//   read: broadcast READ, wait for a majority of (ts, v) replies, adopt the
+//     maximum timestamp, then perform a write-back round (broadcast
+//     WRITE(ts, v), majority acks) before returning — the write-back is what
+//     upgrades regularity to atomicity (no new/old inversion between two
+//     readers).
+//
+// Liveness requires only a majority of nodes alive: with f < n/2 crashed,
+// every operation still completes — the resilience property Section 6
+// advertises for message-passing snapshot memories.
+//
+// AbdRegisterArray adapts a cluster to reg::SwmrRegisterArray, so the
+// UNCHANGED Figure 2 snapshot algorithm (core::UnboundedSwSnapshot) can be
+// instantiated on top of a message-passing system.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "common/instrumentation.hpp"
+#include "net/network.hpp"
+
+namespace asnap::abd {
+
+enum MsgType : std::uint64_t {
+  kReadReq = 1,
+  kReadReply = 2,
+  kWriteReq = 3,
+  kWriteAck = 4,
+};
+
+/// A cluster of n nodes replicating `regs` single-writer registers of type
+/// V. Register r is owned (written) by node r's client; every node hosts a
+/// replica of every register. Client operations may be invoked from any
+/// thread, at most one in flight per node id (the snapshot well-formedness
+/// rule).
+template <typename V>
+class AbdCluster {
+ public:
+  AbdCluster(std::size_t nodes, std::size_t regs, const V& init,
+             std::uint64_t seed = 1)
+      : net_(nodes, seed),
+        replicas_(nodes),
+        write_ts_(regs, 0) {
+    ASNAP_ASSERT(nodes >= 1 && regs >= 1);
+    for (auto& node_replicas : replicas_) {
+      node_replicas.assign(regs, Replica{0, init});
+    }
+    servers_.reserve(nodes);
+    for (std::size_t id = 0; id < nodes; ++id) {
+      servers_.emplace_back(
+          [this, id](std::stop_token st) { serve(static_cast<net::NodeId>(id), st); });
+    }
+  }
+
+  ~AbdCluster() {
+    for (auto& server : servers_) server.request_stop();
+    for (std::size_t id = 0; id < net_.size(); ++id) {
+      net_.mailbox(static_cast<net::NodeId>(id), net::Port::kServer).close();
+    }
+    servers_.clear();  // join
+  }
+
+  AbdCluster(const AbdCluster&) = delete;
+  AbdCluster& operator=(const AbdCluster&) = delete;
+
+  std::size_t nodes() const { return net_.size(); }
+  std::size_t registers() const { return write_ts_.size(); }
+  std::size_t majority() const { return net_.size() / 2 + 1; }
+
+  /// Owner write: two message rounds are not needed for the writer (its own
+  /// timestamp is fresh by construction) — one broadcast + majority acks.
+  void write(std::size_t reg, net::NodeId writer, V value) {
+    ASNAP_ASSERT(reg < registers());
+    step_point(StepKind::kRegisterWrite);
+    const std::uint64_t ts = ++write_ts_[reg];
+    run_write_round(writer, reg, ts, std::move(value));
+  }
+
+  /// Read with write-back round.
+  V read(std::size_t reg, net::NodeId reader) {
+    ASNAP_ASSERT(reg < registers());
+    step_point(StepKind::kRegisterRead);
+    const std::uint64_t rid = next_rid();
+    net_.broadcast(reader, net::Port::kServer, kReadReq, rid,
+                   std::any(ReadReq{reg}));
+    // Collect the majority of replies, keeping the maximum timestamp.
+    std::uint64_t best_ts = 0;
+    V best_value{};
+    bool have_any = false;
+    std::size_t replies = 0;
+    auto& inbox = net_.mailbox(reader, net::Port::kClient);
+    while (replies < majority()) {
+      auto msg = inbox.receive();
+      ASNAP_ASSERT_MSG(msg.has_value(),
+                       "client mailbox closed mid-operation (crashed node "
+                       "still executing operations?)");
+      if (msg->rid != rid || msg->type != kReadReply) continue;  // stale
+      const auto& reply = std::any_cast<const ReadReply&>(msg->payload);
+      if (!have_any || reply.ts > best_ts) {
+        best_ts = reply.ts;
+        best_value = reply.value;
+        have_any = true;
+      }
+      ++replies;
+    }
+    // Write-back round: make the adopted value stable at a majority.
+    run_write_round(reader, reg, best_ts, best_value);
+    return best_value;
+  }
+
+  /// Fail-stop a node: closing its mailboxes makes its server loop exit and
+  /// drops all of its traffic. The caller must ensure no operation of that
+  /// node is in flight and that a majority remains alive.
+  void crash(net::NodeId node) { net_.crash(node); }
+
+  /// Sever the link between two nodes. Liveness requires every node that
+  /// still issues operations to reach a majority of replicas directly.
+  void cut_link(net::NodeId a, net::NodeId b) { net_.cut_link(a, b); }
+
+  std::uint64_t messages_sent() const { return net_.messages_sent(); }
+  std::size_t alive_count() const { return net_.alive_count(); }
+
+ private:
+  struct Replica {
+    std::uint64_t ts = 0;
+    V value{};
+  };
+  struct ReadReq {
+    std::size_t reg;
+  };
+  struct ReadReply {
+    std::size_t reg;
+    std::uint64_t ts;
+    V value;
+  };
+  struct WriteReq {
+    std::size_t reg;
+    std::uint64_t ts;
+    V value;
+  };
+
+  std::uint64_t next_rid() {
+    return rid_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void run_write_round(net::NodeId client, std::size_t reg, std::uint64_t ts,
+                       V value) {
+    const std::uint64_t rid = next_rid();
+    net_.broadcast(client, net::Port::kServer, kWriteReq, rid,
+                   std::any(WriteReq{reg, ts, std::move(value)}));
+    std::size_t acks = 0;
+    auto& inbox = net_.mailbox(client, net::Port::kClient);
+    while (acks < majority()) {
+      auto msg = inbox.receive();
+      ASNAP_ASSERT_MSG(msg.has_value(),
+                       "client mailbox closed mid-operation");
+      if (msg->rid != rid || msg->type != kWriteAck) continue;
+      ++acks;
+    }
+  }
+
+  /// Replica event loop for one node. Only this thread touches
+  /// replicas_[id], so replica state needs no locking.
+  void serve(net::NodeId id, std::stop_token st) {
+    auto& inbox = net_.mailbox(id, net::Port::kServer);
+    while (!st.stop_requested()) {
+      auto msg = inbox.receive();
+      if (!msg.has_value()) return;  // closed: shutdown or crash
+      switch (msg->type) {
+        case kReadReq: {
+          const auto& req = std::any_cast<const ReadReq&>(msg->payload);
+          const Replica& rep = replicas_[id][req.reg];
+          net_.send(id, msg->from, net::Port::kClient, kReadReply, msg->rid,
+                    std::any(ReadReply{req.reg, rep.ts, rep.value}));
+          break;
+        }
+        case kWriteReq: {
+          const auto& req = std::any_cast<const WriteReq&>(msg->payload);
+          Replica& rep = replicas_[id][req.reg];
+          if (req.ts > rep.ts) {
+            rep.ts = req.ts;
+            rep.value = req.value;
+          }
+          net_.send(id, msg->from, net::Port::kClient, kWriteAck, msg->rid,
+                    std::any());
+          break;
+        }
+        default:
+          ASNAP_ASSERT_MSG(false, "unknown message type at replica");
+      }
+    }
+  }
+
+  net::Network net_;
+  std::vector<std::vector<Replica>> replicas_;  ///< [node][register]
+  std::vector<std::uint64_t> write_ts_;  ///< per register; owner-only access
+  std::atomic<std::uint64_t> rid_gen_{1};
+  std::vector<std::jthread> servers_;
+};
+
+/// Adapter: exposes an AbdCluster as a reg::SwmrRegisterArray so the
+/// snapshot algorithms run unchanged over message passing.
+template <typename Rec>
+class AbdRegisterArray {
+ public:
+  explicit AbdRegisterArray(AbdCluster<Rec>& cluster) : cluster_(&cluster) {}
+
+  std::size_t size() const { return cluster_->registers(); }
+
+  Rec read(ProcessId owner, ProcessId reader) const {
+    return cluster_->read(owner, reader);
+  }
+
+  void write(ProcessId owner, Rec rec) {
+    cluster_->write(owner, owner, std::move(rec));
+  }
+
+ private:
+  AbdCluster<Rec>* cluster_;
+};
+
+}  // namespace asnap::abd

@@ -1,0 +1,55 @@
+// Atomic snapshot memory for message-passing systems (Section 6):
+// the UNCHANGED Figure 2 algorithm instantiated over ABD-emulated registers.
+//
+// "Snapshots obtained this way are true instantaneous images of the global
+//  state. In addition, these implementations are resilient to process and
+//  link failures, as long as a majority of the system remains connected."
+//
+// Each logical process is a cluster node; its snapshot operations translate
+// into quorum message rounds. Crash any minority of nodes and the survivors'
+// updates and scans keep completing and keep being linearizable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "abd/abd_register.hpp"
+#include "common/config.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+
+namespace asnap::abd {
+
+template <typename T>
+class MessagePassingSnapshot {
+ public:
+  using Snapshot = core::UnboundedSwSnapshot<T, AbdRegisterArray>;
+  using Record = typename Snapshot::Record;
+
+  MessagePassingSnapshot(std::size_t n, const T& init, std::uint64_t seed = 1)
+      : cluster_(n, n, Snapshot::initial_record(n, init), seed),
+        snapshot_(AbdRegisterArray<Record>(cluster_)) {}
+
+  std::size_t size() const { return snapshot_.size(); }
+
+  void update(ProcessId i, T value) { snapshot_.update(i, std::move(value)); }
+  std::vector<T> scan(ProcessId i) { return snapshot_.scan(i); }
+
+  /// Fail-stop node i. Its process must issue no further operations; all
+  /// other processes continue as long as a majority is alive.
+  void crash(ProcessId i) { cluster_.crash(i); }
+
+  /// Sever a link. Processes that keep operating must still reach a
+  /// majority of replicas directly.
+  void cut_link(ProcessId a, ProcessId b) { cluster_.cut_link(a, b); }
+
+  std::uint64_t messages_sent() const { return cluster_.messages_sent(); }
+  std::size_t alive_count() const { return cluster_.alive_count(); }
+  const core::ScanStats& stats(ProcessId i) const { return snapshot_.stats(i); }
+
+ private:
+  AbdCluster<Record> cluster_;
+  Snapshot snapshot_;
+};
+
+}  // namespace asnap::abd

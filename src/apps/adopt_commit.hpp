@@ -1,0 +1,107 @@
+// Adopt-commit object built from two atomic snapshots.
+//
+// The safety core of snapshot-based randomized consensus (the paper's
+// motivating application family [A88, AH89, ADS89, A90]). propose(v) returns
+// either (commit, v') or (adopt, v') with the guarantees:
+//
+//   * Agreement-on-commit: if any process commits v, every propose returns
+//     value v (committed or adopted).
+//   * Convergence: if all proposals are equal, everyone commits.
+//   * Validity: the returned value is some process's proposal.
+//
+// Protocol (two snapshot phases):
+//   Phase A: write your proposal to your word; scan. If every written word
+//            equals your value, you are "unanimous".
+//   Phase B: write (your value, unanimous?); scan. Commit iff every written
+//            mark is unanimous with your value; else adopt the value of any
+//            unanimous mark (at most one distinct such value can exist —
+//            the classic two-scan argument); else keep your own.
+//
+// The atomicity of the scans is what makes the "at most one unanimous
+// value" argument go through — precisely the paper's pitch that snapshots
+// remove non-interference reasoning from algorithm proofs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+
+namespace asnap::apps {
+
+class AdoptCommit {
+ public:
+  using Value = std::uint64_t;
+
+  enum class Verdict {
+    kCommit,  ///< value is decided; everyone else will at least adopt it
+    kAdopt,   ///< some process was unanimous on value: chase it, no coin
+    kNone,    ///< genuine conflict, nobody unanimous: caller may randomize
+  };
+
+  struct Outcome {
+    Verdict verdict = Verdict::kNone;
+    Value value = 0;
+  };
+
+  explicit AdoptCommit(std::size_t n)
+      : phase_a_(n, SlotA{}), phase_b_(n, SlotB{}) {}
+
+  std::size_t size() const { return phase_a_.size(); }
+
+  Outcome propose(ProcessId i, Value v) {
+    // Phase A: publish the proposal, scan, check unanimity.
+    phase_a_.update(i, SlotA{true, v});
+    const std::vector<SlotA> seen_a = phase_a_.scan(i);
+    bool unanimous = true;
+    for (const SlotA& slot : seen_a) {
+      if (slot.set && slot.value != v) {
+        unanimous = false;
+        break;
+      }
+    }
+
+    // Phase B: publish (value, unanimity), scan, decide.
+    phase_b_.update(i, SlotB{true, unanimous, v});
+    const std::vector<SlotB> seen_b = phase_b_.scan(i);
+
+    bool all_marks_agree_with_mine = unanimous;
+    std::optional<Value> someone_unanimous;
+    for (const SlotB& slot : seen_b) {
+      if (!slot.set) continue;
+      if (!slot.unanimous || slot.value != v) all_marks_agree_with_mine = false;
+      if (slot.unanimous) {
+        ASNAP_ASSERT_MSG(
+            !someone_unanimous.has_value() || *someone_unanimous == slot.value,
+            "two distinct unanimous values — snapshot atomicity violated");
+        someone_unanimous = slot.value;
+      }
+    }
+    if (all_marks_agree_with_mine) return Outcome{Verdict::kCommit, v};
+    if (someone_unanimous.has_value()) {
+      // Crucial: reported as kAdopt even when *someone_unanimous == v, so a
+      // caller never randomizes away from a value that may have committed.
+      return Outcome{Verdict::kAdopt, *someone_unanimous};
+    }
+    return Outcome{Verdict::kNone, v};
+  }
+
+ private:
+  struct SlotA {
+    bool set = false;
+    Value value = 0;
+  };
+  struct SlotB {
+    bool set = false;
+    bool unanimous = false;
+    Value value = 0;
+  };
+
+  core::BoundedSwSnapshot<SlotA> phase_a_;
+  core::BoundedSwSnapshot<SlotB> phase_b_;
+};
+
+}  // namespace asnap::apps

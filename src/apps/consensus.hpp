@@ -1,0 +1,82 @@
+// Randomized wait-free binary consensus from atomic snapshots — the
+// application the paper cites most prominently ([A88, AH89, ADS89, A90]).
+//
+// Structure: a sequence of adopt-commit objects (rounds). In round r every
+// undecided process proposes its preference:
+//   * commit  -> decide that value (every other process will adopt it in
+//                round r and commit it by round r+1 — agreement follows
+//                from the adopt-commit guarantees alone);
+//   * adopt   -> take the adopted value into round r+1 (no coin: someone
+//                was unanimous, chase their value);
+//   * neither -> flip a fair local coin for round r+1.
+//
+// Deterministic wait-free consensus from registers is impossible (FLP/[H88]
+// in the shared-memory setting); local coins give termination with
+// probability 1 against an oblivious adversary: once every undecided
+// process flips the same side in one round — probability >= 2^-n per round —
+// unanimity commits within two more rounds.
+//
+// Safety (agreement + validity) is deterministic and unconditional; only
+// termination time is probabilistic. The round cap exists so a test failure
+// is an error, not a hang: P(exceeding R rounds) <= (1 - 2^-n)^(R/2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/adopt_commit.hpp"
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace asnap::apps {
+
+class SnapshotConsensus {
+ public:
+  SnapshotConsensus(std::size_t n, std::size_t max_rounds = 512)
+      : n_(n) {
+    rounds_.reserve(max_rounds);
+    for (std::size_t r = 0; r < max_rounds; ++r) {
+      rounds_.push_back(std::make_unique<AdoptCommit>(n));
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  struct Result {
+    bool value = false;
+    std::size_t rounds_used = 0;
+  };
+
+  /// Decide a boolean. `rng` must be this process's private generator.
+  Result decide(ProcessId i, bool proposal, Rng& rng) {
+    bool preference = proposal;
+    for (std::size_t r = 0; r < rounds_.size(); ++r) {
+      const AdoptCommit::Outcome outcome =
+          rounds_[r]->propose(i, preference ? 1 : 0);
+      switch (outcome.verdict) {
+        case AdoptCommit::Verdict::kCommit:
+          return Result{outcome.value != 0, r + 1};
+        case AdoptCommit::Verdict::kAdopt:
+          // Someone was unanimous on this value; it may already be
+          // committed — chase it, never randomize here.
+          preference = outcome.value != 0;
+          break;
+        case AdoptCommit::Verdict::kNone:
+          preference = rng.chance(0.5);  // genuine conflict: flip the coin
+          break;
+      }
+    }
+    ASNAP_ASSERT_MSG(false,
+                     "consensus exceeded the round cap (probability ~0; "
+                     "indicates a protocol bug)");
+    return Result{};
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::unique_ptr<AdoptCommit>> rounds_;
+};
+
+}  // namespace asnap::apps

@@ -1,0 +1,58 @@
+// Concurrent timestamp object from atomic snapshots — the paper's
+// "concurrent time-stamp systems [DS89]" motivation.
+//
+// label(): scan all published labels, publish max+1, return it.
+// The snapshot's atomicity gives the timestamp system its ordering
+// property: if label() L1 completes before label() L2 begins, then
+// L2's label is strictly greater (L2's scan sees L1's published label).
+// Concurrent calls may receive equal labels; (label, pid) is a total order.
+//
+// Labels here are unbounded integers; the paper's open-problem discussion
+// (and [DS89]) concerns making them bounded — see DESIGN.md future work.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+
+namespace asnap::apps {
+
+class TimestampSystem {
+ public:
+  struct Stamp {
+    std::uint64_t label = 0;
+    ProcessId pid = kNoProcess;
+
+    bool operator<(const Stamp& rhs) const {
+      return label != rhs.label ? label < rhs.label : pid < rhs.pid;
+    }
+    bool operator==(const Stamp&) const = default;
+  };
+
+  explicit TimestampSystem(std::size_t n) : snap_(n, 0) {}
+
+  std::size_t size() const { return snap_.size(); }
+
+  /// Acquire a new timestamp: greater than every timestamp whose
+  /// acquisition completed before this call began.
+  Stamp label(ProcessId i) {
+    const std::vector<std::uint64_t> view = snap_.scan(i);
+    const std::uint64_t next =
+        1 + *std::max_element(view.begin(), view.end());
+    snap_.update(i, next);
+    return Stamp{next, i};
+  }
+
+  /// The latest label this process has published (0 if none).
+  Stamp current(ProcessId i) {
+    return Stamp{snap_.scan(i)[i], i};
+  }
+
+ private:
+  core::BoundedSwSnapshot<std::uint64_t> snap_;
+};
+
+}  // namespace asnap::apps

@@ -1,0 +1,272 @@
+#include "cl/chandy_lamport.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace asnap::cl {
+
+// ---------------------------------------------------------------------------
+// GlobalSnapshot
+// ---------------------------------------------------------------------------
+
+Amount GlobalSnapshot::total() const {
+  Amount sum = 0;
+  for (const Amount s : states) sum += s;
+  for (const auto& [channel, msgs] : channels) {
+    (void)channel;
+    for (const Amount m : msgs) sum += m;
+  }
+  return sum;
+}
+
+std::uint64_t GlobalSnapshot::instant_spread() const {
+  if (record_instants.empty()) return 0;
+  const auto [lo, hi] =
+      std::minmax_element(record_instants.begin(), record_instants.end());
+  return *hi - *lo;
+}
+
+std::size_t GlobalSnapshot::in_flight_count() const {
+  std::size_t count = 0;
+  for (const auto& [channel, msgs] : channels) {
+    (void)channel;
+    count += msgs.size();
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// TokenBank
+// ---------------------------------------------------------------------------
+
+TokenBank::TokenBank(std::size_t n, Amount initial_per_process,
+                     std::uint64_t seed)
+    : n_(n),
+      initial_per_process_(initial_per_process),
+      balances_(n, initial_per_process) {
+  ASNAP_ASSERT(n >= 2);
+  channels_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  threads_.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    threads_.emplace_back([this, p, seed] {
+      process_loop(static_cast<ProcessId>(p), seed * 31 + p);
+    });
+  }
+}
+
+TokenBank::~TokenBank() {
+  stop_.store(true, std::memory_order_release);
+  threads_.clear();  // join
+}
+
+void TokenBank::process_loop(ProcessId me, std::uint64_t seed) {
+  Rng rng(seed);
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool did_something = false;
+
+    // Poll every incoming FIFO channel.
+    for (std::size_t f = 0; f < n_; ++f) {
+      if (f == me) continue;
+      const auto from = static_cast<ProcessId>(f);
+      Msg msg;
+      {
+        Channel& ch = channel(from, me);
+        std::lock_guard lock(ch.mu);
+        if (ch.fifo.empty()) continue;
+        msg = ch.fifo.front();
+        ch.fifo.pop_front();
+        in_hand_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (msg.type == MsgType::kTransfer) {
+        handle_transfer(me, from, msg.amount, msg.sent_pre_cut,
+                        msg.sent_snap_id);
+      } else {
+        handle_marker(me, from);
+      }
+      in_hand_.fetch_sub(1, std::memory_order_acq_rel);
+      did_something = true;
+    }
+
+    // Process 0 initiates a requested snapshot.
+    if (me == 0) {
+      std::unique_lock lock(snap_mu_);
+      if (snap_requested_) {
+        snap_requested_ = false;
+        record_state(me);
+        maybe_finish_snapshot();
+      }
+    }
+
+    // Spontaneous transfer.
+    if (transfers_enabled_.load(std::memory_order_acquire) &&
+        balances_[me] > 0 && rng.chance(0.6)) {
+      auto to = static_cast<ProcessId>(rng.below(n_ - 1));
+      if (to >= me) ++to;
+      const Amount amount = 1 + static_cast<Amount>(rng.below(
+                                    static_cast<std::uint64_t>(
+                                        std::min<Amount>(5, balances_[me]))));
+      balances_[me] -= amount;
+      clock_.fetch_add(1, std::memory_order_relaxed);
+      // Which side of the cut is this send on? Only this thread can record
+      // this process's state, so the flag cannot change before the push.
+      bool pre_cut = true;
+      std::uint64_t sent_snap_id = 0;
+      {
+        std::lock_guard lock(snap_mu_);
+        if (snap_active_) {
+          sent_snap_id = snap_id_;
+          pre_cut = !snap_[me].recorded;
+        }
+      }
+      Channel& ch = channel(me, to);
+      std::lock_guard lock(ch.mu);
+      ch.fifo.push_back(Msg{MsgType::kTransfer, amount, pre_cut,
+                            sent_snap_id});
+      did_something = true;
+    }
+
+    if (!did_something) std::this_thread::yield();
+  }
+}
+
+void TokenBank::handle_transfer(ProcessId me, ProcessId from, Amount amount,
+                                bool sent_pre_cut, std::uint64_t sent_snap_id) {
+  balances_[me] += amount;
+  clock_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(snap_mu_);
+  if (!snap_active_) return;
+  // A message sent before this snapshot began is pre-cut by definition.
+  if (sent_snap_id != snap_id_) sent_pre_cut = true;
+  if (!snap_[me].recorded) {
+    // Pre-cut receive: the [CL85] consistency invariant — a message applied
+    // before the receiver's record point must have been sent before the
+    // sender's record point (else the sender's marker, which precedes it on
+    // the FIFO channel, would already have made us record).
+    ASNAP_ASSERT_MSG(sent_pre_cut,
+                     "cut inconsistency: received a post-cut message before "
+                     "recording (FIFO/marker discipline broken)");
+    return;
+  }
+  if (snap_[me].channel_open[from] != 0) {
+    // In-flight at the cut: arrived after I recorded, before this channel's
+    // marker. Part of the recorded global state — and necessarily sent
+    // pre-cut (a post-cut send follows the sender's marker on the FIFO).
+    ASNAP_ASSERT_MSG(sent_pre_cut,
+                     "cut inconsistency: logged a post-cut message as "
+                     "in-flight channel state");
+    snap_[me].channel_log[from].push_back(amount);
+  } else {
+    // Channel already closed: the marker passed, so this message was sent
+    // after the sender recorded.
+    ASNAP_ASSERT_MSG(!sent_pre_cut,
+                     "cut inconsistency: pre-cut message arrived after the "
+                     "sender's marker (FIFO violated)");
+  }
+}
+
+/// Caller must hold snap_mu_.
+void TokenBank::record_state(ProcessId me) {
+  SnapState& mine = snap_[me];
+  ASNAP_ASSERT(!mine.recorded);
+  mine.recorded = true;
+  mine.recorded_balance = balances_[me];
+  mine.recorded_at = clock_.load(std::memory_order_relaxed);
+  ASNAP_ASSERT(snap_unrecorded_ > 0);
+  --snap_unrecorded_;
+  // Flood markers on every outgoing channel (FIFO: everything I sent before
+  // this marker precedes it; everything after follows it).
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (t == me) continue;
+    Channel& ch = channel(me, static_cast<ProcessId>(t));
+    std::lock_guard lock(ch.mu);
+    ch.fifo.push_back(Msg{MsgType::kMarker, 0});
+  }
+}
+
+void TokenBank::handle_marker(ProcessId me, ProcessId from) {
+  std::lock_guard lock(snap_mu_);
+  ASNAP_ASSERT_MSG(snap_active_, "marker outside an active snapshot");
+  SnapState& mine = snap_[me];
+  if (!mine.recorded) {
+    record_state(me);
+    // First marker: the channel it arrived on is recorded as EMPTY.
+  }
+  ASNAP_ASSERT(mine.channel_open[from] != 0);
+  mine.channel_open[from] = 0;
+  ASNAP_ASSERT(snap_channels_open_ > 0);
+  --snap_channels_open_;
+  maybe_finish_snapshot();
+}
+
+/// Caller must hold snap_mu_.
+void TokenBank::maybe_finish_snapshot() {
+  if (snap_active_ && snap_unrecorded_ == 0 && snap_channels_open_ == 0) {
+    snap_cv_.notify_all();
+  }
+}
+
+GlobalSnapshot TokenBank::snapshot() {
+  std::unique_lock lock(snap_mu_);
+  snap_cv_.wait(lock, [&] { return !snap_active_; });  // one at a time
+
+  snap_.assign(n_, SnapState{});
+  for (SnapState& s : snap_) {
+    s.channel_open.assign(n_, 1);
+    s.channel_open[&s - snap_.data()] = 0;  // no self-channel
+    s.channel_log.assign(n_, {});
+  }
+  snap_channels_open_ = n_ * (n_ - 1);
+  snap_unrecorded_ = n_;
+  snap_active_ = true;
+  ++snap_id_;
+  snap_requested_ = true;  // picked up by process 0's loop
+
+  snap_cv_.wait(lock, [&] {
+    return snap_unrecorded_ == 0 && snap_channels_open_ == 0;
+  });
+
+  GlobalSnapshot result;
+  result.states.resize(n_);
+  result.record_instants.resize(n_);
+  for (std::size_t p = 0; p < n_; ++p) {
+    result.states[p] = snap_[p].recorded_balance;
+    result.record_instants[p] = snap_[p].recorded_at;
+    for (std::size_t f = 0; f < n_; ++f) {
+      if (f == p || snap_[p].channel_log[f].empty()) continue;
+      result.channels[{static_cast<ProcessId>(f),
+                       static_cast<ProcessId>(p)}] = snap_[p].channel_log[f];
+    }
+  }
+  snap_active_ = false;
+  snap_cv_.notify_all();
+  return result;
+}
+
+std::vector<Amount> TokenBank::drain_and_stop() {
+  transfers_enabled_.store(false, std::memory_order_release);
+  // Wait until every channel is empty and no message is mid-handling, twice
+  // in a row (a process observed mid-send can add at most one more message,
+  // which the next round sees).
+  int consecutive_empty = 0;
+  while (consecutive_empty < 3) {
+    bool all_empty = in_hand_.load(std::memory_order_acquire) == 0;
+    for (const auto& ch : channels_) {
+      std::lock_guard lock(ch->mu);
+      if (!ch->fifo.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    consecutive_empty = all_empty ? consecutive_empty + 1 : 0;
+    std::this_thread::yield();
+  }
+  stop_.store(true, std::memory_order_release);
+  threads_.clear();  // join
+  return balances_;
+}
+
+}  // namespace asnap::cl

@@ -1,0 +1,33 @@
+// Lightweight always-on assertion used for protocol invariants.
+//
+// The algorithms in this library are reference implementations of published
+// wait-free protocols; silently corrupting an invariant would invalidate
+// every experiment built on top. We therefore keep invariant checks on in
+// all build types (they are cheap: single predicates on local state).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asnap::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "asnap invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace asnap::detail
+
+#define ASNAP_ASSERT(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::asnap::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);    \
+  } while (0)
+
+#define ASNAP_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::asnap::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+  } while (0)

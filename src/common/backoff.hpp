@@ -1,0 +1,43 @@
+// Bounded exponential backoff for optimistic retry loops (seqlock baseline,
+// hazard-pointer protect loops). Spins with a growing pause budget, then
+// yields to the OS scheduler so oversubscribed test runs stay live.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace asnap {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kMaxSpins) {
+      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t spins_ = 1;
+};
+
+}  // namespace asnap

@@ -1,0 +1,32 @@
+// Global build-time configuration for the atomic-snapshots library.
+//
+// The paper ("Atomic Snapshots of Shared Memory", Afek et al., PODC 1990)
+// assumes a fixed, known set of n processes. We mirror that: every shared
+// object is constructed for an explicit process count, and every operation
+// is invoked through a handle bound to one process id in {0..n-1}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asnap {
+
+/// Upper bound on the number of concurrently registered OS threads that may
+/// touch any shared object in this library. This bounds the size of the
+/// hazard-pointer table; it is an implementation-level bound, independent of
+/// the per-object process count n.
+inline constexpr std::size_t kMaxThreads = 128;
+
+/// Destructive-interference distance used to pad per-thread slots.
+/// std::hardware_destructive_interference_size is not reliably available on
+/// every standard library, so we fix the conventional 64 bytes and over-align
+/// to 2x where false sharing matters most.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Process identifier within one shared object (the paper's P_i index).
+using ProcessId = std::uint32_t;
+
+/// Invalid / unset process id sentinel.
+inline constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+}  // namespace asnap

@@ -1,0 +1,10 @@
+#include "common/instrumentation.hpp"
+
+namespace asnap {
+
+ThreadStepState& step_state() {
+  thread_local ThreadStepState state;
+  return state;
+}
+
+}  // namespace asnap

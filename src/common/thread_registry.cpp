@@ -1,0 +1,50 @@
+#include "common/thread_registry.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace asnap {
+namespace {
+
+// Bitmap-free claim table: slot i is taken iff taken[i] is true.
+// Claim/release are rare (thread birth/death), so a simple CAS scan is fine.
+std::atomic<bool> g_taken[kMaxThreads];
+std::atomic<std::size_t> g_count{0};
+
+std::size_t claim_slot() {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (g_taken[i].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      g_count.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }
+  }
+  ASNAP_ASSERT_MSG(false, "more than kMaxThreads live threads registered");
+  return 0;  // unreachable
+}
+
+void release_slot(std::size_t slot) {
+  g_taken[slot].store(false, std::memory_order_release);
+  g_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+struct SlotHolder {
+  std::size_t slot;
+  SlotHolder() : slot(claim_slot()) {}
+  ~SlotHolder() { release_slot(slot); }
+};
+
+}  // namespace
+
+std::size_t this_thread_id() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+std::size_t registered_thread_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace asnap

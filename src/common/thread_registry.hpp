@@ -1,0 +1,23 @@
+// Stable small integer ids for OS threads.
+//
+// The hazard-pointer domain (hazard/) needs a bounded table indexed by a
+// dense thread id. Ids are recycled when a thread exits, so long-running
+// test suites that create and join many std::jthreads do not exhaust the
+// kMaxThreads table.
+#pragma once
+
+#include <cstddef>
+
+#include "common/config.hpp"
+
+namespace asnap {
+
+/// Returns a dense id in [0, kMaxThreads) unique to the calling thread for
+/// its lifetime. Aborts if more than kMaxThreads threads are simultaneously
+/// registered (a configuration error, not a runtime condition).
+std::size_t this_thread_id();
+
+/// Number of ids currently claimed (for tests).
+std::size_t registered_thread_count();
+
+}  // namespace asnap

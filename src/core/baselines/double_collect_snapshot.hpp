@@ -1,0 +1,99 @@
+// Observation-1-only baseline: the simple unbounded algorithm the paper
+// presents first and rejects ("this algorithm is not wait-free", Section 3).
+//
+// Updates just write (value, seq+1) — no embedded scan, so updates are O(1).
+// Scans repeat double collects until two agree. Lock-free (some operation
+// always completes) but NOT wait-free: concurrent updaters can starve a
+// scanner forever. This is the ablation that isolates what Observation 2
+// (view borrowing) buys: compare its bounded try_scan failure rate against
+// the paper algorithms' guaranteed termination (benches E6/E10).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "core/snapshot_types.hpp"
+#include "reg/register_array.hpp"
+
+namespace asnap::core {
+
+template <typename T>
+class DoubleCollectSnapshot {
+ public:
+  struct Record {
+    T value;
+    std::uint64_t seq = 0;
+  };
+
+  DoubleCollectSnapshot(std::size_t n, const T& init)
+      : regs_(n, Record{init, 0}), per_process_(n) {}
+
+  std::size_t size() const { return regs_.size(); }
+
+  /// O(1) update: one atomic write, no embedded scan.
+  void update(ProcessId i, T value) {
+    ASNAP_ASSERT(i < size());
+    PerProcess& me = per_process_[i];
+    ++me.seq;
+    regs_.write(i, Record{std::move(value), me.seq});
+  }
+
+  /// Unbounded scan: retries until a successful double collect.
+  std::vector<T> scan(ProcessId i) {
+    std::vector<T> out;
+    while (!try_scan(i, static_cast<std::size_t>(-1), out)) {
+    }
+    return out;
+  }
+
+  /// Bounded-retry scan; returns false if every double collect failed.
+  /// Used to measure starvation under contention.
+  bool try_scan(ProcessId i, std::size_t max_double_collects,
+                std::vector<T>& out) {
+    ASNAP_ASSERT(i < size());
+    const std::size_t n = size();
+    std::vector<Record> a(n);
+    std::vector<Record> b(n);
+    for (std::size_t attempt = 0; attempt < max_double_collects; ++attempt) {
+      collect(i, a);
+      collect(i, b);
+      bool identical = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (a[j].seq != b[j].seq) {
+          identical = false;
+          break;
+        }
+      }
+      if (identical) {
+        out.clear();
+        out.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) out.push_back(b[j].value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct alignas(kCacheLine) PerProcess {
+    std::uint64_t seq = 0;
+  };
+
+  void collect(ProcessId reader, std::vector<Record>& out) {
+    const std::size_t n = size();
+    out.clear();
+    out.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      out.push_back(regs_.read(static_cast<ProcessId>(j), reader));
+    }
+  }
+
+  reg::SharedMemoryRegisterArray<Record> regs_;
+  std::vector<PerProcess> per_process_;
+};
+
+}  // namespace asnap::core

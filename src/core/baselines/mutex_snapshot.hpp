@@ -1,0 +1,53 @@
+// Coarse-grained lock baseline: the "obvious" snapshot object a systems
+// programmer would write. Linearizable and simple, but blocking: a stalled
+// lock holder stalls everyone — the exact failure mode wait-freedom rules
+// out. Used by E10 throughput/latency benchmarks as the practical yardstick.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+
+namespace asnap::core {
+
+template <typename T>
+class MutexSnapshot {
+ public:
+  /// Multi-writer form: n processes, m words.
+  MutexSnapshot(std::size_t n, std::size_t m, const T& init)
+      : n_(n), words_(m, init) {}
+
+  /// Single-writer convenience form: m == n.
+  MutexSnapshot(std::size_t n, const T& init) : MutexSnapshot(n, n, init) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t words() const { return words_.size(); }
+
+  void update(ProcessId i, std::size_t k, T value) {
+    ASNAP_ASSERT(i < n_ && k < words_.size());
+    std::lock_guard lock(mu_);
+    words_[k] = std::move(value);
+  }
+
+  /// Single-writer update: process i writes word i.
+  void update(ProcessId i, T value) {
+    update(i, static_cast<std::size_t>(i), std::move(value));
+  }
+
+  std::vector<T> scan(ProcessId i) {
+    ASNAP_ASSERT(i < n_);
+    std::lock_guard lock(mu_);
+    return words_;
+  }
+
+ private:
+  std::size_t n_;
+  mutable std::mutex mu_;
+  std::vector<T> words_;
+};
+
+}  // namespace asnap::core

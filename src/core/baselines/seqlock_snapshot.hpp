@@ -1,0 +1,104 @@
+// Sequence-lock baseline: optimistic scans over a version counter.
+//
+// Writers serialize through a mutex and bump the version to odd/even around
+// the word store; scanners copy all words and retry if the version moved.
+// Scans are wait-free *only in the absence of updates*: a steady stream of
+// updates can starve a scanner forever, which is precisely the obstruction
+// the paper's double-collect-with-borrowing removes. E10 uses this baseline
+// to show where the wait-free algorithms' guarantees start paying rent.
+//
+// The payload must fit in a lock-free std::atomic so the optimistic reads
+// are race-free under the C++ memory model.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+#include "common/config.hpp"
+#include "common/instrumentation.hpp"
+
+namespace asnap::core {
+
+template <typename T>
+class SeqlockSnapshot {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::atomic<T>::is_always_lock_free,
+                "SeqlockSnapshot requires a lock-free payload type");
+
+ public:
+  SeqlockSnapshot(std::size_t n, std::size_t m, const T& init)
+      : n_(n), words_(m) {
+    for (auto& w : words_) w = std::make_unique<std::atomic<T>>(init);
+  }
+
+  SeqlockSnapshot(std::size_t n, const T& init) : SeqlockSnapshot(n, n, init) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t words() const { return words_.size(); }
+
+  void update(ProcessId i, std::size_t k, T value) {
+    ASNAP_ASSERT(i < n_ && k < words_.size());
+    std::lock_guard lock(writer_mu_);
+    step_point(StepKind::kRegisterWrite);
+    version_.fetch_add(1, std::memory_order_relaxed);  // now odd
+    std::atomic_thread_fence(std::memory_order_release);
+    words_[k]->store(value, std::memory_order_relaxed);
+    version_.fetch_add(1, std::memory_order_release);  // even again
+  }
+
+  void update(ProcessId i, T value) {
+    update(i, static_cast<std::size_t>(i), std::move(value));
+  }
+
+  std::vector<T> scan(ProcessId i) {
+    ASNAP_ASSERT(i < n_);
+    std::vector<T> out(words_.size(), T{});
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+      if ((v1 & 1) == 0) {
+        for (std::size_t k = 0; k < words_.size(); ++k) {
+          step_point(StepKind::kRegisterRead);
+          out[k] = words_[k]->load(std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t v2 = version_.load(std::memory_order_relaxed);
+        if (v1 == v2) return out;  // no writer moved: consistent copy
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Bounded-retry scan for starvation experiments: nullopt-like signal via
+  /// the bool. Returns false if max_attempts optimistic copies all failed.
+  bool try_scan(ProcessId i, std::size_t max_attempts, std::vector<T>& out) {
+    ASNAP_ASSERT(i < n_);
+    out.assign(words_.size(), T{});
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) continue;
+      for (std::size_t k = 0; k < words_.size(); ++k) {
+        step_point(StepKind::kRegisterRead);
+        out[k] = words_[k]->load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (v1 == version_.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t n_;
+  std::mutex writer_mu_;
+  std::atomic<std::uint64_t> version_{0};
+  std::vector<std::unique_ptr<std::atomic<T>>> words_;
+};
+
+}  // namespace asnap::core

@@ -1,0 +1,220 @@
+// Figure 4 of the paper: the bounded multi-writer atomic snapshot.
+//
+// Any of the n processes may update any of the m memory words. The words
+// live in multi-writer multi-reader registers r_k = (value, id, toggle);
+// the handshake bits and views are uncoupled from the value registers:
+//
+//   * p_{i,j}, q_{i,j} — 1-writer 1-reader handshake bit registers
+//     (p written by updaters, q by scanners).
+//   * view_i — a single-writer register per process, holding the m-word
+//     snapshot produced by P_i's latest embedded scan.
+//   * id(r_k), toggle(r_k) — make every write observable and attributable:
+//     successive updates by P_i to word k write id = i and alternate P_i's
+//     local toggle t_k.
+//
+//   procedure scan_i                        procedure update_j(k, value)
+//     moved[*] := 0                           for i: p_{j,i} := ¬q_{i,j}
+//     loop:                                   view_j := scan_j  /* embedded */
+//       for j: q_{i,j} := p_{j,i}             t_k := ¬t_k       /* local */
+//       a := collect(r_1..r_m)                r_k := (value, j, t_k)
+//       b := collect(r_1..r_m)
+//       h := collect(p_{j,i} : all j)
+//       if forall j: q_{i,j} = h_j and forall k: id/toggle unchanged:
+//         return values(b)
+//       for j that moved (handshake, or a register change with id(b_k)=j):
+//         if moved[j] = 2: return view_j      /* borrow on the THIRD move */
+//         moved[j] := moved[j] + 1
+//
+// Because the handshake bits are not written atomically with r_k, one update
+// can be observed twice (once via its handshake, once via its register
+// write); hence a process must be seen moving THREE times before its view is
+// borrowed (Lemma 5.2), and the pigeonhole bound becomes 2n+1 double
+// collects.
+//
+// The MWMR register type is a template parameter: DirectMwmrRegister (native
+// wide register) for normal use, or reg::VitanyiAwerbuchMwmr (built from
+// SWMR registers) to satisfy Section 2's only-single-writer-registers
+// restriction and to run the Section 6 compound-cost experiment (E7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "core/snapshot_types.hpp"
+#include "reg/big_register.hpp"
+#include "reg/handshake.hpp"
+#include "reg/mwmr_register.hpp"
+
+namespace asnap::core {
+
+/// Contents of the multi-writer word register r_k in Figure 4.
+template <typename T>
+struct WordRecord {
+  T value;
+  ProcessId id = 0;     ///< who wrote this value
+  bool toggle = false;  ///< writer's per-word toggle bit
+};
+
+template <typename T,
+          template <class> class MwmrT = reg::DirectMwmrRegister>
+class BoundedMwSnapshot {
+ public:
+  using Word = WordRecord<T>;
+  using WordRegister = MwmrT<Word>;
+  static_assert(reg::MwmrRegister<WordRegister, Word>);
+
+  /// n processes, m memory words, all initialized to `init`.
+  BoundedMwSnapshot(std::size_t n, std::size_t m, const T& init)
+      : n_(n), m_(m), p_(n), q_(n), per_process_(n) {
+    words_.reserve(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      words_.push_back(
+          std::make_unique<WordRegister>(n, Word{init, 0, false}));
+    }
+    views_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      views_.push_back(std::make_unique<reg::BigAtomicRegister<std::vector<T>>>(
+          std::vector<T>(m, init)));
+      per_process_[i].word_toggle.assign(m, 0);
+    }
+  }
+
+  std::size_t size() const { return n_; }
+  std::size_t words() const { return m_; }
+
+  /// Figure 4, procedure update_i(k, value).
+  void update(ProcessId i, std::size_t k, T value) {
+    ASNAP_ASSERT(i < n_ && k < m_);
+    WellFormednessGuard guard(per_process_[i].busy);
+
+    // Line 0: handshake — p_{i,j} := ¬q_{j,i}.
+    for (std::size_t j = 0; j < n_; ++j) {
+      const bool q_ji = q_.read(static_cast<ProcessId>(j), i);
+      p_.write(i, static_cast<ProcessId>(j), !q_ji);
+    }
+
+    // Line 1: embedded scan, published in the single-writer view register
+    // with one atomic write.
+    std::vector<T> view = scan_impl(i);
+    views_[i]->write(std::move(view));
+
+    // Lines 1.5-2: flip the local per-word toggle, write the word register.
+    PerProcess& me = per_process_[i];
+    me.word_toggle[k] ^= 1;
+    words_[k]->write(i, Word{std::move(value), i, me.word_toggle[k] != 0});
+    ++me.stats.updates;
+  }
+
+  /// Figure 4, procedure scan_i.
+  std::vector<T> scan(ProcessId i) {
+    ASNAP_ASSERT(i < n_);
+    WellFormednessGuard guard(per_process_[i].busy);
+    return scan_impl(i);
+  }
+
+  const ScanStats& stats(ProcessId i) const { return per_process_[i].stats; }
+
+ private:
+  struct alignas(kCacheLine) PerProcess {
+    std::vector<std::uint8_t> word_toggle;  ///< local t_k, saved across calls
+    ScanStats stats;
+    WellFormednessFlag busy;
+  };
+
+  void collect(ProcessId reader, std::vector<Word>& out) {
+    out.clear();
+    out.reserve(m_);
+    for (std::size_t k = 0; k < m_; ++k) {
+      out.push_back(words_[k]->read(reader));
+    }
+  }
+
+  std::vector<T> scan_impl(ProcessId i) {
+    PerProcess& me = per_process_[i];
+    std::vector<std::uint8_t> moved(n_, 0);
+    std::vector<std::uint8_t> q_local(n_, 0);
+    std::vector<std::uint8_t> h(n_, 0);
+    std::vector<Word> a;
+    std::vector<Word> b;
+    std::uint64_t attempts = 0;
+
+    for (;;) {
+      // Line 0.5: handshake — q_{i,j} := p_{j,i}.
+      for (std::size_t j = 0; j < n_; ++j) {
+        q_local[j] = p_.read(static_cast<ProcessId>(j), i) ? 1 : 0;
+        q_.write(i, static_cast<ProcessId>(j), q_local[j] != 0);
+      }
+
+      // Lines 1-2.5: two collects of the words, then the handshake bits.
+      collect(i, a);
+      collect(i, b);
+      for (std::size_t j = 0; j < n_; ++j) {
+        h[j] = p_.read(static_cast<ProcessId>(j), i) ? 1 : 0;
+      }
+      ++attempts;
+
+      // Line 3: nobody moved?
+      bool clean = true;
+      for (std::size_t j = 0; j < n_ && clean; ++j) {
+        if (q_local[j] != h[j]) clean = false;
+      }
+      for (std::size_t k = 0; k < m_ && clean; ++k) {
+        if (a[k].id != b[k].id || a[k].toggle != b[k].toggle) clean = false;
+      }
+      if (clean) {
+        finish_scan(me, attempts, /*borrowed=*/false);
+        std::vector<T> values;
+        values.reserve(m_);
+        for (std::size_t k = 0; k < m_; ++k) values.push_back(b[k].value);
+        return values;
+      }
+
+      // Lines 5-9: attribute changes; borrow view_j on the third offense.
+      for (std::size_t j = 0; j < n_; ++j) {
+        bool moved_now = q_local[j] != h[j];
+        if (!moved_now) {
+          for (std::size_t k = 0; k < m_; ++k) {
+            if (b[k].id == static_cast<ProcessId>(j) &&
+                (a[k].id != b[k].id || a[k].toggle != b[k].toggle)) {
+              moved_now = true;
+              break;
+            }
+          }
+        }
+        if (!moved_now) continue;
+        if (moved[j] == 2) {  // P_j moved three times: borrow its view
+          finish_scan(me, attempts, /*borrowed=*/true);
+          std::vector<T> view = views_[j]->read();
+          ASNAP_ASSERT(view.size() == m_);
+          return view;
+        }
+        ++moved[j];
+      }
+      ASNAP_ASSERT_MSG(attempts <= 2 * n_ + 1,
+                       "scan exceeded the 2n+1 double-collect bound");
+    }
+  }
+
+  void finish_scan(PerProcess& me, std::uint64_t attempts, bool borrowed) {
+    ++me.stats.scans;
+    me.stats.double_collects += attempts;
+    if (attempts > me.stats.max_double_collects) {
+      me.stats.max_double_collects = attempts;
+    }
+    if (borrowed) ++me.stats.borrowed_views;
+  }
+
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<std::unique_ptr<WordRegister>> words_;
+  reg::HandshakeMatrix p_;  ///< p_{i,j}: written by updater i, read by scanner j
+  reg::HandshakeMatrix q_;  ///< q_{i,j}: written by scanner i, read by updater j
+  std::vector<std::unique_ptr<reg::BigAtomicRegister<std::vector<T>>>> views_;
+  std::vector<PerProcess> per_process_;
+};
+
+}  // namespace asnap::core

@@ -1,0 +1,191 @@
+// Figure 3 of the paper: the bounded single-writer atomic snapshot.
+//
+// The unbounded sequence numbers of Figure 2 are replaced by per-pair
+// handshake bits plus a toggle bit:
+//
+//   * q_{i,j} — written by scanner P_i, read by updater P_j (its own
+//     1-writer 1-reader atomic bit register, reg::HandshakeMatrix).
+//   * p_{j,i} — written by updater P_j as a field of its register r_j
+//     (so it changes atomically with the value, toggle and view).
+//   * toggle(r_j) — flipped on every update so consecutive writes always
+//     change the register contents.
+//
+//   procedure scan_i                          procedure update_j(value)
+//     moved[*] := 0                             for i: f[i] := ¬q_{i,j}
+//     loop:                                     view := scan_j   /* embedded */
+//       for j: q_{i,j} := p_{j,i}(r_j)          r_j := (value, f,
+//       a := collect; b := collect                      ¬toggle(r_j), view)
+//       if forall j: p_{j,i}(a_j) = p_{j,i}(b_j) = q_{i,j}
+//                    and toggle(a_j) = toggle(b_j):
+//         return values(b)
+//       for j where the bits disagree:
+//         if moved[j] = 1: return view(b_j)
+//         moved[j] := 1
+//
+// Lemma 4.1's argument hinges on the handshake sequence: if the bits match
+// after the double collect, no update by P_j was serialized between the two
+// collect reads, because an update writes p_{j,i} := ¬q_{i,j} using a value
+// of q_{i,j} read BEFORE the scanner's handshake write.
+//
+// All register fields are bounded: the register carries |value| + n + 1 bits
+// of protocol state regardless of run length (experiment E8).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "core/snapshot_types.hpp"
+#include "reg/handshake.hpp"
+#include "reg/register_array.hpp"
+
+namespace asnap::core {
+
+/// Contents of register r_j in Figure 3. Written in one atomic write.
+template <typename T>
+struct BoundedRecord {
+  T value;
+  std::vector<std::uint8_t> p;  ///< handshake bits; p[i] is the paper's p_{j,i}
+  bool toggle = false;
+  std::vector<T> view;
+};
+
+template <typename T,
+          template <class> class ArrayT = reg::SharedMemoryRegisterArray>
+class BoundedSwSnapshot {
+ public:
+  using Record = BoundedRecord<T>;
+  using Array = ArrayT<Record>;
+
+  static Record initial_record(std::size_t n, const T& init) {
+    return Record{init, std::vector<std::uint8_t>(n, 0), false,
+                  std::vector<T>(n, init)};
+  }
+
+  BoundedSwSnapshot(std::size_t n, const T& init)
+      : regs_(n, initial_record(n, init)), q_(n), per_process_(n) {}
+
+  std::size_t size() const { return regs_.size(); }
+
+  /// Figure 3, procedure update_i.
+  void update(ProcessId i, T value) {
+    ASNAP_ASSERT(i < size());
+    WellFormednessGuard guard(per_process_[i].busy);
+    const std::size_t n = size();
+
+    // Line 0: collect handshake values f[j] := ¬q_{j,i}.
+    std::vector<std::uint8_t> f(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      f[j] = q_.read(static_cast<ProcessId>(j), i) ? 0 : 1;
+    }
+
+    // Line 1: embedded scan.
+    std::vector<T> view = scan_impl(i);
+
+    // Line 2: single atomic write of (value, f, ¬toggle, view).
+    PerProcess& me = per_process_[i];
+    me.toggle = !me.toggle;
+    regs_.write(i, Record{std::move(value), std::move(f), me.toggle,
+                          std::move(view)});
+    ++me.stats.updates;
+  }
+
+  /// Figure 3, procedure scan_i.
+  std::vector<T> scan(ProcessId i) {
+    ASNAP_ASSERT(i < size());
+    WellFormednessGuard guard(per_process_[i].busy);
+    return scan_impl(i);
+  }
+
+  const ScanStats& stats(ProcessId i) const { return per_process_[i].stats; }
+
+ private:
+  struct alignas(kCacheLine) PerProcess {
+    bool toggle = false;  ///< local copy of toggle(r_i)
+    ScanStats stats;
+    WellFormednessFlag busy;
+  };
+
+  void collect(ProcessId reader, std::vector<Record>& out) {
+    const std::size_t n = size();
+    out.clear();
+    out.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      out.push_back(regs_.read(static_cast<ProcessId>(j), reader));
+    }
+  }
+
+  std::vector<T> scan_impl(ProcessId i) {
+    const std::size_t n = size();
+    PerProcess& me = per_process_[i];
+    std::vector<std::uint8_t> moved(n, 0);
+    std::vector<std::uint8_t> q_local(n, 0);
+    std::vector<Record> a;
+    std::vector<Record> b;
+    std::uint64_t attempts = 0;
+
+    for (;;) {
+      // Line 0.5: handshake — q_{i,j} := p_{j,i}(r_j). Reading r_j is one
+      // primitive read; writing the bit register q_{i,j} is one write.
+      for (std::size_t j = 0; j < n; ++j) {
+        const Record r_j = regs_.read(static_cast<ProcessId>(j), i);
+        q_local[j] = r_j.p[i];
+        q_.write(i, static_cast<ProcessId>(j), q_local[j] != 0);
+      }
+
+      collect(i, a);
+      collect(i, b);
+      ++attempts;
+
+      // Line 3: nobody moved?
+      bool clean = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (a[j].p[i] != q_local[j] || b[j].p[i] != q_local[j] ||
+            a[j].toggle != b[j].toggle) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        finish_scan(me, attempts, /*borrowed=*/false);
+        std::vector<T> values;
+        values.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) values.push_back(b[j].value);
+        return values;
+      }
+
+      // Lines 5-9: attribute movement; borrow a view on the second offense.
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool moved_now = a[j].p[i] != q_local[j] ||
+                               b[j].p[i] != q_local[j] ||
+                               a[j].toggle != b[j].toggle;
+        if (!moved_now) continue;
+        if (moved[j] != 0) {
+          finish_scan(me, attempts, /*borrowed=*/true);
+          ASNAP_ASSERT(b[j].view.size() == n);
+          return b[j].view;
+        }
+        moved[j] = 1;
+      }
+      ASNAP_ASSERT_MSG(attempts <= n + 1,
+                       "scan exceeded the n+1 double-collect bound");
+    }
+  }
+
+  void finish_scan(PerProcess& me, std::uint64_t attempts, bool borrowed) {
+    ++me.stats.scans;
+    me.stats.double_collects += attempts;
+    if (attempts > me.stats.max_double_collects) {
+      me.stats.max_double_collects = attempts;
+    }
+    if (borrowed) ++me.stats.borrowed_views;
+  }
+
+  Array regs_;
+  reg::HandshakeMatrix q_;
+  std::vector<PerProcess> per_process_;
+};
+
+}  // namespace asnap::core

@@ -1,0 +1,113 @@
+// One-shot IMMEDIATE snapshot (Borowsky & Gafni, 1993) — the direct
+// successor of this paper's snapshot object, included as the "future
+// research" extension Section 6 anticipates ("is it possible to construct
+// yet more powerful primitives from registers?").
+//
+// An immediate snapshot combines the write and the scan into one operation
+// write_read(v) that returns a view (set of (process, value) pairs)
+// satisfying, for all i, j:
+//
+//   self-inclusion:  i ∈ view_i
+//   containment:     view_i ⊆ view_j  or  view_j ⊆ view_i
+//   immediacy:       j ∈ view_i  ⇒  view_j ⊆ view_i
+//
+// Immediacy is strictly stronger than what a write followed by a separate
+// scan gives (there, j ∈ view_i only implies containment *somewhere*, not
+// view_j ⊆ view_i), and it is the property that makes immediate snapshots
+// the combinatorial backbone of round-by-round distributed computing (the
+// standard chromatic subdivision of topology-based impossibility proofs).
+//
+// Algorithm (the classic level-descent / participating-set construction):
+// each process holds one SWMR register (value, level), level descending
+// from n+1. Repeatedly: decrement the level, publish it, collect, and let
+// S = processes at level <= mine; if |S| >= my level, return S's values.
+// Termination: at level 1, S contains at least the caller. O(n) iterations
+// of O(n) collects = O(n^2) primitive steps, wait-free — same cost class
+// as the paper's scans.
+//
+// One-shot object: each process may invoke write_read at most once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "core/snapshot_types.hpp"
+#include "reg/register_array.hpp"
+
+namespace asnap::core {
+
+template <typename T>
+class ImmediateSnapshot {
+ public:
+  /// One participant's contribution as seen in a returned view.
+  struct Entry {
+    ProcessId pid = kNoProcess;
+    T value{};
+  };
+
+  explicit ImmediateSnapshot(std::size_t n)
+      : regs_(n, Slot{}), per_process_(n) {}
+
+  std::size_t size() const { return regs_.size(); }
+
+  /// Write value and atomically obtain an immediate view of the
+  /// participants seen. May be called at most once per process id.
+  std::vector<Entry> write_read(ProcessId i, T value) {
+    ASNAP_ASSERT(i < size());
+    WellFormednessGuard guard(per_process_[i].busy);
+    ASNAP_ASSERT_MSG(!per_process_[i].done, "immediate snapshot is one-shot");
+    per_process_[i].done = true;
+
+    const std::size_t n = size();
+    std::size_t level = n + 1;
+    std::vector<Slot> view(n);
+    for (;;) {
+      ASNAP_ASSERT(level > 1);
+      --level;
+      regs_.write(i, Slot{true, level, value});
+      collect(i, view);
+      std::vector<Entry> seen;
+      seen.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (view[j].present && view[j].level <= level) {
+          seen.push_back(Entry{static_cast<ProcessId>(j), view[j].value});
+        }
+      }
+      if (seen.size() >= level) {
+        ++per_process_[i].stats.scans;
+        return seen;
+      }
+      ++per_process_[i].stats.double_collects;  // counts descent iterations
+    }
+  }
+
+  const ScanStats& stats(ProcessId i) const { return per_process_[i].stats; }
+
+ private:
+  struct Slot {
+    bool present = false;
+    std::size_t level = 0;  ///< announced descent level
+    T value{};
+  };
+
+  struct alignas(kCacheLine) PerProcess {
+    bool done = false;
+    ScanStats stats;
+    WellFormednessFlag busy;
+  };
+
+  void collect(ProcessId reader, std::vector<Slot>& out) {
+    for (std::size_t j = 0; j < size(); ++j) {
+      out[j] = regs_.read(static_cast<ProcessId>(j), reader);
+    }
+  }
+
+  reg::SharedMemoryRegisterArray<Slot> regs_;
+  std::vector<PerProcess> per_process_;
+};
+
+}  // namespace asnap::core

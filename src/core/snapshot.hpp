@@ -1,0 +1,20 @@
+// Umbrella header: the public API of the atomic-snapshots library.
+//
+//   #include "core/snapshot.hpp"
+//
+//   asnap::core::BoundedSwSnapshot<int> snap(/*n=*/4, /*init=*/0);
+//   snap.update(/*process=*/1, 42);
+//   std::vector<int> view = snap.scan(/*process=*/0);  // atomic snapshot
+//
+// See README.md for the full tour and DESIGN.md for the paper mapping.
+#pragma once
+
+#include "core/baselines/double_collect_snapshot.hpp"
+#include "core/baselines/mutex_snapshot.hpp"
+#include "core/baselines/seqlock_snapshot.hpp"
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/immediate_snapshot.hpp"
+#include "core/layered_mw_snapshot.hpp"
+#include "core/snapshot_types.hpp"
+#include "core/unbounded_sw_snapshot.hpp"

@@ -1,0 +1,142 @@
+// Shared vocabulary of the snapshot implementations: operation statistics,
+// concepts, and per-process handles.
+//
+// API model (mirrors the paper's interface actions, Figure 1):
+//   Single-writer snapshot object for n processes over value type T:
+//     void update(ProcessId i, T v);            // UpdateRequest_i(v)
+//     std::vector<T> scan(ProcessId i);         // ScanRequest_i
+//   Multi-writer snapshot object for n processes and m words:
+//     void update(ProcessId i, std::size_t k, T v);
+//     std::vector<T> scan(ProcessId i);
+//
+// Each process id may have at most one operation in flight at a time (the
+// paper's well-formedness condition); implementations assert this.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+
+namespace asnap::core {
+
+/// Per-process operation statistics, maintained by the paper algorithms.
+/// Only the owning process writes them; reading them concurrently from
+/// another thread is benign for benchmarking purposes (single-word fields).
+struct ScanStats {
+  std::uint64_t scans = 0;             ///< scans completed (incl. embedded)
+  std::uint64_t updates = 0;           ///< updates completed
+  std::uint64_t double_collects = 0;   ///< double collects executed
+  std::uint64_t borrowed_views = 0;    ///< scans that returned a borrowed view
+  std::uint64_t max_double_collects = 0;  ///< worst case over a single scan
+};
+
+/// Single-writer snapshot: word i written only by process i.
+template <typename S, typename T>
+concept SingleWriterSnapshot = requires(S s, const S cs, ProcessId i, T v) {
+  { cs.size() } -> std::convertible_to<std::size_t>;
+  s.update(i, std::move(v));
+  { s.scan(i) } -> std::convertible_to<std::vector<T>>;
+};
+
+/// Multi-writer snapshot: any process may write any of the m words.
+template <typename S, typename T>
+concept MultiWriterSnapshot =
+    requires(S s, const S cs, ProcessId i, std::size_t k, T v) {
+      { cs.size() } -> std::convertible_to<std::size_t>;
+      { cs.words() } -> std::convertible_to<std::size_t>;
+      s.update(i, k, std::move(v));
+      { s.scan(i) } -> std::convertible_to<std::vector<T>>;
+    };
+
+/// Detects concurrent operations issued under the same process id (a
+/// violation of the paper's well-formedness assumption, i.e. user error).
+/// Public operations arm it; embedded scans run under the already-armed
+/// guard of the enclosing update.
+class WellFormednessFlag {
+ public:
+  void enter() {
+    const bool was_busy = busy_.exchange(true, std::memory_order_acquire);
+    ASNAP_ASSERT_MSG(!was_busy,
+                     "two concurrent operations under one process id");
+  }
+  void exit() { busy_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> busy_{false};
+};
+
+class WellFormednessGuard {
+ public:
+  explicit WellFormednessGuard(WellFormednessFlag& flag) : flag_(flag) {
+    flag_.enter();
+  }
+  ~WellFormednessGuard() { flag_.exit(); }
+  WellFormednessGuard(const WellFormednessGuard&) = delete;
+  WellFormednessGuard& operator=(const WellFormednessGuard&) = delete;
+
+ private:
+  WellFormednessFlag& flag_;
+};
+
+/// Convenience view of a snapshot bound to one process id, so application
+/// code reads like the paper's per-process pseudocode.
+template <typename Snap>
+class ProcessHandle {
+ public:
+  ProcessHandle(Snap& snap, ProcessId pid) : snap_(&snap), pid_(pid) {}
+
+  ProcessId pid() const { return pid_; }
+
+  auto scan() { return snap_->scan(pid_); }
+
+  template <typename T>
+  void update(T&& v)
+    requires requires(Snap& s) { s.update(ProcessId{}, std::forward<T>(v)); }
+  {
+    snap_->update(pid_, std::forward<T>(v));
+  }
+
+  template <typename T>
+  void update(std::size_t word, T&& v)
+    requires requires(Snap& s) {
+      s.update(ProcessId{}, std::size_t{}, std::forward<T>(v));
+    }
+  {
+    snap_->update(pid_, word, std::forward<T>(v));
+  }
+
+ private:
+  Snap* snap_;
+  ProcessId pid_;
+};
+
+/// Adapts a multi-writer snapshot (with m == n) to the single-writer
+/// interface: process i writes word i. Used to run the Figure 4 algorithm
+/// through the single-writer exact linearizability checker.
+template <typename MwSnap>
+class SingleWriterAdapter {
+ public:
+  explicit SingleWriterAdapter(MwSnap& snap) : snap_(&snap) {
+    ASNAP_ASSERT_MSG(snap.words() == snap.size(),
+                     "SingleWriterAdapter requires m == n");
+  }
+
+  std::size_t size() const { return snap_->size(); }
+
+  template <typename T>
+  void update(ProcessId i, T&& v) {
+    snap_->update(i, static_cast<std::size_t>(i), std::forward<T>(v));
+  }
+
+  auto scan(ProcessId i) { return snap_->scan(i); }
+
+ private:
+  MwSnap* snap_;
+};
+
+}  // namespace asnap::core

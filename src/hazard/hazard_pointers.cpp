@@ -1,0 +1,211 @@
+#include "hazard/hazard_pointers.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace asnap::hazard {
+
+// ---------------------------------------------------------------------------
+// Orphan list: retirements inherited from exited threads.
+// ---------------------------------------------------------------------------
+
+struct Domain::OrphanList {
+  std::mutex mu;
+  std::vector<Retired> nodes;
+
+  ~OrphanList() {
+    // Static destruction: all threads must have exited; nothing can be
+    // protected any more, so free unconditionally.
+    for (const Retired& r : nodes) r.deleter(r.ptr);
+  }
+};
+
+Domain::OrphanList& Domain::orphans() const {
+  static OrphanList list;  // function-local so it outlives thread exits
+  return list;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread state: hazard record index + retire list.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Reclamation is attempted once the local retire list reaches this size.
+/// Amortizes the O(kMaxThreads * kSlotsPerThread) scan over many retirements.
+constexpr std::size_t kReclaimThreshold = 128;
+}  // namespace
+
+class ThreadState {
+ public:
+  explicit ThreadState(Domain& domain) : domain_(domain) {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (domain_.records_[i].active.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        record_index_ = i;
+        return;
+      }
+    }
+    ASNAP_ASSERT_MSG(false, "hazard domain: more than kMaxThreads threads");
+  }
+
+  ~ThreadState() {
+    // Free whatever is not protected; hand the remainder to the orphan list.
+    reclaim();
+    if (!retired_.empty()) {
+      std::lock_guard lock(domain_.orphans().mu);
+      auto& orphan_nodes = domain_.orphans().nodes;
+      orphan_nodes.insert(orphan_nodes.end(), retired_.begin(),
+                          retired_.end());
+      retired_.clear();
+    }
+    auto& rec = domain_.records_[record_index_];
+    for (auto& slot : rec.slots) slot.store(nullptr, std::memory_order_release);
+    rec.active.store(false, std::memory_order_release);
+  }
+
+  Domain::HazardRecord& record() { return domain_.records_[record_index_]; }
+
+  std::size_t acquire_slot() {
+    ASNAP_ASSERT_MSG(live_slots_ < Domain::kSlotsPerThread,
+                     "hazard guards nested too deeply");
+    return live_slots_++;
+  }
+
+  void release_slot(std::size_t slot) {
+    ASNAP_ASSERT(slot + 1 == live_slots_);
+    record().slots[slot].store(nullptr, std::memory_order_release);
+    --live_slots_;
+  }
+
+  void retire(Domain::Retired node) {
+    retired_.push_back(node);
+    domain_.retired_count_.fetch_add(1, std::memory_order_relaxed);
+    if (retired_.size() >= kReclaimThreshold) reclaim();
+  }
+
+  /// Frees every retired node not announced in any hazard slot.
+  void reclaim() {
+    adopt_orphans();
+    if (retired_.empty()) return;
+
+    std::vector<const void*> announced;
+    announced.reserve(kMaxThreads * Domain::kSlotsPerThread);
+    for (const auto& rec : domain_.records_) {
+      if (!rec.active.load(std::memory_order_acquire)) continue;
+      for (const auto& slot : rec.slots) {
+        // seq_cst pairs with the reader's seq_cst announce/validate pair:
+        // a node validated before we unlinked it must show up in this scan.
+        if (const void* p = slot.load(std::memory_order_seq_cst)) {
+          announced.push_back(p);
+        }
+      }
+    }
+    std::sort(announced.begin(), announced.end());
+
+    std::vector<Domain::Retired> kept;
+    kept.reserve(retired_.size());
+    std::size_t freed = 0;
+    for (const Domain::Retired& r : retired_) {
+      if (std::binary_search(announced.begin(), announced.end(),
+                             static_cast<const void*>(r.ptr))) {
+        kept.push_back(r);
+      } else {
+        r.deleter(r.ptr);
+        ++freed;
+      }
+    }
+    retired_.swap(kept);
+    domain_.retired_count_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Pull orphaned retirements into the local list so they get reclaimed.
+  void adopt_orphans() {
+    std::lock_guard lock(domain_.orphans().mu);
+    auto& orphan_nodes = domain_.orphans().nodes;
+    if (orphan_nodes.empty()) return;
+    retired_.insert(retired_.end(), orphan_nodes.begin(), orphan_nodes.end());
+    orphan_nodes.clear();
+  }
+
+  Domain& domain_;
+  std::size_t record_index_ = 0;
+  std::size_t live_slots_ = 0;
+  std::vector<Domain::Retired> retired_;
+};
+
+namespace {
+ThreadState& this_thread_state() {
+  thread_local ThreadState state(Domain::global());
+  return state;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Domain
+// ---------------------------------------------------------------------------
+
+Domain& Domain::global() {
+  static Domain domain;
+  return domain;
+}
+
+Domain::~Domain() = default;
+
+void* Domain::protect(const std::atomic<void*>& src, std::size_t slot) {
+  void* p = src.load(std::memory_order_acquire);
+  while (true) {
+    announce(p, slot);
+    void* revalidated = src.load(std::memory_order_seq_cst);
+    if (revalidated == p) return p;
+    p = revalidated;
+  }
+}
+
+void Domain::announce(void* p, std::size_t slot) {
+  ASNAP_ASSERT(slot < kSlotsPerThread);
+  // seq_cst: the announce must be globally visible before the re-validation
+  // load; an acquire/release pair is not enough to prevent the classic
+  // store-load reordering race with the reclaimer's scan.
+  this_thread_state().record().slots[slot].store(p, std::memory_order_seq_cst);
+}
+
+void Domain::clear(std::size_t slot) {
+  ASNAP_ASSERT(slot < kSlotsPerThread);
+  this_thread_state().record().slots[slot].store(nullptr,
+                                                 std::memory_order_release);
+}
+
+void Domain::retire(void* p, void (*deleter)(void*)) {
+  this_thread_state().retire(Retired{p, deleter});
+}
+
+void Domain::drain() { this_thread_state().reclaim(); }
+
+std::size_t Domain::retired_approx() const {
+  return retired_count_.load(std::memory_order_relaxed);
+}
+
+bool Domain::is_protected(const void* p) const {
+  for (const auto& rec : records_) {
+    if (!rec.active.load(std::memory_order_acquire)) continue;
+    for (const auto& slot : rec.slots) {
+      if (slot.load(std::memory_order_acquire) == p) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+Guard::Guard() : slot_(this_thread_state().acquire_slot()) {}
+
+Guard::~Guard() { this_thread_state().release_slot(slot_); }
+
+}  // namespace asnap::hazard

@@ -1,0 +1,130 @@
+// Hazard-pointer safe memory reclamation (Michael, 2004), built from scratch.
+//
+// Role in this reproduction: the registers of Afek et al.'s algorithms carry
+// wide payloads (a value, a view vector of n values, n handshake bits and a
+// toggle, all written in ONE atomic write). On real hardware a register of
+// arbitrary width is realized by publishing an immutable heap node through a
+// single atomic pointer (reg::BigAtomicRegister). Readers must be able to
+// dereference the published node without blocking writers and without
+// use-after-free — which is exactly the hazard-pointer protocol:
+//
+//   reader:  announce the pointer in a per-thread hazard slot, re-validate
+//            the source, then dereference; clear the slot when done.
+//   writer:  swing the pointer, then *retire* the old node; retired nodes
+//            are freed only when no hazard slot announces them.
+//
+// Reads are bounded except for the announce/validate race (retried only when
+// the writer moved in between, the same "interference" the paper's double
+// collects deal with one level up). Reclamation cost is amortized
+// O(kMaxThreads) per retired node.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/config.hpp"
+
+namespace asnap::hazard {
+
+/// Process-wide hazard-pointer domain. All registers in the library share
+/// this domain; per-thread state registers lazily on first use and flushes
+/// its retire list when the thread exits.
+class Domain {
+ public:
+  static constexpr std::size_t kSlotsPerThread = 4;
+
+  static Domain& global();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Protect the pointer currently stored in `src` using the given hazard
+  /// slot of the calling thread. Returns the protected pointer (possibly
+  /// null). On return, the pointee cannot be freed until clear()/re-protect.
+  void* protect(const std::atomic<void*>& src, std::size_t slot);
+
+  /// Announce an already-loaded pointer without validation. Caller must
+  /// re-validate the source itself before dereferencing.
+  void announce(void* p, std::size_t slot);
+
+  /// Clear one hazard slot of the calling thread.
+  void clear(std::size_t slot);
+
+  /// Hand a node to the domain for deferred deletion.
+  void retire(void* p, void (*deleter)(void*));
+
+  /// Best-effort synchronous reclamation pass over the calling thread's
+  /// retire list and the orphan list. Used by tests and at quiescent points;
+  /// never required for correctness.
+  void drain();
+
+  /// Approximate number of nodes awaiting reclamation (tests only).
+  std::size_t retired_approx() const;
+
+  /// True if `p` is currently announced by any thread (tests only).
+  bool is_protected(const void* p) const;
+
+ private:
+  Domain() = default;
+  ~Domain();
+
+  struct alignas(kCacheLine) HazardRecord {
+    std::atomic<void*> slots[kSlotsPerThread];
+    std::atomic<bool> active{false};
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  friend class ThreadState;
+
+  HazardRecord records_[kMaxThreads];
+  std::atomic<std::size_t> retired_count_{0};
+
+  // Orphan list: retirements left over from exited threads, protected by a
+  // lock (touched only at thread exit and during drain()).
+  struct OrphanList;
+  OrphanList& orphans() const;
+};
+
+/// RAII protection of a single pointer. Acquires a free hazard slot of the
+/// calling thread; at most kSlotsPerThread guards may nest per thread.
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  /// Protect and return the pointer currently in `src`: announce, then
+  /// re-validate that the source still holds the announced pointer. The loop
+  /// re-runs only if a writer moved the pointer in between.
+  template <typename T>
+  T* protect(const std::atomic<T*>& src) {
+    T* p = src.load(std::memory_order_acquire);
+    while (true) {
+      Domain::global().announce(p, slot_);
+      // seq_cst load pairs with the seq_cst announce store: the announce is
+      // globally ordered before this re-validation, so a reclaimer that
+      // retires the node after our validation must observe the announcement.
+      T* revalidated = src.load(std::memory_order_seq_cst);
+      if (revalidated == p) return p;
+      p = revalidated;
+    }
+  }
+
+  void clear() { Domain::global().clear(slot_); }
+
+ private:
+  std::size_t slot_;
+};
+
+/// Retire a node allocated with new.
+template <typename T>
+void retire_object(T* p) {
+  Domain::global().retire(p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+}  // namespace asnap::hazard

@@ -1,0 +1,29 @@
+#include "lin/history.hpp"
+
+namespace asnap::lin {
+
+Recorder::Recorder(std::size_t num_words) { history_.num_words = num_words; }
+
+Time Recorder::tick() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+void Recorder::add_update(ProcessId proc, std::size_t word, Tag tag, Time inv,
+                          Time res) {
+  std::lock_guard lock(mu_);
+  history_.updates.push_back(UpdateOp{proc, word, tag, inv, res});
+}
+
+void Recorder::add_scan(ProcessId proc, std::vector<Tag> view, Time inv,
+                        Time res) {
+  std::lock_guard lock(mu_);
+  history_.scans.push_back(ScanOp{proc, std::move(view), inv, res});
+}
+
+History Recorder::take() {
+  std::lock_guard lock(mu_);
+  History out = std::move(history_);
+  history_ = History{};
+  history_.num_words = out.num_words;
+  return out;
+}
+
+}  // namespace asnap::lin

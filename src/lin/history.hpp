@@ -1,0 +1,88 @@
+// Operation histories and their recording.
+//
+// To verify that an implementation "is a behavior of SWS" (the paper's
+// Figure 1 automaton) we record, for every operation, its invocation and
+// response instants on a global logical clock plus its payload, and then ask
+// the checkers in snapshot_checker.hpp / wing_gong.hpp whether internal
+// Scan/Update serialization points can be placed inside every interval such
+// that the resulting sequence is a schedule of SWS — i.e. linearizability
+// [HW87], exactly the correctness notion the paper proves.
+//
+// Values are abstracted to Tags: (writer, per-writer sequence number).
+// Tests run the snapshot objects over T = Tag so every written value is
+// globally unique, which makes the reads-from relation of a history
+// unambiguous and checking tractable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace asnap::lin {
+
+using Time = std::uint64_t;
+
+/// Unique identity of a written value. seq is 1-based per writer; the
+/// initial register contents carry Tag{} (writer == kNoProcess, seq == 0).
+struct Tag {
+  ProcessId writer = kNoProcess;
+  std::uint64_t seq = 0;
+
+  bool operator==(const Tag&) const = default;
+  bool is_initial() const { return seq == 0; }
+};
+
+struct UpdateOp {
+  ProcessId proc = 0;    ///< invoking process
+  std::size_t word = 0;  ///< memory word written
+  Tag tag;               ///< unique tag of the written value
+  Time inv = 0;
+  Time res = 0;
+};
+
+struct ScanOp {
+  ProcessId proc = 0;
+  std::vector<Tag> view;  ///< tag observed for each word
+  Time inv = 0;
+  Time res = 0;
+};
+
+struct History {
+  std::size_t num_words = 0;
+  std::vector<UpdateOp> updates;
+  std::vector<ScanOp> scans;
+
+  std::size_t total_ops() const { return updates.size() + scans.size(); }
+};
+
+/// Thread-safe history recorder with its own logical clock. tick() is a
+/// single atomic increment, so invocation/response stamps embed the
+/// real-time order: res(A) < inv(B) implies A completed before B started.
+class Recorder {
+ public:
+  explicit Recorder(std::size_t num_words);
+
+  /// Advance and return the logical clock. Call immediately before an
+  /// operation begins (invocation stamp) and immediately after it returns
+  /// (response stamp).
+  Time tick();
+
+  void add_update(ProcessId proc, std::size_t word, Tag tag, Time inv,
+                  Time res);
+  void add_scan(ProcessId proc, std::vector<Tag> view, Time inv, Time res);
+
+  /// Move the accumulated history out (quiescent point only).
+  History take();
+
+ private:
+  std::mutex mu_;
+  std::atomic<Time> clock_{0};
+  History history_;
+};
+
+}  // namespace asnap::lin

@@ -1,0 +1,110 @@
+#include "lin/history_io.hpp"
+
+#include <sstream>
+
+namespace asnap::lin {
+
+namespace {
+
+std::string tag_to_string(const Tag& tag) {
+  if (tag.is_initial()) return "-";
+  return std::to_string(tag.writer) + ":" + std::to_string(tag.seq);
+}
+
+bool parse_tag(const std::string& token, Tag& out) {
+  if (token == "-") {
+    out = Tag{};
+    return true;
+  }
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    out.writer = static_cast<ProcessId>(
+        std::stoul(token.substr(0, colon)));
+    out.seq = std::stoull(token.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return out.seq != 0;  // "w:0" would collide with the initial tag
+}
+
+}  // namespace
+
+std::string dump_history(const History& history) {
+  std::ostringstream os;
+  os << "# asnap history v1\n";
+  os << "words " << history.num_words << "\n";
+  for (const UpdateOp& u : history.updates) {
+    os << "U " << u.proc << " " << u.word << " " << u.tag.writer << " "
+       << u.tag.seq << " " << u.inv << " " << u.res << "\n";
+  }
+  for (const ScanOp& s : history.scans) {
+    os << "S " << s.proc << " " << s.inv << " " << s.res;
+    for (const Tag& t : s.view) os << " " << tag_to_string(t);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<History> parse_history(const std::string& text,
+                                     std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<History> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  History history;
+  bool have_words = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (kind == "words") {
+      if (!(ls >> history.num_words) || history.num_words == 0) {
+        return fail("bad words line" + where);
+      }
+      have_words = true;
+    } else if (kind == "U") {
+      if (!have_words) return fail("U before words" + where);
+      UpdateOp u;
+      if (!(ls >> u.proc >> u.word >> u.tag.writer >> u.tag.seq >> u.inv >>
+            u.res)) {
+        return fail("bad update line" + where);
+      }
+      if (u.tag.seq == 0) return fail("update with seq 0" + where);
+      history.updates.push_back(u);
+    } else if (kind == "S") {
+      if (!have_words) return fail("S before words" + where);
+      ScanOp s;
+      if (!(ls >> s.proc >> s.inv >> s.res)) {
+        return fail("bad scan line" + where);
+      }
+      std::string token;
+      while (ls >> token) {
+        Tag tag;
+        if (!parse_tag(token, tag)) {
+          return fail("bad tag '" + token + "'" + where);
+        }
+        s.view.push_back(tag);
+      }
+      if (s.view.size() != history.num_words) {
+        return fail("scan view width mismatch" + where);
+      }
+      history.scans.push_back(std::move(s));
+    } else {
+      return fail("unknown record '" + kind + "'" + where);
+    }
+  }
+  if (!have_words) return fail("missing words header");
+  return history;
+}
+
+}  // namespace asnap::lin

@@ -1,0 +1,31 @@
+// Plain-text serialization of operation histories.
+//
+// Format (one op per line, '#' comments, blank lines ignored):
+//
+//   words <m>
+//   U <proc> <word> <writer> <seq> <inv> <res>
+//   S <proc> <inv> <res> <tag_1> ... <tag_m>
+//
+// where each scan tag is "writer:seq" or "-" for the initial value.
+//
+// Lets a failing stress run be saved, attached to a bug report, replayed
+// through all three checkers (tools/check_history), and minimized by hand.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "lin/history.hpp"
+
+namespace asnap::lin {
+
+/// Serialize to the text format.
+std::string dump_history(const History& history);
+
+/// Parse the text format; returns nullopt (with a message in *error if
+/// provided) on malformed input.
+std::optional<History> parse_history(const std::string& text,
+                                     std::string* error = nullptr);
+
+}  // namespace asnap::lin

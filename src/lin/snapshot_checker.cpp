@@ -1,0 +1,288 @@
+#include "lin/snapshot_checker.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace asnap::lin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constraint digraph with O(N) real-time encoding.
+//
+// Node layout: [0, N)         — operations
+//              [N, 2N)        — time nodes, one per operation, sorted by inv
+// Edges:   T_k -> T_{k+1}                 (time advances)
+//          T_k -> op(k)                   (an op may start at its inv point)
+//          op  -> T_j, j = first time node with inv > res(op)
+//          reads-from edges supplied by the caller
+// A path op X ->* op Y through the chain exists iff res(X) < inv(Y),
+// so cycles in this graph are exactly violations of (real-time + forced)
+// precedence.
+// ---------------------------------------------------------------------------
+class PrecedenceGraph {
+ public:
+  struct Interval {
+    Time inv;
+    Time res;
+  };
+
+  explicit PrecedenceGraph(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)), n_(intervals_.size()) {
+    adj_.assign(2 * n_, {});
+    by_inv_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) by_inv_[i] = i;
+    std::sort(by_inv_.begin(), by_inv_.end(), [&](std::size_t a, std::size_t b) {
+      return intervals_[a].inv < intervals_[b].inv;
+    });
+    sorted_invs_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      sorted_invs_[k] = intervals_[by_inv_[k]].inv;
+    }
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (k + 1 < n_) add_edge(time_node(k), time_node(k + 1));
+      add_edge(time_node(k), by_inv_[k]);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      // First time node whose inv exceeds res(i).
+      const auto it = std::upper_bound(sorted_invs_.begin(),
+                                       sorted_invs_.end(), intervals_[i].res);
+      if (it != sorted_invs_.end()) {
+        const std::size_t k =
+            static_cast<std::size_t>(it - sorted_invs_.begin());
+        add_edge(i, time_node(k));
+      }
+    }
+  }
+
+  /// Forced precedence: operation `before` serializes before `after`.
+  void add_precedence(std::size_t before, std::size_t after) {
+    ASNAP_ASSERT(before < n_ && after < n_);
+    add_edge(before, after);
+  }
+
+  /// True iff the graph is acyclic (Kahn's algorithm).
+  bool acyclic() const {
+    const std::size_t total = 2 * n_;
+    std::vector<std::uint32_t> indegree(total, 0);
+    for (const auto& edges : adj_) {
+      for (std::size_t to : edges) ++indegree[to];
+    }
+    std::vector<std::size_t> ready;
+    ready.reserve(total);
+    for (std::size_t v = 0; v < total; ++v) {
+      if (indegree[v] == 0) ready.push_back(v);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      const std::size_t v = ready.back();
+      ready.pop_back();
+      ++visited;
+      for (std::size_t to : adj_[v]) {
+        if (--indegree[to] == 0) ready.push_back(to);
+      }
+    }
+    return visited == total;
+  }
+
+ private:
+  std::size_t time_node(std::size_t k) const { return n_ + k; }
+  void add_edge(std::size_t from, std::size_t to) { adj_[from].push_back(to); }
+
+  std::vector<Interval> intervals_;
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> by_inv_;  ///< op index by ascending inv
+  std::vector<Time> sorted_invs_;
+};
+
+std::string describe_scan(const ScanOp& scan) {
+  std::ostringstream os;
+  os << "scan by P" << scan.proc << " [" << scan.inv << "," << scan.res << ")";
+  return os.str();
+}
+
+/// Updates of one word, indexed by position in the word's write order.
+struct WordWrites {
+  // updates_by_seq[s-1] = index (into history.updates) of the write with
+  // per-word position s. Only meaningful when the per-word order is total
+  // (single-writer case).
+  std::vector<std::size_t> by_seq;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Single-writer exact check
+// ---------------------------------------------------------------------------
+
+CheckResult check_single_writer(const History& history) {
+  const std::size_t words = history.num_words;
+
+  // --- Well-formedness + per-word write order -----------------------------
+  std::vector<WordWrites> writes(words);
+  {
+    // Updates by one process are sequential; order them by invocation.
+    std::vector<std::size_t> order(history.updates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return history.updates[a].inv < history.updates[b].inv;
+    });
+    for (std::size_t idx : order) {
+      const UpdateOp& u = history.updates[idx];
+      if (u.word >= words) return "update to out-of-range word";
+      if (u.word != u.proc) {
+        return "single-writer checker: process " + std::to_string(u.proc) +
+               " wrote word " + std::to_string(u.word);
+      }
+      if (u.tag.writer != u.proc) return "update tag writer mismatch";
+      WordWrites& w = writes[u.word];
+      if (u.tag.seq != w.by_seq.size() + 1) {
+        return "updates by P" + std::to_string(u.proc) +
+               " have non-consecutive sequence numbers";
+      }
+      w.by_seq.push_back(idx);
+    }
+  }
+
+  for (const ScanOp& s : history.scans) {
+    if (s.view.size() != words) return describe_scan(s) + ": wrong view width";
+    for (std::size_t j = 0; j < words; ++j) {
+      const Tag& t = s.view[j];
+      if (t.is_initial()) continue;
+      if (t.writer != j) {
+        return describe_scan(s) + ": word " + std::to_string(j) +
+               " holds a tag by P" + std::to_string(t.writer);
+      }
+      if (t.seq > writes[j].by_seq.size()) {
+        return describe_scan(s) + ": word " + std::to_string(j) +
+               " holds tag seq " + std::to_string(t.seq) +
+               " which was never written";
+      }
+    }
+  }
+
+  // --- Constraint graph ----------------------------------------------------
+  // Node ids: updates first, then scans.
+  const std::size_t num_updates = history.updates.size();
+  std::vector<PrecedenceGraph::Interval> intervals;
+  intervals.reserve(history.total_ops());
+  for (const UpdateOp& u : history.updates) intervals.push_back({u.inv, u.res});
+  for (const ScanOp& s : history.scans) intervals.push_back({s.inv, s.res});
+
+  PrecedenceGraph graph(std::move(intervals));
+
+  for (std::size_t si = 0; si < history.scans.size(); ++si) {
+    const ScanOp& s = history.scans[si];
+    const std::size_t scan_node = num_updates + si;
+    for (std::size_t j = 0; j < words; ++j) {
+      const Tag& t = s.view[j];
+      const std::uint64_t seq = t.seq;
+      if (seq > 0) {
+        graph.add_precedence(writes[j].by_seq[seq - 1], scan_node);
+      }
+      if (seq < writes[j].by_seq.size()) {
+        graph.add_precedence(scan_node, writes[j].by_seq[seq]);
+      }
+    }
+  }
+
+  if (!graph.acyclic()) {
+    return std::string(
+        "no serialization exists: precedence constraints are cyclic "
+        "(a scan's view is inconsistent with real-time order)");
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer forced-edge check (sound, not complete)
+// ---------------------------------------------------------------------------
+
+CheckResult check_multi_writer_forced(const History& history) {
+  const std::size_t words = history.num_words;
+  const std::size_t num_updates = history.updates.size();
+
+  // Map tag -> update index, and collect each process's writes per word in
+  // invocation order (same-writer same-word order is forced).
+  std::map<std::pair<ProcessId, std::uint64_t>, std::size_t> by_tag;
+  std::map<std::pair<ProcessId, std::size_t>, std::vector<std::size_t>>
+      writer_word_writes;
+  {
+    std::vector<std::size_t> order(num_updates);
+    for (std::size_t i = 0; i < num_updates; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return history.updates[a].inv < history.updates[b].inv;
+    });
+    for (std::size_t idx : order) {
+      const UpdateOp& u = history.updates[idx];
+      if (u.word >= words) return "update to out-of-range word";
+      if (u.tag.is_initial()) return "update carries the initial tag";
+      const auto [it, inserted] =
+          by_tag.emplace(std::make_pair(u.tag.writer, u.tag.seq), idx);
+      if (!inserted) return "duplicate update tag";
+      writer_word_writes[{u.proc, u.word}].push_back(idx);
+    }
+  }
+
+  std::vector<PrecedenceGraph::Interval> intervals;
+  intervals.reserve(history.total_ops());
+  for (const UpdateOp& u : history.updates) intervals.push_back({u.inv, u.res});
+  for (const ScanOp& s : history.scans) intervals.push_back({s.inv, s.res});
+  PrecedenceGraph graph(std::move(intervals));
+
+  for (std::size_t si = 0; si < history.scans.size(); ++si) {
+    const ScanOp& s = history.scans[si];
+    if (s.view.size() != words) return describe_scan(s) + ": wrong view width";
+    const std::size_t scan_node = num_updates + si;
+    for (std::size_t k = 0; k < words; ++k) {
+      const Tag& t = s.view[k];
+      if (t.is_initial()) {
+        // The scan precedes every write to word k by any single writer's
+        // FIRST write? Not forced in general (another writer's value could
+        // have been overwritten back?) — values are unique, so an initial
+        // view of word k forces the scan before every write to k.
+        for (const auto& [key, idxs] : writer_word_writes) {
+          if (key.second == k && !idxs.empty()) {
+            graph.add_precedence(scan_node, idxs.front());
+          }
+        }
+        continue;
+      }
+      const auto it = by_tag.find({t.writer, t.seq});
+      if (it == by_tag.end()) {
+        return describe_scan(s) + ": word " + std::to_string(k) +
+               " holds tag (P" + std::to_string(t.writer) + "," +
+               std::to_string(t.seq) + ") never written";
+      }
+      const UpdateOp& u = history.updates[it->second];
+      if (u.word != k) {
+        return describe_scan(s) + ": word " + std::to_string(k) +
+               " holds a tag written to word " + std::to_string(u.word);
+      }
+      // Forced: the observed write precedes the scan...
+      graph.add_precedence(it->second, scan_node);
+      // ...and the scan precedes the same writer's NEXT write to this word
+      // (otherwise that later write — which follows the observed one in
+      // every linearization — would already have overwritten word k).
+      const auto& mine = writer_word_writes[{u.proc, k}];
+      const auto pos = std::find(mine.begin(), mine.end(), it->second);
+      ASNAP_ASSERT(pos != mine.end());
+      if (pos + 1 != mine.end()) {
+        graph.add_precedence(scan_node, *(pos + 1));
+      }
+    }
+  }
+
+  if (!graph.acyclic()) {
+    return std::string(
+        "multi-writer violation: forced precedence constraints are cyclic");
+  }
+  return std::nullopt;
+}
+
+}  // namespace asnap::lin

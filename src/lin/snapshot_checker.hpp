@@ -1,0 +1,45 @@
+// Polynomial-time linearizability checkers for snapshot histories.
+//
+// check_single_writer() — exact (sound AND complete) for single-writer
+// histories, i.e. word j is written only by process j. Why completeness
+// holds: with unique tags and a single writer per word, every scan's
+// position relative to EVERY update of word j is forced — the scan that
+// returned (j, s) must serialize after update (j, s) and before update
+// (j, s+1). All constraints are therefore simple precedence edges
+// (no disjunctions), and a linearization exists iff the constraint digraph
+//
+//      real-time edges  (res(X) < inv(Y)  =>  X -> Y)
+//    + reads-from edges (U_{j,s} -> S -> U_{j,s+1} for each word j)
+//
+// is acyclic. Real-time edges are encoded in O(N) using a chain of
+// time-nodes (one per invocation instant, sorted) instead of O(N^2)
+// explicit edges.
+//
+// check_multi_writer_forced() — sound but not complete for multi-writer
+// histories: with several writers per word, a scan's order against writes
+// it did NOT observe is not forced, so only forced edges are checked
+// (observed reads-from + same-writer order + real time). Any cycle is a
+// genuine violation; absence of cycles does not prove linearizability.
+// Small multi-writer histories are checked exactly by wing_gong.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lin/history.hpp"
+
+namespace asnap::lin {
+
+/// Result of a check: empty optional means the history is accepted;
+/// otherwise a human-readable description of the violation found.
+using CheckResult = std::optional<std::string>;
+
+/// Exact check for single-writer snapshot histories (word j written only by
+/// process j, tags (j, 1), (j, 2), ... in order). Also validates that the
+/// history is well-formed (tags in range, views of the right width).
+CheckResult check_single_writer(const History& history);
+
+/// Sound (violation-only) check for multi-writer snapshot histories.
+CheckResult check_multi_writer_forced(const History& history);
+
+}  // namespace asnap::lin

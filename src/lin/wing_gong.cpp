@@ -1,0 +1,109 @@
+#include "lin/wing_gong.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace asnap::lin {
+namespace {
+
+struct Op {
+  bool is_scan = false;
+  std::size_t word = 0;           // updates only
+  Tag tag;                        // updates only
+  const std::vector<Tag>* view = nullptr;  // scans only
+  Time inv = 0;
+  Time res = 0;
+};
+
+// Full (mask, memory) key — exact, so a memo hit can never cause a spurious
+// "not linearizable" verdict the way a truncated hash could.
+struct StateKey {
+  std::uint64_t mask;
+  std::vector<Tag> mem;
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const {
+    std::uint64_t h = k.mask;
+    for (const Tag& t : k.mem) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(t.writer) << 32) ^
+                              t.seq;
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Searcher {
+ public:
+  Searcher(std::vector<Op> ops, std::size_t words)
+      : ops_(std::move(ops)), mem_(words, Tag{}) {}
+
+  bool search() { return dfs(0); }
+
+ private:
+  bool dfs(std::uint64_t mask) {
+    const std::uint64_t full = (ops_.size() == 64)
+                                   ? ~0ULL
+                                   : ((1ULL << ops_.size()) - 1);
+    if (mask == full) return true;
+    if (!visited_.insert(StateKey{mask, mem_}).second) return false;
+
+    // Minimal pending response bounds which ops may be linearized next.
+    Time min_res = ~Time{0};
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (1ULL << i)) continue;
+      min_res = std::min(min_res, ops_[i].res);
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (1ULL << i)) continue;
+      const Op& op = ops_[i];
+      if (op.inv > min_res) continue;  // some pending op finished before it
+      if (op.is_scan) {
+        if (*op.view != mem_) continue;  // view must match abstract state
+        if (dfs(mask | (1ULL << i))) return true;
+      } else {
+        const Tag saved = mem_[op.word];
+        mem_[op.word] = op.tag;
+        if (dfs(mask | (1ULL << i))) return true;
+        mem_[op.word] = saved;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Op> ops_;
+  std::vector<Tag> mem_;
+  std::unordered_set<StateKey, StateKeyHash> visited_;
+};
+
+}  // namespace
+
+WgVerdict wing_gong_check(const History& history, std::size_t max_ops) {
+  const std::size_t n = history.total_ops();
+  if (n > std::min<std::size_t>(max_ops, 62)) return WgVerdict::kTooLarge;
+
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (const UpdateOp& u : history.updates) {
+    ops.push_back(Op{false, u.word, u.tag, nullptr, u.inv, u.res});
+  }
+  for (const ScanOp& s : history.scans) {
+    if (s.view.size() != history.num_words) {
+      return WgVerdict::kNotLinearizable;
+    }
+    ops.push_back(Op{true, 0, Tag{}, &s.view, s.inv, s.res});
+  }
+
+  Searcher searcher(std::move(ops), history.num_words);
+  return searcher.search() ? WgVerdict::kLinearizable
+                           : WgVerdict::kNotLinearizable;
+}
+
+}  // namespace asnap::lin

@@ -1,0 +1,37 @@
+// Exhaustive linearizability checker (Wing & Gong, 1993 style) against the
+// sequential snapshot specification — the reference oracle of this library.
+//
+// Searches over all serialization orders consistent with real time: an
+// operation may be linearized next only if no other pending operation's
+// response precedes its invocation. Updates mutate the abstract memory
+// (vector of tags); a scan is admissible only if its view equals the
+// abstract memory exactly.
+//
+// Exponential in history size, so it is reserved for:
+//   * small multi-writer histories, where the polynomial checker is only
+//     sound (not complete), and
+//   * cross-validating the polynomial single-writer checker on randomized
+//     histories (checker-on-checker tests).
+//
+// Memoization on (linearized-set, memory-state) keeps practical histories of
+// up to ~24 operations tractable.
+#pragma once
+
+#include <cstddef>
+
+#include "lin/history.hpp"
+
+namespace asnap::lin {
+
+enum class WgVerdict {
+  kLinearizable,
+  kNotLinearizable,
+  kTooLarge,  ///< history exceeds max_ops; no verdict
+};
+
+/// Exhaustively decide linearizability of `history` against the snapshot
+/// specification. Histories with more than `max_ops` operations (default 28,
+/// hard cap 62) yield kTooLarge.
+WgVerdict wing_gong_check(const History& history, std::size_t max_ops = 28);
+
+}  // namespace asnap::lin

@@ -1,0 +1,114 @@
+#include "net/network.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace asnap::net {
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    pending_.push_back(std::move(m));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Message> Mailbox::receive() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return std::nullopt;  // closed and drained
+  const std::size_t pick = rng_.below(pending_.size());
+  Message out = std::move(pending_[pick]);
+  pending_[pick] = std::move(pending_.back());
+  pending_.pop_back();
+  return out;
+}
+
+std::optional<Message> Mailbox::try_receive() {
+  std::lock_guard lock(mu_);
+  if (pending_.empty()) return std::nullopt;
+  const std::size_t pick = rng_.below(pending_.size());
+  Message out = std::move(pending_[pick]);
+  pending_[pick] = std::move(pending_.back());
+  pending_.pop_back();
+  return out;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Network::Network(std::size_t nodes, std::uint64_t seed)
+    : nodes_(nodes), crashed_(nodes), link_down_(nodes * nodes) {
+  server_boxes_.reserve(nodes);
+  client_boxes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    server_boxes_.push_back(std::make_unique<Mailbox>(seed * 2654435761ULL + i));
+    client_boxes_.push_back(
+        std::make_unique<Mailbox>(seed * 40503ULL + i + 7919));
+    crashed_[i].store(false, std::memory_order_relaxed);
+  }
+  for (auto& link : link_down_) link.store(false, std::memory_order_relaxed);
+}
+
+void Network::send(NodeId from, NodeId to, Port port, std::uint64_t type,
+                   std::uint64_t rid, std::any payload) {
+  ASNAP_ASSERT(from < nodes_ && to < nodes_);
+  if (crashed(from) || crashed(to)) return;  // fail-stop: traffic vanishes
+  if (!link_ok(from, to)) return;            // severed link: message lost
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  mailbox(to, port).push(Message{from, type, rid, std::move(payload)});
+}
+
+void Network::broadcast(NodeId from, Port port, std::uint64_t type,
+                        std::uint64_t rid, const std::any& payload) {
+  for (NodeId to = 0; to < nodes_; ++to) {
+    send(from, to, port, type, rid, payload);
+  }
+}
+
+Mailbox& Network::mailbox(NodeId node, Port port) {
+  ASNAP_ASSERT(node < nodes_);
+  return port == Port::kServer ? *server_boxes_[node] : *client_boxes_[node];
+}
+
+void Network::crash(NodeId node) {
+  ASNAP_ASSERT(node < nodes_);
+  crashed_[node].store(true, std::memory_order_release);
+  server_boxes_[node]->close();
+  client_boxes_[node]->close();
+}
+
+bool Network::crashed(NodeId node) const {
+  return crashed_[node].load(std::memory_order_acquire);
+}
+
+void Network::cut_link(NodeId a, NodeId b) {
+  ASNAP_ASSERT(a < nodes_ && b < nodes_);
+  link_down_[static_cast<std::size_t>(a) * nodes_ + b].store(
+      true, std::memory_order_release);
+  link_down_[static_cast<std::size_t>(b) * nodes_ + a].store(
+      true, std::memory_order_release);
+}
+
+bool Network::link_ok(NodeId from, NodeId to) const {
+  return !link_down_[static_cast<std::size_t>(from) * nodes_ + to].load(
+      std::memory_order_acquire);
+}
+
+std::size_t Network::alive_count() const {
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    if (!crashed_[i].load(std::memory_order_acquire)) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace asnap::net

@@ -1,0 +1,115 @@
+// Simulated asynchronous message-passing network.
+//
+// Substrate for Section 6's remark that "by applying the emulators of [ABD]
+// to the constructions presented in this paper, implementations of atomic
+// snapshot memory are obtained in message-passing systems ... resilient to
+// process and link failures, as long as a majority of the system remains
+// connected."
+//
+// Model: n nodes, each with a server mailbox (replica protocol) and a client
+// mailbox (quorum replies). Delivery is reliable but asynchronous: receive()
+// pops a uniformly random pending message (seeded), so messages are
+// arbitrarily reordered, and threads interleave arbitrarily. Crashed nodes
+// silently drop all traffic in both directions — the fail-stop model of
+// [ABD]. This is a substitution for a real cluster (see DESIGN.md §6): it
+// preserves asynchrony, reordering and minority-crash behaviour, which is
+// what the emulation claim is about.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace asnap::net {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  NodeId from = 0;
+  std::uint64_t type = 0;  ///< protocol-defined discriminator
+  std::uint64_t rid = 0;   ///< request id for RPC matching
+  std::any payload;
+};
+
+/// Which of a node's two mailboxes a message targets.
+enum class Port : std::uint8_t {
+  kServer = 0,  ///< replica protocol handler
+  kClient = 1,  ///< quorum replies to an in-flight client operation
+};
+
+/// Unordered mailbox: receive() returns a random pending message.
+class Mailbox {
+ public:
+  explicit Mailbox(std::uint64_t seed) : rng_(seed) {}
+
+  void push(Message m);
+
+  /// Blocks until a message is available or the mailbox is closed.
+  /// Returns nullopt only after close().
+  std::optional<Message> receive();
+
+  /// Non-blocking variant.
+  std::optional<Message> try_receive();
+
+  /// Wakes all receivers; subsequent receives drain what is pending, then
+  /// return nullopt. Pushes after close are dropped.
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Message> pending_;
+  Rng rng_;
+  bool closed_ = false;
+};
+
+class Network {
+ public:
+  Network(std::size_t nodes, std::uint64_t seed);
+
+  std::size_t size() const { return nodes_; }
+
+  /// Deliver (eventually) to the target's mailbox; dropped if either end
+  /// has crashed or the mailbox is closed.
+  void send(NodeId from, NodeId to, Port port, std::uint64_t type,
+            std::uint64_t rid, std::any payload);
+
+  /// Send to every node including `from` itself.
+  void broadcast(NodeId from, Port port, std::uint64_t type,
+                 std::uint64_t rid, const std::any& payload);
+
+  Mailbox& mailbox(NodeId node, Port port);
+
+  /// Fail-stop the node: closes its mailboxes and drops its future traffic.
+  void crash(NodeId node);
+  bool crashed(NodeId node) const;
+  std::size_t alive_count() const;
+
+  /// Sever the bidirectional link between two nodes: messages between them
+  /// silently vanish from now on. ([ABD] tolerates link failures as long as
+  /// each operating client still reaches a majority.)
+  void cut_link(NodeId a, NodeId b);
+  bool link_ok(NodeId from, NodeId to) const;
+
+  /// Total messages accepted for delivery (for experiment E9).
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t nodes_;
+  std::vector<std::unique_ptr<Mailbox>> server_boxes_;
+  std::vector<std::unique_ptr<Mailbox>> client_boxes_;
+  std::vector<std::atomic<bool>> crashed_;
+  std::vector<std::atomic<bool>> link_down_;  ///< [from * nodes_ + to]
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+}  // namespace asnap::net

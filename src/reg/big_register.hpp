@@ -1,0 +1,74 @@
+// Atomic register for payloads of arbitrary width.
+//
+// The registers of Afek et al.'s algorithms are wide: Figure 2's r_i holds
+// (value, seq, view[n]) and Figure 3's adds n handshake bits and a toggle,
+// all of which must change in ONE atomic write ("It is important that each
+// update operation changes the value, handshake and toggle fields in a
+// single atomic write operation", Section 4). No machine word is that wide,
+// so we realize the register by publishing an immutable heap node through a
+// single atomic pointer:
+//
+//   write(v): allocate node{v}; atomically exchange the published pointer;
+//             retire the old node to the hazard-pointer domain.
+//   read():   protect the published pointer with a hazard pointer, copy the
+//             node's payload, release.
+//
+// Linearization points: the pointer exchange (write) and the validated
+// pointer load (read). The register is multi-writer multi-reader as-is; the
+// single-writer algorithms simply never share a writer.
+//
+// Every read()/write() counts as ONE primitive step at the abstraction level
+// of the paper (one atomic register operation), which is the granularity at
+// which the instrumentation counts and the deterministic scheduler
+// interleaves.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "common/instrumentation.hpp"
+#include "hazard/hazard_pointers.hpp"
+
+namespace asnap::reg {
+
+template <typename T>
+class BigAtomicRegister {
+ public:
+  explicit BigAtomicRegister(T init)
+      : current_(new Node(std::move(init))) {}
+
+  ~BigAtomicRegister() {
+    // Destruction requires quiescence (no concurrent operations), like any
+    // std::atomic. Nodes already retired are owned by the hazard domain.
+    delete current_.load(std::memory_order_relaxed);
+  }
+
+  BigAtomicRegister(const BigAtomicRegister&) = delete;
+  BigAtomicRegister& operator=(const BigAtomicRegister&) = delete;
+
+  /// Atomic read; one primitive step.
+  T read() const {
+    step_point(StepKind::kRegisterRead);
+    hazard::Guard guard;
+    const Node* node = guard.protect(current_);
+    return node->value;  // copied while protected
+  }
+
+  /// Atomic write; one primitive step.
+  void write(T v) {
+    step_point(StepKind::kRegisterWrite);
+    Node* fresh = new Node(std::move(v));
+    Node* old = current_.exchange(fresh, std::memory_order_acq_rel);
+    hazard::retire_object(old);
+  }
+
+ private:
+  struct Node {
+    explicit Node(T v) : value(std::move(v)) {}
+    const T value;
+  };
+
+  std::atomic<Node*> current_;
+};
+
+}  // namespace asnap::reg

@@ -1,0 +1,50 @@
+// Handshake-bit matrix (Peterson [P83] / Lamport [L86b] style), the bounded
+// substitute for unbounded sequence numbers in Sections 4 and 5.
+//
+// For each ordered pair (i, j) the matrix holds one boolean atomic register
+// bit[i][j], written only by process i and read only by process j — the
+// paper's q_{i,j} (scanner-to-updater) and, in the multi-writer algorithm,
+// p_{i,j} (updater-to-scanner) registers. Each bit is its own single-writer
+// single-reader atomic register; reading or writing one bit is one primitive
+// step.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "reg/small_register.hpp"
+
+namespace asnap::reg {
+
+class HandshakeMatrix {
+ public:
+  explicit HandshakeMatrix(std::size_t n) : n_(n), bits_(n * n) {
+    for (auto& bit : bits_) bit = std::make_unique<BitRegister>(false);
+  }
+
+  std::size_t size() const { return n_; }
+
+  /// Process `writer` sets its bit toward process `target`.
+  void write(ProcessId writer, ProcessId target, bool v) {
+    at(writer, target).write(v);
+  }
+
+  /// Read the bit written by `writer` toward `target`.
+  bool read(ProcessId writer, ProcessId target) const {
+    return at(writer, target).read();
+  }
+
+ private:
+  BitRegister& at(ProcessId writer, ProcessId target) const {
+    ASNAP_ASSERT(writer < n_ && target < n_);
+    return *bits_[static_cast<std::size_t>(writer) * n_ + target];
+  }
+
+  std::size_t n_;
+  std::vector<std::unique_ptr<BitRegister>> bits_;
+};
+
+}  // namespace asnap::reg

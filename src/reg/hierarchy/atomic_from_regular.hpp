@@ -1,0 +1,128 @@
+// Levels 4 and 5: ATOMIC registers from regular ones (unbounded-timestamp
+// constructions, cf. [VA86] / Attiya-Welch ch. 10).
+//
+// Atomic1R1W<T>: the writer attaches an increasing sequence number; the
+// single reader remembers the highest (seq, value) pair it has returned
+// and never goes back — this erases the regular register's new/old
+// inversion, which is the only gap between 1W1R regular and atomic.
+//
+// AtomicSwmr<T> (1-writer n-reader) from 1W1R atomic registers: the writer
+// writes (seq, v) to one register per reader; reader r also consults a
+// report[q][r] register from every other reader q, adopts the maximum
+// sequence it can see, REPORTS it to everyone (report[r][q]), and returns
+// it. The write-back through the report matrix is what prevents two
+// readers from inverting each other (same role as the write-back in the
+// ABD read and in the Vitanyi-Awerbuch multi-writer construction — the
+// same idea recurs at every level of this repository).
+//
+// The timestamps are unbounded; bounded versions exist ([P83], [L86b],
+// [S88]) but are outside this reproduction's scope (see DESIGN.md §6) —
+// which is, fittingly, the very bounded-vs-unbounded gap the paper's
+// Section 6 closes for snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "reg/hierarchy/simulated_regular.hpp"
+
+namespace asnap::reg::hierarchy {
+
+/// Single-writer single-reader atomic register from a regular register.
+template <typename T>
+class Atomic1W1R {
+ public:
+  explicit Atomic1W1R(T init, std::uint64_t chaos_seed = 0xA70A11)
+      : reg_(Stamped{0, std::move(init)}, chaos_seed) {}
+
+  /// Single writer only.
+  void write(T v) {
+    ++seq_;
+    reg_.write(Stamped{seq_, std::move(v)});
+  }
+
+  /// Single reader only.
+  T read() {
+    Stamped s = reg_.read();
+    if (s.seq >= last_returned_.seq) {
+      last_returned_ = std::move(s);
+    }
+    return last_returned_.value;
+  }
+
+ private:
+  struct Stamped {
+    std::uint64_t seq;
+    T value;
+  };
+
+  SimulatedRegularRegister<Stamped> reg_;
+  std::uint64_t seq_ = 0;           // writer-local
+  Stamped last_returned_{0, T{}};   // reader-local
+};
+
+/// Single-writer n-reader atomic register from 1W1R atomic registers.
+template <typename T>
+class AtomicSwmr {
+ public:
+  AtomicSwmr(std::size_t readers, T init, std::uint64_t chaos_seed = 0xA70511)
+      : n_(readers) {
+    for (std::size_t r = 0; r < n_; ++r) {
+      from_writer_.push_back(std::make_unique<Cell>(
+          Stamped{0, init}, chaos_seed * 37 + r));
+    }
+    report_.resize(n_ * n_);
+    for (std::size_t i = 0; i < n_ * n_; ++i) {
+      report_[i] = std::make_unique<Cell>(Stamped{0, init},
+                                          chaos_seed * 101 + i);
+    }
+  }
+
+  std::size_t readers() const { return n_; }
+
+  /// Single writer only (the writer is not one of the n readers here).
+  void write(T v) {
+    ++seq_;
+    for (std::size_t r = 0; r < n_; ++r) {
+      from_writer_[r]->write(Stamped{seq_, v});
+    }
+  }
+
+  /// Reader r only (each reader id used by at most one thread).
+  T read(std::size_t r) {
+    ASNAP_ASSERT(r < n_);
+    Stamped best = from_writer_[r]->read();
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (q == r) continue;
+      Stamped candidate = report(q, r).read();
+      if (candidate.seq > best.seq) best = std::move(candidate);
+    }
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (q == r) continue;
+      report(r, q).write(best);  // the reader-to-reader write-back
+    }
+    return best.value;
+  }
+
+ private:
+  struct Stamped {
+    std::uint64_t seq;
+    T value;
+  };
+  using Cell = Atomic1W1R<Stamped>;
+
+  Cell& report(std::size_t from, std::size_t to) {
+    return *report_[from * n_ + to];
+  }
+
+  std::size_t n_;
+  std::uint64_t seq_ = 0;  // writer-local
+  std::vector<std::unique_ptr<Cell>> from_writer_;
+  std::vector<std::unique_ptr<Cell>> report_;
+};
+
+}  // namespace asnap::reg::hierarchy

@@ -1,0 +1,40 @@
+// Level 2 of the hierarchy: a REGULAR single-writer single-reader bit from
+// a safe bit (Lamport's classic one-liner).
+//
+// Regularity: a read returns either the value of the latest write that
+// completed before the read began, or the value of some overlapping write.
+// For a BIT, the only way a safe register can violate regularity is by
+// returning garbage during an overlapping write that does not change the
+// value (old == new, yet the read returns the third option... there is
+// none for bits — the garbage is always 'old' or 'new' UNLESS the write is
+// redundant, in which case garbage may differ from the only legal answer).
+// Hence the construction: THE WRITER SKIPS REDUNDANT WRITES. Every actual
+// write changes the value, so any garbage during overlap coincides with
+// old-or-new, which regularity permits.
+#pragma once
+
+#include "reg/hierarchy/safe_bit.hpp"
+
+namespace asnap::reg::hierarchy {
+
+class RegularBit {
+ public:
+  explicit RegularBit(bool init, std::uint64_t chaos_seed = 0x2E6B17)
+      : bit_(init, chaos_seed), last_written_(init) {}
+
+  /// Single writer only.
+  void write(bool v) {
+    if (v == last_written_) return;  // the whole trick: no redundant writes
+    last_written_ = v;
+    bit_.write(v);
+  }
+
+  /// Single reader only.
+  bool read() { return bit_.read(); }
+
+ private:
+  SafeBit bit_;
+  bool last_written_;  // writer-local; single writer, no race
+};
+
+}  // namespace asnap::reg::hierarchy

@@ -1,0 +1,63 @@
+// Level 3: a K-valued REGULAR register from K regular bits (the classical
+// unary construction, cf. Lamport [L86b] / Attiya-Welch).
+//
+//   write(v): set bit v, then clear bits v-1 .. 0 in DESCENDING order.
+//   read:     scan bits 0, 1, ... and return the first set index.
+//
+// Why it is regular: a read always terminates at some set bit (the last
+// completed write's bit stays set until a smaller-valued overlapping write
+// clears it — and that writer set ITS bit first); the index returned is
+// the last completed write's value or that of some overlapping write.
+// Stale 1-bits above the current value are harmless: reads stop earlier;
+// they are cleaned by the next larger write's descending clear.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "reg/hierarchy/regular_bit.hpp"
+
+namespace asnap::reg::hierarchy {
+
+class RegularKValued {
+ public:
+  RegularKValued(std::size_t k, std::size_t init,
+                 std::uint64_t chaos_seed = 0x2E6F1A)
+      : bits_() {
+    ASNAP_ASSERT(k >= 1 && init < k);
+    bits_.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      bits_.push_back(
+          std::make_unique<RegularBit>(i == init, chaos_seed * 31 + i));
+    }
+  }
+
+  std::size_t domain() const { return bits_.size(); }
+
+  /// Single writer only.
+  void write(std::size_t v) {
+    ASNAP_ASSERT(v < bits_.size());
+    bits_[v]->write(true);
+    for (std::size_t i = v; i-- > 0;) {
+      bits_[i]->write(false);
+    }
+  }
+
+  /// Single reader only.
+  std::size_t read() {
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i]->read()) return i;
+    }
+    // Unreachable with a correct construction: some bit <= the last
+    // completed write's index is always set.
+    ASNAP_ASSERT_MSG(false, "K-valued regular register: no bit set");
+    return 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<RegularBit>> bits_;
+};
+
+}  // namespace asnap::reg::hierarchy

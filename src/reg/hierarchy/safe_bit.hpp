@@ -1,0 +1,66 @@
+// The bottom of the classical register hierarchy: a SAFE single-writer
+// single-reader bit (Lamport [L86a/b]).
+//
+// Safety is the weakest register guarantee: a read that does not overlap
+// any write returns the last value written; a read that DOES overlap a
+// write may return anything in the value domain. The paper's algorithms
+// assume atomic registers (Section 2, citing [L86b]); this hierarchy
+// (safe bit -> regular bit -> regular K-valued -> atomic 1W1R -> atomic
+// 1WnR) is the classical construction showing such registers exist from
+// almost nothing — completing the substrate story downward.
+//
+// Since real hardware bits are stronger than safe, we SIMULATE safeness
+// faithfully: the writer marks a write-in-progress window, and a reader
+// that observes the window returns a seeded-pseudo-random bit. This makes
+// the weakness real: algorithms built on SafeBit are actually exposed to
+// garbage reads during overlap, and the hierarchy's tests demonstrate that
+// each construction layer removes exactly the anomaly it claims to.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/instrumentation.hpp"
+
+namespace asnap::reg::hierarchy {
+
+class SafeBit {
+ public:
+  explicit SafeBit(bool init, std::uint64_t chaos_seed = 0x5AFEB17)
+      : value_(init), chaos_(chaos_seed) {}
+
+  SafeBit(const SafeBit&) = delete;
+  SafeBit& operator=(const SafeBit&) = delete;
+
+  /// Single writer only. The step_point sits INSIDE the write window so
+  /// the deterministic scheduler can interleave a read into the overlap —
+  /// that is how the tests provoke (and the constructions must survive)
+  /// the licensed garbage.
+  void write(bool v) {
+    writing_.fetch_add(1, std::memory_order_acq_rel);  // window opens
+    step_point(StepKind::kRegisterWrite);
+    value_.store(v, std::memory_order_relaxed);
+    writing_.fetch_sub(1, std::memory_order_acq_rel);  // window closes
+  }
+
+  /// Single reader only. Overlapping a write returns an ARBITRARY bit.
+  bool read() {
+    step_point(StepKind::kRegisterRead);
+    if (writing_.load(std::memory_order_acquire) != 0) {
+      // Read-during-write: simulate the safe register's licensed garbage.
+      chaos_ = chaos_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (chaos_ >> 62) & 1;
+    }
+    return value_.load(std::memory_order_acquire);
+  }
+
+  /// Number of garbage-eligible overlap reads is not tracked per bit; tests
+  /// provoke overlap through the deterministic scheduler instead.
+
+ private:
+  std::atomic<bool> value_;
+  std::atomic<int> writing_{0};
+  std::uint64_t chaos_;  // reader-side PRNG state (single reader: no race)
+};
+
+}  // namespace asnap::reg::hierarchy

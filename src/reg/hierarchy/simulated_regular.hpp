@@ -1,0 +1,86 @@
+// A faithful simulation of a REGULAR single-writer register for arbitrary
+// payloads, with its anomalies intact.
+//
+// Regularity permits a read overlapping writes to return the latest
+// completed value OR any overlapping write's value — so two consecutive
+// reads may observe new-then-old ("new/old inversion"), the precise
+// anomaly that separates regular from atomic. Hardware registers are too
+// strong to exhibit it, so we inject it: values are published atomically
+// as (current, previous) pairs; an overlapped read flips a seeded coin and
+// may return `previous` — always a legal regular answer.
+//
+// This register exists so the hierarchy's atomic constructions have a
+// genuinely-weak substrate to tame, and so tests can show the inversion
+// happening below and gone above.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/instrumentation.hpp"
+#include "reg/big_register.hpp"
+
+namespace asnap::reg::hierarchy {
+
+template <typename T>
+class SimulatedRegularRegister {
+ public:
+  explicit SimulatedRegularRegister(T init,
+                                    std::uint64_t chaos_seed = 0x2E6A11)
+      : state_(Published{init, init, 0}), chaos_(chaos_seed) {}
+
+  /// Single writer only.
+  void write(T v) {
+    const Published old = state_.read();
+    const std::uint64_t my_epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;  // odd: in flight
+    state_.write(Published{std::move(v), old.current, my_epoch});
+    // Extra scheduler-visible point between publication and completion so
+    // overlapping reads can actually land inside the anomaly window under
+    // the deterministic scheduler (simulation fidelity, not protocol cost).
+    step_point(StepKind::kRegisterWrite);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);  // even again
+  }
+
+  /// Any reader. A read overlapping a write may return that write's
+  /// PREDECESSOR value — but only once the in-flight write has published
+  /// (before publication, `previous` is one generation too old and would
+  /// be illegal even for a regular register; the Wing-Gong oracle catches
+  /// that precise mistake if you make it).
+  T read() {
+    const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
+    Published snap = state_.read();
+    const bool in_flight_snap =
+        (e1 & 1) != 0 && snap.write_epoch == e1;  // snapshot IS the in-flight
+                                                  // write's publication
+    if (in_flight_snap && coin()) {
+      return snap.previous;  // latest completed value: legal under
+                             // regularity, fatal to atomicity
+    }
+    return snap.current;
+  }
+
+ private:
+  struct Published {
+    T current;
+    T previous;
+    std::uint64_t write_epoch = 0;  ///< odd epoch of the publishing write
+  };
+
+  bool coin() {
+    // Mixed atomic counter: thread-safe, seeded, deliberately biased toward
+    // returning stale values so anomalies show up fast.
+    std::uint64_t x =
+        chaos_.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    return (x >> 61) % 4 < 3;  // ~75% stale when overlapped
+  }
+
+  BigAtomicRegister<Published> state_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> chaos_;
+};
+
+}  // namespace asnap::reg::hierarchy

@@ -1,0 +1,116 @@
+// Multi-writer multi-reader atomic registers — the substrate of the
+// bounded multi-writer snapshot (Section 5, Figure 4).
+//
+// Two interchangeable implementations, both satisfying MwmrRegister:
+//
+//  * DirectMwmrRegister — a BigAtomicRegister, which is natively MWMR
+//    (writers exchange the published pointer). This is the fast path used
+//    by examples and throughput benchmarks.
+//
+//  * VitanyiAwerbuchMwmr — the construction from n SWMR registers with
+//    unbounded (tag) timestamps, in the style of [VA86]. Section 6 compares
+//    compound constructions by tracing every operation back to SWMR
+//    register operations; this implementation is what makes that experiment
+//    (E7) possible: each MWMR read/write costs n+1 SWMR primitive steps, so
+//    a multi-writer snapshot instantiated over it costs O(n^3) SWMR steps
+//    per operation, versus O(n^2) for the bounded single-writer algorithm.
+//    (The paper cites the bounded [LTV89] construction; the unbounded-tag
+//    variant has the same O(n) cost shape — see DESIGN.md §6.)
+//
+// Protocol of VitanyiAwerbuchMwmr: each of the n processes owns one SWMR
+// register holding the highest (seq, pid)-tagged value it has adopted.
+//   write_i(v): collect all n registers; tag t = (max seq + 1, i);
+//               publish (t, v) in register i.
+//   read_i():   collect all n registers; adopt the maximum tag (t, v);
+//               publish (t, v) in register i (the write-back that makes
+//               reads atomic rather than merely regular); return v.
+// Tags are ordered lexicographically by (seq, pid); writer tags are unique,
+// write-backs only re-announce existing tags.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "common/config.hpp"
+#include "reg/big_register.hpp"
+#include "reg/register_array.hpp"
+
+namespace asnap::reg {
+
+/// Register readable and writable by every process; callers pass their
+/// process id because some implementations (VitanyiAwerbuchMwmr) need it.
+template <typename R, typename T>
+concept MwmrRegister = requires(R r, ProcessId pid, T v) {
+  { r.read(pid) } -> std::convertible_to<T>;
+  r.write(pid, std::move(v));
+};
+
+template <typename T>
+class DirectMwmrRegister {
+ public:
+  /// All MwmrRegister implementations share the (n processes, init) shape so
+  /// snapshot code can construct either; the direct register ignores n.
+  DirectMwmrRegister(std::size_t /*n*/, T init) : reg_(std::move(init)) {}
+  explicit DirectMwmrRegister(T init) : reg_(std::move(init)) {}
+
+  T read(ProcessId /*reader*/) const { return reg_.read(); }
+  void write(ProcessId /*writer*/, T v) { reg_.write(std::move(v)); }
+
+ private:
+  BigAtomicRegister<T> reg_;
+};
+
+template <typename T>
+class VitanyiAwerbuchMwmr {
+ public:
+  /// Construct for n sharing processes with the given initial value.
+  VitanyiAwerbuchMwmr(std::size_t n, T init)
+      : regs_(n, Tagged{Tag{0, 0}, std::move(init)}) {}
+
+  T read(ProcessId reader) {
+    Tagged best = collect_max(reader);
+    // Write-back: announce the adopted value so any later read (by anyone)
+    // observes a tag at least this large. Without it the register is only
+    // regular, not atomic (new/old read inversions between two readers).
+    regs_.write(reader, best);
+    return best.value;
+  }
+
+  void write(ProcessId writer, T v) {
+    const Tagged best = collect_max(writer);
+    Tagged fresh{Tag{best.tag.seq + 1, writer}, std::move(v)};
+    regs_.write(writer, std::move(fresh));
+  }
+
+  /// SWMR primitive steps per MWMR operation (for the E7 cost accounting).
+  std::size_t swmr_steps_per_op() const { return regs_.size() + 1; }
+
+ private:
+  struct Tag {
+    std::uint64_t seq;
+    ProcessId pid;
+
+    bool operator<(const Tag& rhs) const {
+      return seq != rhs.seq ? seq < rhs.seq : pid < rhs.pid;
+    }
+  };
+
+  struct Tagged {
+    Tag tag;
+    T value;
+  };
+
+  Tagged collect_max(ProcessId caller) {
+    Tagged best = regs_.read(0, caller);
+    for (std::size_t j = 1; j < regs_.size(); ++j) {
+      Tagged candidate = regs_.read(static_cast<ProcessId>(j), caller);
+      if (best.tag < candidate.tag) best = std::move(candidate);
+    }
+    return best;
+  }
+
+  SharedMemoryRegisterArray<Tagged> regs_;
+};
+
+}  // namespace asnap::reg

@@ -1,0 +1,51 @@
+// Word-sized atomic register backed directly by std::atomic.
+//
+// Used for the paper's boolean handshake registers (q_{i,j} bits, Section 4)
+// and any other payload small enough for a lock-free std::atomic. Each
+// read()/write() is one primitive step and reports itself to the
+// instrumentation layer (common/instrumentation.hpp).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "common/config.hpp"
+#include "common/instrumentation.hpp"
+
+namespace asnap::reg {
+
+template <typename T>
+class SmallAtomicRegister {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallAtomicRegister requires a trivially copyable payload");
+  static_assert(std::atomic<T>::is_always_lock_free,
+                "SmallAtomicRegister payload must be lock-free; use "
+                "BigAtomicRegister for wide payloads");
+
+ public:
+  SmallAtomicRegister() : value_(T{}) {}
+  explicit SmallAtomicRegister(T init) : value_(init) {}
+
+  SmallAtomicRegister(const SmallAtomicRegister&) = delete;
+  SmallAtomicRegister& operator=(const SmallAtomicRegister&) = delete;
+
+  /// Atomic read; one primitive step.
+  T read() const {
+    step_point(StepKind::kRegisterRead);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  /// Atomic write; one primitive step.
+  void write(T v) {
+    step_point(StepKind::kRegisterWrite);
+    value_.store(v, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<T> value_;
+};
+
+/// One shared boolean register, the paper's 1-writer 1-reader handshake bit.
+using BitRegister = SmallAtomicRegister<bool>;
+
+}  // namespace asnap::reg

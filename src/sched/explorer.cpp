@@ -1,0 +1,88 @@
+#include "sched/explorer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sched/policies.hpp"
+
+namespace asnap::sched {
+namespace {
+
+struct Branch {
+  std::vector<std::size_t> prefix;  ///< decision choices to replay
+};
+
+/// prefix_preemptions[k] = preemptions within decisions[0..k).
+std::vector<std::uint64_t> prefix_preemptions(
+    const std::vector<Decision>& decisions) {
+  std::vector<std::uint64_t> out(decisions.size() + 1, 0);
+  std::size_t running = Policy::kNone;
+  for (std::size_t k = 0; k < decisions.size(); ++k) {
+    const Decision& d = decisions[k];
+    const bool still_enabled =
+        running != Policy::kNone &&
+        std::binary_search(d.enabled.begin(), d.enabled.end(), running);
+    out[k + 1] = out[k] + (still_enabled && d.chosen != running ? 1 : 0);
+    running = d.chosen;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExploreResult explore(const ProgramFactory& factory, const ExploreConfig& cfg,
+                      const std::function<void(const RunReport&)>& after_run) {
+  ExploreResult result;
+  std::vector<Branch> stack;
+  stack.push_back(Branch{{}});
+
+  while (!stack.empty()) {
+    if (result.runs >= cfg.max_runs) {
+      result.exhausted_budget = true;
+      return result;
+    }
+    const Branch branch = std::move(stack.back());
+    stack.pop_back();
+
+    ReplayPolicy policy(branch.prefix);
+    SimScheduler scheduler(policy);
+    const RunReport report = scheduler.run(factory());
+    ++result.runs;
+    if (after_run) after_run(report);
+
+    // Branch on every decision point at or beyond this branch's frontier.
+    // Decisions before the frontier were already branched by ancestors.
+    // Reverse order gives DFS a stack-friendly layout; order is irrelevant
+    // for coverage.
+    const std::vector<std::uint64_t> preempt_before =
+        prefix_preemptions(report.decisions);
+    for (std::size_t pos = report.decisions.size(); pos-- > branch.prefix.size();) {
+      const Decision& d = report.decisions[pos];
+      if (d.enabled.size() < 2) continue;
+      const std::uint64_t base_preemptions = preempt_before[pos];
+      // Who was running before this decision?
+      const std::size_t running =
+          pos == 0 ? Policy::kNone : report.decisions[pos - 1].chosen;
+      for (const std::size_t alt : d.enabled) {
+        if (alt == d.chosen) continue;
+        const bool alt_preempts =
+            running != Policy::kNone &&
+            std::binary_search(d.enabled.begin(), d.enabled.end(), running) &&
+            alt != running;
+        if (base_preemptions + (alt_preempts ? 1 : 0) > cfg.max_preemptions) {
+          continue;
+        }
+        Branch next;
+        next.prefix.reserve(pos + 1);
+        for (std::size_t k = 0; k < pos; ++k) {
+          next.prefix.push_back(report.decisions[k].chosen);
+        }
+        next.prefix.push_back(alt);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace asnap::sched

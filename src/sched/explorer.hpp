@@ -1,0 +1,48 @@
+// Systematic concurrency testing: context-bounded schedule exploration
+// (CHESS-style, Musuvathi & Qadeer).
+//
+// Exhaustively enumerating all interleavings of even a tiny snapshot run is
+// hopeless (the number of interleavings of two O(n^2)-step operations is
+// astronomically large), but almost all concurrency bugs manifest with very
+// few preemptions. The explorer therefore enumerates ALL schedules with at
+// most `max_preemptions` preemptive context switches: it runs the program
+// under a replay prefix + non-preemptive default, logs every scheduling
+// decision, then branches on untried choices within the preemption budget.
+//
+// Requirements on the program: deterministic apart from scheduling (no
+// wall-clock, no unseeded randomness), and wait-free bodies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace asnap::sched {
+
+struct ExploreConfig {
+  std::uint64_t max_preemptions = 2;
+  /// Safety valve: stop after this many distinct schedules.
+  std::uint64_t max_runs = 50000;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;
+  bool exhausted_budget = false;  ///< true if max_runs stopped exploration
+};
+
+/// A program under test: builds fresh state and returns the process bodies
+/// for one run. Called once per explored schedule.
+using ProgramFactory =
+    std::function<std::vector<std::function<void()>>()>;
+
+/// Runs `factory`'s program under every schedule with at most
+/// `max_preemptions` preemptions (up to max_runs). `after_run`, if given,
+/// is invoked after each run to assert postconditions; it receives the
+/// decision log of the completed run.
+ExploreResult explore(const ProgramFactory& factory, const ExploreConfig& cfg,
+                      const std::function<void(const RunReport&)>& after_run =
+                          {});
+
+}  // namespace asnap::sched

@@ -1,0 +1,119 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace asnap::sched {
+
+namespace {
+
+bool contains(const std::vector<std::size_t>& sorted, std::size_t value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+std::size_t lowest(const std::vector<std::size_t>& enabled) {
+  ASNAP_ASSERT(!enabled.empty());
+  return enabled.front();
+}
+
+}  // namespace
+
+std::size_t RoundRobinPolicy::choose(const std::vector<std::size_t>& enabled,
+                                     std::size_t current,
+                                     std::uint64_t /*step*/) {
+  if (current == kNone) return lowest(enabled);
+  // First enabled id strictly greater than current, wrapping around.
+  const auto it = std::upper_bound(enabled.begin(), enabled.end(), current);
+  return it != enabled.end() ? *it : enabled.front();
+}
+
+std::size_t RandomPolicy::choose(const std::vector<std::size_t>& enabled,
+                                 std::size_t /*current*/,
+                                 std::uint64_t /*step*/) {
+  return enabled[rng_.below(enabled.size())];
+}
+
+std::size_t StarvePolicy::choose(const std::vector<std::size_t>& enabled,
+                                 std::size_t current, std::uint64_t step) {
+  const bool victim_enabled = contains(enabled, victim_);
+  // Everyone else done: the victim finally runs alone (wait-freedom means
+  // it must finish even from here).
+  if (enabled.size() == 1) return enabled.front();
+  if (victim_enabled && period_ > 0 && step % period_ == 0) return victim_;
+  // Round-robin over the non-victims.
+  std::vector<std::size_t> others;
+  others.reserve(enabled.size());
+  for (std::size_t id : enabled) {
+    if (id != victim_) others.push_back(id);
+  }
+  if (current == kNone || current == victim_) return others.front();
+  const auto it = std::upper_bound(others.begin(), others.end(), current);
+  return it != others.end() ? *it : others.front();
+}
+
+std::size_t ScriptedAdversaryPolicy::choose(
+    const std::vector<std::size_t>& enabled, std::size_t current,
+    std::uint64_t /*step*/) {
+  // Mid-injection: keep running the mover until its update completes.
+  if (injection_remaining_ > 0 && contains(enabled, active_mover_)) {
+    --injection_remaining_;
+    return active_mover_;
+  }
+  injection_remaining_ = 0;
+
+  if (contains(enabled, script_.scanner)) {
+    // The scanner yields BEFORE each primitive op, so after `g` grants it
+    // has completed g-1 ops. Inject one solo update as soon as the scanner
+    // has completed inject_offset + k*attempt_steps ops.
+    const std::size_t completed =
+        scanner_steps_granted_ == 0 ? 0 : scanner_steps_granted_ - 1;
+    if (injections_ < script_.movers.size() &&
+        scanner_steps_granted_ > 0 &&
+        completed ==
+            script_.inject_offset + injections_ * script_.attempt_steps) {
+      active_mover_ = script_.movers[injections_];
+      ASNAP_ASSERT_MSG(contains(enabled, active_mover_),
+                       "scripted mover already finished");
+      ++injections_;
+      // A mover's very first grant only wakes its thread (it runs to the
+      // yield before its first primitive op); budget one extra grant then.
+      const bool first_time = started_movers_.insert(active_mover_).second;
+      injection_remaining_ = script_.update_steps - (first_time ? 0 : 1);
+      return active_mover_;
+    }
+    ++scanner_steps_granted_;
+    return script_.scanner;
+  }
+
+  // Scanner finished: drain the remaining processes round-robin.
+  if (current != kNone && contains(enabled, current)) return current;
+  return lowest(enabled);
+}
+
+std::size_t ReplayPolicy::choose(const std::vector<std::size_t>& enabled,
+                                 std::size_t current, std::uint64_t step) {
+  if (step < prefix_.size()) {
+    const std::size_t wanted = prefix_[step];
+    ASNAP_ASSERT_MSG(contains(enabled, wanted),
+                     "replay prefix chose a disabled process (the program is "
+                     "not deterministic w.r.t. the schedule)");
+    return wanted;
+  }
+  if (current != kNone && contains(enabled, current)) return current;
+  return lowest(enabled);
+}
+
+std::uint64_t count_preemptions(const std::vector<Decision>& decisions) {
+  std::uint64_t preemptions = 0;
+  std::size_t running = Policy::kNone;
+  for (const Decision& d : decisions) {
+    const bool running_still_enabled =
+        running != Policy::kNone && contains(d.enabled, running);
+    if (running_still_enabled && d.chosen != running) ++preemptions;
+    running = d.chosen;
+  }
+  return preemptions;
+}
+
+}  // namespace asnap::sched

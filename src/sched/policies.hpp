@@ -1,0 +1,106 @@
+// Scheduling policies for the deterministic turnstile scheduler.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap::sched {
+
+/// Fair rotation: the next enabled process after the one that just ran.
+class RoundRobinPolicy final : public Policy {
+ public:
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override;
+};
+
+/// Uniformly random choice under a fixed seed (reproducible).
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override;
+  void reset() override { rng_.reseed(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Anti-victim adversary: starves one process (the scanner, typically),
+/// admitting it only one step out of every `victim_period`, while everyone
+/// else round-robins. Realizes the "updaters keep moving under the scanner"
+/// schedules behind the pigeonhole bound (experiment E6).
+class StarvePolicy final : public Policy {
+ public:
+  StarvePolicy(std::size_t victim, std::uint64_t victim_period)
+      : victim_(victim), period_(victim_period) {}
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override;
+
+ private:
+  std::size_t victim_;
+  std::uint64_t period_;
+};
+
+/// The tight adversary from the pigeonhole bound's worst case: it lets the
+/// scanner run, and each time the scanner completes the FIRST collect of a
+/// double collect (a known step offset within each attempt), it runs one
+/// designated "mover" process solo for exactly one full update (a known,
+/// deterministic number of steps when uncontended). Each attempt's double
+/// collect therefore fails because of exactly one mover; with fresh movers
+/// per attempt the scan is driven to the full n+1 (resp. 2n+1) double
+/// collects before a view can be borrowed — realizing the paper's worst
+/// case, not merely bounding it.
+class ScriptedAdversaryPolicy final : public Policy {
+ public:
+  struct Script {
+    std::size_t scanner = 0;      ///< the victim process
+    std::size_t attempt_steps = 0;  ///< scanner steps per double-collect attempt
+    std::size_t inject_offset = 0;  ///< scanner step (within attempt) after
+                                    ///< which an update is injected
+    std::size_t update_steps = 0;   ///< solo cost of one complete update
+    std::vector<std::size_t> movers;  ///< mover for injection k
+  };
+
+  explicit ScriptedAdversaryPolicy(Script script)
+      : script_(std::move(script)) {}
+
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override;
+
+  std::size_t injections_performed() const { return injections_; }
+
+ private:
+  Script script_;
+  std::size_t scanner_steps_granted_ = 0;
+  std::size_t injections_ = 0;
+  std::size_t injection_remaining_ = 0;
+  std::size_t active_mover_ = kNone;
+  std::set<std::size_t> started_movers_;  ///< movers whose thread has woken
+};
+
+/// Replays a fixed decision prefix (process ids), then continues
+/// non-preemptively: keep running the current process while it is enabled,
+/// else fall to the lowest enabled id. The explorer's workhorse.
+class ReplayPolicy final : public Policy {
+ public:
+  explicit ReplayPolicy(std::vector<std::size_t> prefix)
+      : prefix_(std::move(prefix)) {}
+
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override;
+
+ private:
+  std::vector<std::size_t> prefix_;
+};
+
+/// Number of preemptions in a decision sequence: decisions where the
+/// previously running process was still enabled but a different process was
+/// chosen. The context-bound metric of the explorer.
+std::uint64_t count_preemptions(const std::vector<Decision>& decisions);
+
+}  // namespace asnap::sched

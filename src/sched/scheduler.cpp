@@ -1,0 +1,120 @@
+#include "sched/scheduler.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/instrumentation.hpp"
+
+namespace asnap::sched {
+namespace {
+
+/// Shared turnstile state for one run.
+struct Turnstile {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t current = Policy::kNone;  ///< process allowed to run
+  std::vector<bool> done;
+  std::size_t live = 0;
+
+  Policy* policy = nullptr;
+  RunReport report;
+
+  std::vector<std::size_t> enabled_snapshot() const {
+    std::vector<std::size_t> enabled;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (!done[i]) enabled.push_back(i);
+    }
+    return enabled;
+  }
+
+  /// Under mu: consult the policy, record the decision, set `current`.
+  void decide_locked(std::size_t yielding) {
+    std::vector<std::size_t> enabled = enabled_snapshot();
+    if (enabled.empty()) {
+      current = Policy::kNone;
+      cv.notify_all();
+      return;
+    }
+    const std::size_t next =
+        policy->choose(enabled, yielding, report.decisions.size());
+    ASNAP_ASSERT_MSG(!done[next], "policy chose a completed process");
+    report.decisions.push_back(Decision{std::move(enabled), next});
+    current = next;
+    cv.notify_all();
+  }
+};
+
+/// Per-thread hook context: lets step_point() route into the turnstile.
+struct ProcessContext {
+  Turnstile* turnstile;
+  std::size_t index;
+
+  static void hook(void* ctx, StepKind /*kind*/) {
+    auto* self = static_cast<ProcessContext*>(ctx);
+    self->yield();
+  }
+
+  /// Called before each primitive step: give the policy a chance to switch.
+  void yield() {
+    Turnstile& t = *turnstile;
+    std::unique_lock lock(t.mu);
+    ++t.report.steps;
+    t.decide_locked(index);
+    t.cv.wait(lock, [&] { return t.current == index; });
+  }
+
+  /// Block until this process is scheduled for the first time.
+  void wait_for_first_turn() {
+    Turnstile& t = *turnstile;
+    std::unique_lock lock(t.mu);
+    t.cv.wait(lock, [&] { return t.current == index; });
+  }
+
+  /// Mark completion and hand control to the next process.
+  void finish() {
+    Turnstile& t = *turnstile;
+    std::unique_lock lock(t.mu);
+    t.done[index] = true;
+    --t.live;
+    t.decide_locked(Policy::kNone);
+  }
+};
+
+}  // namespace
+
+RunReport SimScheduler::run(std::vector<std::function<void()>> processes) {
+  const std::size_t n = processes.size();
+  ASNAP_ASSERT(n > 0);
+
+  Turnstile turnstile;
+  turnstile.done.assign(n, false);
+  turnstile.live = n;
+  turnstile.policy = &policy_;
+  policy_.reset();
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i, body = std::move(processes[i])] {
+        ProcessContext ctx{&turnstile, i};
+        ScopedStepHook hook(&ProcessContext::hook, &ctx);
+        ctx.wait_for_first_turn();
+        body();
+        ctx.finish();
+      });
+    }
+    // Admit the first process.
+    {
+      std::unique_lock lock(turnstile.mu);
+      turnstile.decide_locked(Policy::kNone);
+    }
+  }  // join all
+
+  ASNAP_ASSERT(turnstile.live == 0);
+  return std::move(turnstile.report);
+}
+
+}  // namespace asnap::sched

@@ -1,0 +1,72 @@
+// Deterministic turnstile scheduler: fully controlled interleaving of the
+// algorithms' primitive register steps.
+//
+// The paper's proofs reason about runs alpha = pi_1 pi_2 ... — sequences of
+// atomic register reads/writes. This module realizes exactly that model in
+// executable form: each logical process runs on a real thread, but a
+// turnstile admits only one thread at a time, and every primitive register
+// operation (via the common/instrumentation step hook) is a yield point at
+// which a scheduling Policy picks the next process to run. Consequences:
+//
+//   * a run is reproducible from its decision sequence (replay debugging);
+//   * adversarial schedules from the lemmas (stall the scanner between its
+//     two collects, run an updater to completion, ...) can be constructed
+//     deliberately rather than hoped for;
+//   * the explorer (explorer.hpp) can systematically enumerate schedules.
+//
+// Only wait-free code may run under the scheduler: a process that blocks on
+// a mutex instead of a register step would freeze the turnstile.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace asnap::sched {
+
+/// One scheduling decision: which processes were runnable, who ran.
+struct Decision {
+  std::vector<std::size_t> enabled;  ///< runnable process ids, ascending
+  std::size_t chosen = 0;            ///< the id the policy picked
+};
+
+/// What a completed deterministic run looked like.
+struct RunReport {
+  std::uint64_t steps = 0;           ///< primitive steps executed in total
+  std::vector<Decision> decisions;   ///< every scheduling decision, in order
+};
+
+/// Scheduling policy: picks the next process at every decision point.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// `enabled` is non-empty and sorted ascending. `current` is the process
+  /// that executed the previous step, or kNone before the first step and
+  /// after the previous process completed. `step` counts decisions so far.
+  virtual std::size_t choose(const std::vector<std::size_t>& enabled,
+                             std::size_t current, std::uint64_t step) = 0;
+
+  /// Called once per run before the first decision.
+  virtual void reset() {}
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+/// Runs a set of process bodies to completion under a policy, one primitive
+/// step at a time. Not reusable: construct one per run.
+class SimScheduler {
+ public:
+  explicit SimScheduler(Policy& policy) : policy_(policy) {}
+
+  /// Executes all processes to completion; returns the decision log.
+  /// Bodies must be wait-free (must not block other than on register steps).
+  RunReport run(std::vector<std::function<void()>> processes);
+
+ private:
+  Policy& policy_;
+};
+
+}  // namespace asnap::sched

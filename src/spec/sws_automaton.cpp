@@ -1,0 +1,216 @@
+#include "spec/sws_automaton.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace asnap::spec {
+
+// ---------------------------------------------------------------------------
+// SwsAutomaton — the literal steps of Figure 1.
+// ---------------------------------------------------------------------------
+
+void SwsAutomaton::update_request(ProcessId i, lin::Tag v) {
+  ASNAP_ASSERT_MSG(interface_[i].kind == InterfaceVar::Kind::kBottom,
+                   "well-formedness: request while an operation is pending");
+  interface_[i].kind = InterfaceVar::Kind::kUpdateRequest;
+  interface_[i].update_value = v;
+}
+
+void SwsAutomaton::scan_request(ProcessId i) {
+  ASNAP_ASSERT_MSG(interface_[i].kind == InterfaceVar::Kind::kBottom,
+                   "well-formedness: request while an operation is pending");
+  interface_[i].kind = InterfaceVar::Kind::kScanRequest;
+}
+
+bool SwsAutomaton::update_enabled(ProcessId i) const {
+  return interface_[i].kind == InterfaceVar::Kind::kUpdateRequest;
+}
+
+void SwsAutomaton::update(ProcessId i) {
+  ASNAP_ASSERT(update_enabled(i));
+  mem_[i] = interface_[i].update_value;  // Effect: Mem[i] := v
+  interface_[i].kind = InterfaceVar::Kind::kUpdateReturn;
+}
+
+bool SwsAutomaton::scan_enabled(ProcessId i) const {
+  return interface_[i].kind == InterfaceVar::Kind::kScanRequest;
+}
+
+void SwsAutomaton::scan(ProcessId i) {
+  ASNAP_ASSERT(scan_enabled(i));
+  interface_[i].kind = InterfaceVar::Kind::kScanReturn;
+  interface_[i].scan_view = mem_;  // Effect: H_i := ScanReturn_i(Mem)
+}
+
+bool SwsAutomaton::update_return_enabled(ProcessId i) const {
+  return interface_[i].kind == InterfaceVar::Kind::kUpdateReturn;
+}
+
+void SwsAutomaton::update_return(ProcessId i) {
+  ASNAP_ASSERT(update_return_enabled(i));
+  interface_[i].kind = InterfaceVar::Kind::kBottom;
+}
+
+bool SwsAutomaton::scan_return_enabled(ProcessId i) const {
+  return interface_[i].kind == InterfaceVar::Kind::kScanReturn;
+}
+
+std::vector<lin::Tag> SwsAutomaton::scan_return(ProcessId i) {
+  ASNAP_ASSERT(scan_return_enabled(i));
+  interface_[i].kind = InterfaceVar::Kind::kBottom;
+  return std::move(interface_[i].scan_view);
+}
+
+// ---------------------------------------------------------------------------
+// Behavior membership
+// ---------------------------------------------------------------------------
+//
+// Search formulation: order the interface events by their (unique) logical
+// timestamps. Between a request and its return, the operation's internal
+// action must fire exactly once. We search over firing orders: process the
+// timeline event by event; at any point, any pending operation whose
+// request has been consumed may fire its internal action. A return event is
+// admissible only if the internal action already fired (and, for scans,
+// produced exactly the recorded view).
+//
+// Equivalent to Wing-Gong linearizability by construction of SWS — tests
+// assert the equivalence on randomized histories (checker triangulation).
+
+namespace {
+
+struct Op {
+  bool is_scan;
+  ProcessId proc;
+  std::size_t word;
+  lin::Tag tag;
+  const std::vector<lin::Tag>* view;
+  lin::Time inv;
+  lin::Time res;
+};
+
+struct SearchState {
+  std::uint64_t requested = 0;  // bitmask: request event passed
+  std::uint64_t fired = 0;      // bitmask: internal action fired
+  std::vector<lin::Tag> mem;
+
+  bool operator==(const SearchState&) const = default;
+};
+
+struct SearchStateHash {
+  std::size_t operator()(const SearchState& s) const {
+    std::uint64_t h = s.requested * 0x9E3779B97F4A7C15ULL ^ s.fired;
+    for (const lin::Tag& t : s.mem) {
+      const std::uint64_t v =
+          (static_cast<std::uint64_t>(t.writer) << 32) ^ t.seq;
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class BehaviorSearch {
+ public:
+  BehaviorSearch(std::vector<Op> ops, std::size_t words)
+      : ops_(std::move(ops)) {
+    // Timeline: (time, is_request, op index), sorted by time.
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      timeline_.push_back({ops_[i].inv, true, i});
+      timeline_.push_back({ops_[i].res, false, i});
+    }
+    std::sort(timeline_.begin(), timeline_.end(),
+              [](const Event& a, const Event& b) { return a.time < b.time; });
+    initial_.mem.assign(words, lin::Tag{});
+  }
+
+  bool accepted() { return dfs(0, initial_); }
+
+ private:
+  struct Event {
+    lin::Time time;
+    bool is_request;
+    std::size_t op;
+  };
+
+  bool dfs(std::size_t event_index, const SearchState& state) {
+    if (event_index == timeline_.size()) return true;
+    if (!visited_.emplace(event_index, state).second) return false;
+
+    const Event& event = timeline_[event_index];
+    const std::uint64_t bit = 1ULL << event.op;
+
+    if (event.is_request) {
+      SearchState next = state;
+      next.requested |= bit;
+      return dfs_with_firings(event_index + 1, next);
+    }
+    // Return event: the internal action must have fired by now.
+    if ((state.fired & bit) == 0) {
+      // Try firing pending actions (including this one) first.
+      return try_fire_then_retry(event_index, state);
+    }
+    return dfs_with_firings(event_index + 1, state);
+  }
+
+  /// At the current point, optionally fire any subset/order of pending
+  /// internal actions, then continue with the next event. Firing order
+  /// matters only through memory effects, so plain DFS over single firings
+  /// with memoization suffices.
+  bool dfs_with_firings(std::size_t event_index, const SearchState& state) {
+    if (dfs(event_index, state)) return true;
+    return try_fire_then_retry(event_index, state);
+  }
+
+  bool try_fire_then_retry(std::size_t event_index, const SearchState& state) {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const std::uint64_t bit = 1ULL << i;
+      if ((state.requested & bit) == 0 || (state.fired & bit) != 0) continue;
+      const Op& op = ops_[i];
+      SearchState next = state;
+      next.fired |= bit;
+      if (op.is_scan) {
+        if (*op.view != state.mem) continue;  // Scan_i must match Mem
+      } else {
+        next.mem[op.word] = op.tag;  // Update_i effect
+      }
+      if (dfs(event_index, next)) return true;
+    }
+    return false;
+  }
+
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::size_t, SearchState>& p) const {
+      return p.first * 1000003 + SearchStateHash{}(p.second);
+    }
+  };
+
+  std::vector<Op> ops_;
+  std::vector<Event> timeline_;
+  SearchState initial_;
+  std::unordered_set<std::pair<std::size_t, SearchState>, PairHash> visited_;
+};
+
+}  // namespace
+
+std::optional<bool> sws_accepts(const lin::History& history,
+                                std::size_t max_ops) {
+  const std::size_t n = history.total_ops();
+  if (n > std::min<std::size_t>(max_ops, 62)) return std::nullopt;
+
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (const lin::UpdateOp& u : history.updates) {
+    if (u.word >= history.num_words) return false;
+    ops.push_back(Op{false, u.proc, u.word, u.tag, nullptr, u.inv, u.res});
+  }
+  for (const lin::ScanOp& s : history.scans) {
+    if (s.view.size() != history.num_words) return false;
+    ops.push_back(Op{true, s.proc, 0, lin::Tag{}, &s.view, s.inv, s.res});
+  }
+  BehaviorSearch search(std::move(ops), history.num_words);
+  return search.accepted();
+}
+
+}  // namespace asnap::spec

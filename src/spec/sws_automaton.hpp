@@ -1,0 +1,89 @@
+// Figure 1 of the paper, executable: the SWS I/O automaton that DEFINES
+// single-writer atomic snapshot memory.
+//
+// "An automaton A implements a single-writer atomic snapshot memory
+//  provided ... every well-formed behavior of A is also a behavior of SWS."
+//
+// States: an n-entry array Mem plus per-process interface variables H_i
+// holding a pending action or ⊥. Input actions UpdateRequest_i(v) /
+// ScanRequest_i store themselves in H_i; the INTERNAL actions Update_i(v)
+// and Scan_i(v_1..v_n) do the real work at a single atomic instant; output
+// actions UpdateReturn_i / ScanReturn_i(v̄) empty H_i.
+//
+// This module provides:
+//   * SwsAutomaton — the literal transition system (steps, preconditions,
+//     effects), usable for random walks and enabled-action queries;
+//   * sws_accepts() — decides whether a recorded concurrent history is a
+//     behavior of SWS, by searching over placements of the internal
+//     actions. This is the definition-level correctness check (experiment
+//     E1); lin::wing_gong_check answers the same question through the
+//     linearizability lens, and tests assert the two decisions coincide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "lin/history.hpp"
+
+namespace asnap::spec {
+
+/// The pending-interface variable H_i of Figure 1.
+struct InterfaceVar {
+  enum class Kind : std::uint8_t {
+    kBottom,          ///< ⊥ — idle
+    kUpdateRequest,   ///< UpdateRequest_i(v) stored, Update_i enabled
+    kUpdateReturn,    ///< Update_i fired, UpdateReturn_i enabled
+    kScanRequest,     ///< ScanRequest_i stored, Scan_i enabled
+    kScanReturn,      ///< Scan_i fired, ScanReturn_i(v̄) enabled
+  };
+  Kind kind = Kind::kBottom;
+  lin::Tag update_value;            ///< for kUpdateRequest
+  std::vector<lin::Tag> scan_view;  ///< for kScanReturn
+};
+
+/// The SWS automaton over Value = lin::Tag (unique values make behavior
+/// checking tractable; any value set works for the automaton itself).
+class SwsAutomaton {
+ public:
+  explicit SwsAutomaton(std::size_t n)
+      : mem_(n, lin::Tag{}), interface_(n) {}
+
+  std::size_t size() const { return mem_.size(); }
+  const std::vector<lin::Tag>& memory() const { return mem_; }
+  const InterfaceVar& interface(ProcessId i) const { return interface_[i]; }
+
+  // --- input actions (always enabled, per Figure 1) ------------------------
+  void update_request(ProcessId i, lin::Tag v);
+  void scan_request(ProcessId i);
+
+  // --- internal actions (preconditions checked) ----------------------------
+  bool update_enabled(ProcessId i) const;
+  void update(ProcessId i);  ///< Mem[i] := v; H_i := UpdateReturn_i
+
+  bool scan_enabled(ProcessId i) const;
+  void scan(ProcessId i);  ///< H_i := ScanReturn_i(Mem)
+
+  // --- output actions -------------------------------------------------------
+  bool update_return_enabled(ProcessId i) const;
+  void update_return(ProcessId i);
+
+  bool scan_return_enabled(ProcessId i) const;
+  /// Returns the view carried by ScanReturn_i(v_1..v_n).
+  std::vector<lin::Tag> scan_return(ProcessId i);
+
+ private:
+  std::vector<lin::Tag> mem_;
+  std::vector<InterfaceVar> interface_;
+};
+
+/// Decides whether `history` is a behavior of SWS: is there a placement of
+/// each operation's internal action within its [inv, res] interval such
+/// that the resulting sequence is an execution of the automaton and every
+/// ScanReturn carries exactly the recorded view? Exhaustive with
+/// memoization; histories above max_ops yield nullopt (no verdict).
+std::optional<bool> sws_accepts(const lin::History& history,
+                                std::size_t max_ops = 28);
+
+}  // namespace asnap::spec

@@ -1,0 +1,265 @@
+// Tests for the applications built on the snapshot library: wait-free
+// counter, adopt-commit, randomized consensus, and the checkpointable store.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "apps/adopt_commit.hpp"
+#include "apps/checkpoint_store.hpp"
+#include "apps/consensus.hpp"
+#include "apps/counter.hpp"
+#include "common/instrumentation.hpp"
+#include "common/rng.hpp"
+#include "harness.hpp"
+
+namespace asnap::apps {
+namespace {
+
+// --- WaitFreeCounter ---------------------------------------------------------
+
+TEST(Counter, SequentialAddsSum) {
+  WaitFreeCounter counter(3);
+  counter.add(0, 5);
+  counter.add(1, -2);
+  counter.add(0, 1);
+  EXPECT_EQ(counter.read(2), 4);
+}
+
+TEST(Counter, StartsAtZero) {
+  WaitFreeCounter counter(2);
+  EXPECT_EQ(counter.read(0), 0);
+}
+
+TEST(Counter, ConcurrentIncrementsAreAllCounted) {
+  constexpr std::size_t kN = 4;
+  constexpr int kPerThread = 500;
+  WaitFreeCounter counter(kN);
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t p = 0; p < kN; ++p) {
+      threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        testing::ChaosYield chaos{Rng(pid + 1), 0.1};
+        ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+        for (int i = 0; i < kPerThread; ++i) counter.add(pid, 1);
+      });
+    }
+  }
+  EXPECT_EQ(counter.read(0), kN * kPerThread);
+}
+
+TEST(Counter, ReadsAreMonotoneForIncrementOnlyWorkload) {
+  constexpr std::size_t kN = 3;
+  WaitFreeCounter counter(kN);
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> adders;
+  for (std::size_t p = 1; p < kN; ++p) {
+    adders.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+      testing::ChaosYield chaos{Rng(pid + 7), 0.1};
+      ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+      while (!stop.load(std::memory_order_acquire)) counter.add(pid, 1);
+    });
+  }
+  std::int64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t now = counter.read(0);
+    ASSERT_GE(now, last) << "linearizable counter went backwards";
+    last = now;
+  }
+  stop.store(true, std::memory_order_release);
+}
+
+// --- AdoptCommit --------------------------------------------------------------
+
+TEST(AdoptCommit, SoloProposerCommits) {
+  AdoptCommit ac(3);
+  const auto outcome = ac.propose(1, 42);
+  EXPECT_EQ(outcome.verdict, AdoptCommit::Verdict::kCommit);
+  EXPECT_EQ(outcome.value, 42u);
+}
+
+TEST(AdoptCommit, UnanimousProposersAllCommit) {
+  AdoptCommit ac(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto outcome = ac.propose(p, 7);
+    EXPECT_EQ(outcome.verdict, AdoptCommit::Verdict::kCommit) << "P" << p;
+    EXPECT_EQ(outcome.value, 7u);
+  }
+}
+
+TEST(AdoptCommit, SequentialConflictAdoptsTheCommittedValue) {
+  AdoptCommit ac(2);
+  const auto first = ac.propose(0, 1);
+  EXPECT_EQ(first.verdict, AdoptCommit::Verdict::kCommit);
+  const auto second = ac.propose(1, 2);
+  EXPECT_NE(second.verdict, AdoptCommit::Verdict::kCommit);
+  EXPECT_EQ(second.value, 1u) << "must adopt the committed value";
+}
+
+// Concurrent safety property: if anyone commits v, every outcome's value is
+// v. Run many randomized concurrent rounds and check the invariant.
+TEST(AdoptCommit, CommitImpliesEveryoneGetsThatValue) {
+  constexpr std::size_t kN = 4;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    AdoptCommit ac(kN);
+    std::vector<AdoptCommit::Outcome> outcomes(kN);
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < kN; ++p) {
+        threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+          testing::ChaosYield chaos{Rng(trial * 31 + pid), 0.25};
+          ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+          Rng rng(trial * 17 + pid);
+          outcomes[pid] = ac.propose(pid, rng.below(2));
+        });
+      }
+    }
+    std::set<std::uint64_t> committed;
+    for (const auto& o : outcomes) {
+      if (o.verdict == AdoptCommit::Verdict::kCommit) committed.insert(o.value);
+    }
+    ASSERT_LE(committed.size(), 1u) << "two different values committed";
+    if (!committed.empty()) {
+      for (const auto& o : outcomes) {
+        ASSERT_EQ(o.value, *committed.begin())
+            << "a process missed the committed value (trial " << trial << ")";
+      }
+    }
+  }
+}
+
+// --- SnapshotConsensus ---------------------------------------------------------
+
+TEST(Consensus, SoloDecidesOwnValue) {
+  SnapshotConsensus consensus(3);
+  Rng rng(1);
+  const auto result = consensus.decide(0, true, rng);
+  EXPECT_TRUE(result.value);
+  EXPECT_EQ(result.rounds_used, 1u);
+}
+
+TEST(Consensus, AgreementAndValidityUnderConcurrency) {
+  constexpr std::size_t kN = 4;
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    SnapshotConsensus consensus(kN);
+    std::vector<SnapshotConsensus::Result> results(kN);
+    std::vector<bool> proposals(kN);
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < kN; ++p) {
+        proposals[p] = (trial + p) % 2 == 0;
+        threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+          testing::ChaosYield chaos{Rng(trial * 101 + pid), 0.2};
+          ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+          Rng rng(trial * 1009 + pid);
+          results[pid] = consensus.decide(pid, proposals[pid], rng);
+        });
+      }
+    }
+    // Agreement.
+    for (std::size_t p = 1; p < kN; ++p) {
+      ASSERT_EQ(results[p].value, results[0].value) << "trial " << trial;
+    }
+    // Validity: the decision is someone's proposal.
+    bool proposed = false;
+    for (std::size_t p = 0; p < kN; ++p) {
+      proposed |= (proposals[p] == results[0].value);
+    }
+    ASSERT_TRUE(proposed) << "decided a value nobody proposed";
+  }
+}
+
+TEST(Consensus, UnanimousProposalDecidesInOneRound) {
+  constexpr std::size_t kN = 3;
+  SnapshotConsensus consensus(kN);
+  std::vector<SnapshotConsensus::Result> results(kN);
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t p = 0; p < kN; ++p) {
+      threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        Rng rng(pid);
+        results[pid] = consensus.decide(pid, true, rng);
+      });
+    }
+  }
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.value);
+    // Validity implies true; unanimity should commit within two rounds.
+    EXPECT_LE(r.rounds_used, 2u);
+  }
+}
+
+// --- CheckpointStore -----------------------------------------------------------
+
+TEST(CheckpointStore, PutThenGet) {
+  CheckpointStore<int> store(2, 4, 0);
+  store.put(0, 2, 99);
+  const auto cell = store.get(1, 2);
+  EXPECT_EQ(cell.value, 99);
+  EXPECT_EQ(cell.version, 1u);
+  EXPECT_EQ(cell.last_writer, 0u);
+}
+
+TEST(CheckpointStore, CheckpointIsConsistent) {
+  CheckpointStore<int> store(2, 3, 0);
+  store.put(0, 0, 1);
+  store.put(0, 1, 2);
+  const auto cp = store.checkpoint(1);
+  EXPECT_EQ(cp.cells[0].value, 1);
+  EXPECT_EQ(cp.cells[1].value, 2);
+  EXPECT_EQ(cp.cells[2].value, 0);
+}
+
+TEST(CheckpointStore, DiffFindsChangedCells) {
+  CheckpointStore<int> store(2, 4, 0);
+  const auto base = store.checkpoint(0);
+  store.put(0, 1, 5);
+  store.put(1, 3, 6);
+  const auto later = store.checkpoint(0);
+  EXPECT_EQ(later.changed_since(base), (std::vector<std::size_t>{1, 3}));
+}
+
+// Writers keep writing "balanced" pairs (cell 0 and cell 1 always updated to
+// equal values, one after the other, by the same writer under a per-writer
+// invariant); a checkpoint may observe a half-done pair (that's allowed —
+// the two puts are separate operations), but it must NEVER observe a value
+// that was never written, and per-cell versions must be plausible.
+TEST(CheckpointStore, ConcurrentCheckpointsSeeOnlyRealStates) {
+  constexpr std::size_t kN = 3;
+  constexpr std::size_t kCells = 3;
+  CheckpointStore<std::uint64_t> store(kN, kCells, 0);
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> writers;
+  for (std::size_t p = 1; p < kN; ++p) {
+    writers.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+      testing::ChaosYield chaos{Rng(pid * 3 + 1), 0.15};
+      ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++v;
+        store.put(pid, v % kCells, pid * 1000000 + v);
+      }
+    });
+  }
+  CheckpointStore<std::uint64_t>::Checkpoint prev = store.checkpoint(0);
+  for (int i = 0; i < 100; ++i) {
+    const auto cp = store.checkpoint(0);
+    for (std::size_t k = 0; k < kCells; ++k) {
+      const auto& cell = cp.cells[k];
+      if (cell.version == 0) {
+        EXPECT_EQ(cell.value, 0u);
+        continue;
+      }
+      // The value encodes its writer: it must match last_writer.
+      EXPECT_EQ(cell.value / 1000000, cell.last_writer);
+    }
+    prev = cp;
+  }
+  stop.store(true, std::memory_order_release);
+}
+
+}  // namespace
+}  // namespace asnap::apps

@@ -1,0 +1,138 @@
+// Correctness tests for the baseline snapshots: they are honest,
+// linearizable implementations too (their deficiency is progress/blocking,
+// not safety), so the same history checking applies. Tag values are packed
+// into 64-bit words for the seqlock (which requires a lock-free payload).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "harness.hpp"
+#include "lin/snapshot_checker.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+// Pack (writer, seq) into one uint64 so the seqlock can hold it atomically.
+std::uint64_t pack(const Tag& t) {
+  if (t.is_initial()) return 0;
+  return (static_cast<std::uint64_t>(t.writer + 1) << 48) | t.seq;
+}
+Tag unpack(std::uint64_t v) {
+  if (v == 0) return Tag{};
+  return Tag{static_cast<ProcessId>((v >> 48) - 1),
+             v & ((1ULL << 48) - 1)};
+}
+
+/// Adapts a packed-uint64 snapshot to the Tag-based harness.
+template <typename PackedSnap>
+class PackedAdapter {
+ public:
+  PackedAdapter(std::size_t n) : snap_(n, 0) {}
+  std::size_t size() const { return snap_.size(); }
+  void update(ProcessId i, Tag v) { snap_.update(i, pack(v)); }
+  std::vector<Tag> scan(ProcessId i) {
+    std::vector<Tag> out;
+    for (const std::uint64_t v : snap_.scan(i)) out.push_back(unpack(v));
+    return out;
+  }
+
+ private:
+  PackedSnap snap_;
+};
+
+TEST(PackedTag, RoundTrips) {
+  for (const Tag t : {Tag{}, Tag{0, 1}, Tag{7, 123456}, Tag{255, 1}}) {
+    EXPECT_EQ(unpack(pack(t)), t);
+  }
+}
+
+TEST(SeqlockSnapshot, SequentialSemantics) {
+  core::SeqlockSnapshot<std::uint64_t> snap(3, 0);
+  snap.update(1, 11);
+  const auto view = snap.scan(0);
+  EXPECT_EQ(view, (std::vector<std::uint64_t>{0, 11, 0}));
+}
+
+TEST(SeqlockSnapshot, StressHistoriesAreLinearizable) {
+  PackedAdapter<core::SeqlockSnapshot<std::uint64_t>> snap(4);
+  testing::WorkloadConfig cfg;
+  cfg.processes = 4;
+  cfg.ops_per_process = 300;
+  cfg.scan_prob = 0.5;
+  cfg.seed = 2024;
+  cfg.yield_prob = 0.15;
+  const lin::History history = testing::run_sw_workload(snap, cfg);
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST(SeqlockSnapshot, BudgetedScanReportsHonestly) {
+  core::SeqlockSnapshot<std::uint64_t> snap(2, 0);
+  std::vector<std::uint64_t> out;
+  EXPECT_TRUE(snap.try_scan(0, 1, out));  // uncontended: first try succeeds
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MutexSnapshot, StressHistoriesAreLinearizable) {
+  core::MutexSnapshot<Tag> snap(4, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = 4;
+  cfg.ops_per_process = 300;
+  cfg.scan_prob = 0.5;
+  cfg.seed = 2025;
+  cfg.yield_prob = 0.0;  // mutex path: yields inside locks just slow it down
+  const lin::History history = testing::run_sw_workload(snap, cfg);
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST(MutexSnapshot, MultiWriterWords) {
+  core::MutexSnapshot<int> snap(2, 5, 0);
+  snap.update(0, std::size_t{3}, 33);
+  snap.update(1, std::size_t{3}, 44);
+  EXPECT_EQ(snap.scan(0)[3], 44);
+  EXPECT_EQ(snap.words(), 5u);
+}
+
+TEST(DoubleCollectSnapshot, StressHistoriesAreLinearizable) {
+  core::DoubleCollectSnapshot<Tag> snap(4, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = 4;
+  cfg.ops_per_process = 200;
+  cfg.scan_prob = 0.5;
+  cfg.seed = 2026;
+  cfg.yield_prob = 0.1;
+  const lin::History history = testing::run_sw_workload(snap, cfg);
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+// The seqlock never returns a torn view: writers publish correlated halves
+// (hi == lo + 1) in separate words is NOT guaranteed — that is a cross-word
+// property. What IS guaranteed is per-scan consistency with the version
+// counter; verify by checking scans always equal a state that existed:
+// every word's value must be one the (single) writer actually wrote.
+TEST(SeqlockSnapshot, NeverReturnsUnwrittenValues) {
+  core::SeqlockSnapshot<std::uint64_t> snap(2, 0);
+  std::atomic<bool> stop{false};
+  std::jthread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ++v;
+      snap.update(1, v * 1000);  // only multiples of 1000 are ever written
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    const auto view = snap.scan(0);
+    ASSERT_EQ(view[1] % 1000, 0u) << "torn or invented value";
+  }
+  stop.store(true, std::memory_order_release);
+}
+
+}  // namespace
+}  // namespace asnap

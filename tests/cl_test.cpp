@@ -1,0 +1,81 @@
+// Tests for the Chandy–Lamport distributed snapshot substrate (the paper's
+// Section 6 comparison point): consistency of every cut, end-to-end token
+// conservation, and the measured non-instantaneity of distributed cuts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cl/chandy_lamport.hpp"
+
+namespace asnap::cl {
+namespace {
+
+TEST(ChandyLamport, QuiescentConservation) {
+  TokenBank bank(4, 100, /*seed=*/7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const std::vector<Amount> balances = bank.drain_and_stop();
+  Amount total = 0;
+  for (const Amount b : balances) total += b;
+  EXPECT_EQ(total, bank.expected_total());
+}
+
+TEST(ChandyLamport, SnapshotCutConservesTokens) {
+  TokenBank bank(4, 100, 11);
+  for (int i = 0; i < 5; ++i) {
+    const GlobalSnapshot snap = bank.snapshot();
+    EXPECT_EQ(snap.total(), bank.expected_total())
+        << "cut " << i << " is not a consistent global state";
+    ASSERT_EQ(snap.states.size(), 4u);
+  }
+}
+
+TEST(ChandyLamport, SnapshotsConcurrentWithHeavyTraffic) {
+  TokenBank bank(6, 50, 23);
+  for (int i = 0; i < 10; ++i) {
+    const GlobalSnapshot snap = bank.snapshot();
+    EXPECT_EQ(snap.total(), bank.expected_total());
+  }
+  // And the system itself is still conserving.
+  const std::vector<Amount> balances = bank.drain_and_stop();
+  Amount total = 0;
+  for (const Amount b : balances) total += b;
+  EXPECT_EQ(total, bank.expected_total());
+}
+
+TEST(ChandyLamport, CapturesInFlightMessages) {
+  // With busy traffic, at least one of several snapshots should record
+  // channel contents (tokens in flight at the cut). This is inherently
+  // probabilistic, so aggregate over many snapshots.
+  TokenBank bank(5, 100, 37);
+  std::size_t snapshots_with_in_flight = 0;
+  for (int i = 0; i < 20; ++i) {
+    const GlobalSnapshot snap = bank.snapshot();
+    EXPECT_EQ(snap.total(), bank.expected_total());
+    if (snap.in_flight_count() > 0) ++snapshots_with_in_flight;
+  }
+  // No hard assertion on > 0 (single-core timing could serialize),
+  // but the sum total above already proves channel recording is counted.
+  SUCCEED() << snapshots_with_in_flight
+            << "/20 snapshots captured in-flight tokens";
+}
+
+TEST(ChandyLamport, RecordInstantsAreReported) {
+  TokenBank bank(4, 100, 41);
+  const GlobalSnapshot snap = bank.snapshot();
+  ASSERT_EQ(snap.record_instants.size(), 4u);
+  // Spread is >= 0 by construction; the discussion point (spread typically
+  // > 0, i.e. NOT an instantaneous image) is demonstrated and reported by
+  // examples/distributed_vs_atomic.cpp, where traffic guarantees motion.
+  EXPECT_GE(snap.instant_spread(), 0u);
+}
+
+TEST(ChandyLamport, ManySequentialSnapshotsDoNotLeakState) {
+  TokenBank bank(3, 10, 53);
+  for (int i = 0; i < 30; ++i) {
+    const GlobalSnapshot snap = bank.snapshot();
+    ASSERT_EQ(snap.total(), bank.expected_total()) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace asnap::cl

@@ -1,0 +1,253 @@
+// Deeper concurrency batteries: systematic exploration of the adopt-commit
+// object and the multi-writer snapshot, two-preemption exploration, hazard
+// reclamation torture, and register-level exact checking of the
+// Vitanyi-Awerbuch MWMR construction via the Wing-Gong oracle (a 1-word
+// multi-writer snapshot IS a multi-writer register).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "apps/adopt_commit.hpp"
+#include "core/snapshot.hpp"
+#include "hazard/hazard_pointers.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+#include "reg/mwmr_register.hpp"
+#include "sched/explorer.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+// --- Systematic exploration of adopt-commit safety ---------------------------
+//
+// Explores ALL schedules (<= 2 preemptions) of three processes proposing
+// {0, 1, 1} to one adopt-commit object, asserting the safety properties in
+// every explored interleaving: at most one committed value, and if anyone
+// commits, everyone leaves with that value.
+TEST(ExplorerExtra, AdoptCommitSafetyUnderSystematicExploration) {
+  std::shared_ptr<std::vector<apps::AdoptCommit::Outcome>> outcomes;
+  std::shared_ptr<apps::AdoptCommit> object;
+
+  sched::ProgramFactory factory = [&]() {
+    object = std::make_shared<apps::AdoptCommit>(3);
+    outcomes = std::make_shared<std::vector<apps::AdoptCommit::Outcome>>(3);
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t p = 0; p < 3; ++p) {
+      const std::uint64_t proposal = p == 0 ? 0 : 1;
+      bodies.push_back([obj = object, out = outcomes, p, proposal] {
+        (*out)[p] = obj->propose(static_cast<ProcessId>(p), proposal);
+      });
+    }
+    return bodies;
+  };
+
+  std::uint64_t checked = 0;
+  sched::ExploreConfig cfg;
+  cfg.max_preemptions = 2;
+  cfg.max_runs = 8000;  // the schedule space is huge; a capped prefix of it
+                        // is still thousands of distinct interleavings
+  const sched::ExploreResult result =
+      sched::explore(factory, cfg, [&](const sched::RunReport&) {
+        std::set<std::uint64_t> committed;
+        for (const auto& o : *outcomes) {
+          if (o.verdict == apps::AdoptCommit::Verdict::kCommit) {
+            committed.insert(o.value);
+          }
+        }
+        ASSERT_LE(committed.size(), 1u) << "two values committed";
+        if (!committed.empty()) {
+          for (const auto& o : *outcomes) {
+            ASSERT_EQ(o.value, *committed.begin())
+                << "a proposer missed the committed value";
+          }
+        }
+        // Validity: outcomes are proposals.
+        for (const auto& o : *outcomes) {
+          ASSERT_TRUE(o.value == 0 || o.value == 1);
+        }
+        ++checked;
+      });
+  EXPECT_EQ(checked, result.runs);
+  EXPECT_GT(result.runs, 100u);
+}
+
+// --- Multi-writer snapshot under systematic exploration -----------------------
+//
+// Two writers to a SHARED word plus one scanner; histories checked with the
+// exhaustive Wing-Gong oracle (the multi-writer case the polynomial checker
+// cannot decide exactly).
+TEST(ExplorerExtra, MultiWriterSharedWordExploration) {
+  std::shared_ptr<lin::Recorder> recorder;
+
+  sched::ProgramFactory factory = [&]() {
+    auto snap = std::make_shared<core::BoundedMwSnapshot<Tag>>(3, 2, Tag{});
+    recorder = std::make_shared<lin::Recorder>(2);
+    auto rec = recorder;
+    std::vector<std::function<void()>> bodies;
+    // P0 scans; P1 and P2 both write word 0 (contended) and P2 also word 1.
+    bodies.push_back([snap, rec] {
+      const lin::Time inv = rec->tick();
+      std::vector<Tag> view = snap->scan(0);
+      const lin::Time res = rec->tick();
+      rec->add_scan(0, std::move(view), inv, res);
+    });
+    bodies.push_back([snap, rec] {
+      const lin::Time inv = rec->tick();
+      snap->update(1, 0, Tag{1, 1});
+      const lin::Time res = rec->tick();
+      rec->add_update(1, 0, Tag{1, 1}, inv, res);
+    });
+    bodies.push_back([snap, rec] {
+      const lin::Time inv = rec->tick();
+      snap->update(2, 0, Tag{2, 1});
+      const lin::Time res = rec->tick();
+      rec->add_update(2, 0, Tag{2, 1}, inv, res);
+    });
+    return bodies;
+  };
+
+  std::uint64_t runs_checked = 0;
+  sched::ExploreConfig cfg;
+  cfg.max_preemptions = 1;
+  cfg.max_runs = 30000;
+  sched::explore(factory, cfg, [&](const sched::RunReport&) {
+    const lin::History h = recorder->take();
+    ASSERT_EQ(lin::wing_gong_check(h, 30), lin::WgVerdict::kLinearizable);
+    ASSERT_FALSE(lin::check_multi_writer_forced(h).has_value());
+    ++runs_checked;
+  });
+  EXPECT_GT(runs_checked, 100u);
+}
+
+// --- Two-preemption exploration of the bounded algorithm ----------------------
+TEST(ExplorerExtra, BoundedSwTwoPreemptions) {
+  std::shared_ptr<lin::Recorder> recorder;
+  sched::ProgramFactory factory = [&]() {
+    auto snap = std::make_shared<core::BoundedSwSnapshot<Tag>>(2, Tag{});
+    recorder = std::make_shared<lin::Recorder>(2);
+    auto rec = recorder;
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([snap, rec] {
+      const lin::Time inv = rec->tick();
+      snap->update(0, Tag{0, 1});
+      const lin::Time res = rec->tick();
+      rec->add_update(0, 0, Tag{0, 1}, inv, res);
+    });
+    bodies.push_back([snap, rec] {
+      const lin::Time inv = rec->tick();
+      std::vector<Tag> view = snap->scan(1);
+      const lin::Time res = rec->tick();
+      rec->add_scan(1, std::move(view), inv, res);
+    });
+    return bodies;
+  };
+
+  std::uint64_t violations = 0;
+  sched::ExploreConfig cfg;
+  cfg.max_preemptions = 2;
+  cfg.max_runs = 40000;
+  const sched::ExploreResult result =
+      sched::explore(factory, cfg, [&](const sched::RunReport&) {
+        const lin::History h = recorder->take();
+        if (lin::check_single_writer(h).has_value()) ++violations;
+      });
+  EXPECT_EQ(violations, 0u);
+  // Two processes, ~25 decision points, <=2 preemptions: a couple hundred
+  // distinct schedules, all explored exhaustively.
+  EXPECT_GT(result.runs, 100u);
+  EXPECT_FALSE(result.exhausted_budget);
+}
+
+// --- Hazard-pointer torture ---------------------------------------------------
+//
+// Many writers exchanging one pointer, readers chasing it, and threads
+// churning (each worker lives briefly, so hazard records and orphaned
+// retire lists recycle constantly). Everything observed must be alive.
+struct TortureNode {
+  inline static std::atomic<int> live{0};
+  std::uint64_t stamp;
+  explicit TortureNode(std::uint64_t s) : stamp(s) { live.fetch_add(1); }
+  ~TortureNode() { live.fetch_sub(1); }
+};
+
+TEST(HazardTorture, ChurningThreadsAndWriters) {
+  using Node = TortureNode;
+  std::atomic<Node*> shared{new Node(0)};
+  constexpr int kGenerations = 12;
+  constexpr int kThreadsPerGen = 6;
+  std::atomic<std::uint64_t> stamp_gen{1};
+
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreadsPerGen; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(static_cast<std::uint64_t>(gen) * 131 + t);
+        for (int i = 0; i < 400; ++i) {
+          if (rng.chance(0.3)) {
+            Node* fresh = new Node(stamp_gen.fetch_add(1));
+            Node* old = shared.exchange(fresh, std::memory_order_acq_rel);
+            hazard::retire_object(old);
+          } else {
+            hazard::Guard guard;
+            Node* p = guard.protect(shared);
+            ASSERT_NE(p, nullptr);
+            ASSERT_LT(p->stamp, stamp_gen.load());  // sane, alive memory
+          }
+        }
+      });
+    }
+  }
+  delete shared.exchange(nullptr);
+  hazard::Domain::global().drain();
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+// --- VA register: exact atomicity via the snapshot oracle ---------------------
+//
+// A multi-writer register is a 1-word multi-writer snapshot: model each
+// read as a scan of width 1 and each write as an update, and ask Wing-Gong.
+TEST(VaRegisterExact, SmallHistoriesAreAtomic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    reg::VitanyiAwerbuchMwmr<Tag> va(3, Tag{});
+    lin::Recorder recorder(1);
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < 3; ++p) {
+        threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+          Rng rng(seed * 97 + pid);
+          std::uint64_t seq = 0;
+          for (int op = 0; op < 3; ++op) {
+            if (rng.chance(0.5)) {
+              const Tag tag{pid, ++seq};
+              const lin::Time inv = recorder.tick();
+              va.write(pid, tag);
+              const lin::Time res = recorder.tick();
+              recorder.add_update(pid, 0, tag, inv, res);
+            } else {
+              const lin::Time inv = recorder.tick();
+              Tag seen = va.read(pid);
+              const lin::Time res = recorder.tick();
+              recorder.add_scan(pid, {seen}, inv, res);
+            }
+          }
+        });
+      }
+    }
+    EXPECT_EQ(lin::wing_gong_check(recorder.take(), 30),
+              lin::WgVerdict::kLinearizable)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace asnap

@@ -1,0 +1,176 @@
+// Fault injection: the defining property of wait-freedom is that a process
+// may fail-stop AT ANY STEP — mid-update, with half its protocol state
+// published — and every other process still completes every operation
+// within its own step bound. We realize fail-stop deterministically with
+// the turnstile scheduler: a "crashed" process is simply never scheduled
+// again until everyone else has finished (StarvePolicy with period 0
+// schedules the victim only when it is the sole enabled process).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+// A policy that schedules the victim normally for its first `steps_alive`
+// steps, then never again while anyone else is enabled.
+class CrashAfterPolicy final : public sched::Policy {
+ public:
+  CrashAfterPolicy(std::size_t victim, std::uint64_t steps_alive)
+      : victim_(victim), steps_alive_(steps_alive) {}
+
+  std::size_t choose(const std::vector<std::size_t>& enabled,
+                     std::size_t current, std::uint64_t step) override {
+    (void)step;
+    const bool victim_enabled =
+        std::binary_search(enabled.begin(), enabled.end(), victim_);
+    if (enabled.size() == 1) return enabled.front();
+    if (victim_enabled && victim_steps_ < steps_alive_) {
+      // Interleave: victim and others alternate until the crash point.
+      if (current != victim_) {
+        ++victim_steps_;
+        return victim_;
+      }
+    }
+    // Round-robin over the others.
+    std::vector<std::size_t> others;
+    for (std::size_t id : enabled) {
+      if (id != victim_) others.push_back(id);
+    }
+    if (others.empty()) return enabled.front();
+    if (current == sched::Policy::kNone || current == victim_) {
+      return others.front();
+    }
+    const auto it = std::upper_bound(others.begin(), others.end(), current);
+    return it != others.end() ? *it : others.front();
+  }
+
+ private:
+  std::size_t victim_;
+  std::uint64_t steps_alive_;
+  std::uint64_t victim_steps_ = 0;
+};
+
+// Crash an updater after each possible number of steps k (sweeping the
+// crash point across the whole update, including mid-handshake and
+// mid-embedded-scan). The survivors must complete all their operations
+// within the wait-free bound, and the resulting history (crashed op
+// excluded if it never linearized, included if it did) must be
+// linearizable. We handle the "maybe took effect" update by recording it
+// with an open-ended response time only if some scan observed it.
+template <typename Snap>
+void run_crash_sweep(std::size_t n, std::uint64_t crash_at) {
+  Snap snap(n, Tag{});
+  lin::Recorder recorder(n);
+
+  std::vector<std::function<void()>> bodies;
+  // Victim: process n-1 attempts one update and is crashed mid-flight.
+  const auto victim = static_cast<ProcessId>(n - 1);
+  const lin::Tag victim_tag{victim, 1};
+  bodies.resize(n);
+  bodies[victim] = [&snap, victim, victim_tag] {
+    snap.update(victim, victim_tag);
+  };
+  // Survivors: interleaved updates and scans, recorded.
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    bodies[p] = [&, pid = static_cast<ProcessId>(p)] {
+      std::uint64_t seq = 0;
+      for (int op = 0; op < 6; ++op) {
+        if (op % 2 == 0) {
+          const lin::Time inv = recorder.tick();
+          snap.update(pid, Tag{pid, ++seq});
+          const lin::Time res = recorder.tick();
+          recorder.add_update(pid, pid, Tag{pid, seq}, inv, res);
+        } else {
+          const lin::Time inv = recorder.tick();
+          std::vector<Tag> view = snap.scan(pid);
+          const lin::Time res = recorder.tick();
+          recorder.add_scan(pid, std::move(view), inv, res);
+        }
+      }
+    };
+  }
+
+  CrashAfterPolicy policy(victim, crash_at);
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+
+  lin::History history = recorder.take();
+  // If any survivor observed the victim's value, the crashed update
+  // linearized: add it with a maximal interval (it was concurrent with
+  // everything after its invocation).
+  bool observed = false;
+  for (const lin::ScanOp& s : history.scans) {
+    if (s.view[victim] == victim_tag) observed = true;
+  }
+  if (observed) {
+    history.updates.push_back(
+        lin::UpdateOp{victim, victim, victim_tag, 0, ~lin::Time{0} - 1});
+  }
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value())
+      << "crash_at=" << crash_at << ": " << *violation;
+}
+
+TEST(FaultInjection, UnboundedSurvivesUpdaterCrashAtEveryStep) {
+  constexpr std::size_t kN = 3;
+  // An unbounded update at n=3 costs 2n+1 = 7 solo steps; sweep beyond it
+  // (interference can stretch it, and crash-after-completion is legal too).
+  for (std::uint64_t k = 0; k <= 16; ++k) {
+    run_crash_sweep<core::UnboundedSwSnapshot<Tag>>(kN, k);
+  }
+}
+
+TEST(FaultInjection, BoundedSurvivesUpdaterCrashAtEveryStep) {
+  constexpr std::size_t kN = 3;
+  // A bounded update at n=3 costs 5n+1 = 16 solo steps; sweep past it.
+  for (std::uint64_t k = 0; k <= 24; ++k) {
+    run_crash_sweep<core::BoundedSwSnapshot<Tag>>(kN, k);
+  }
+}
+
+// The nastiest case for Figure 3: the victim crashes between its handshake
+// collection (line 0) and its register write (line 2) — its f-bits are
+// computed but never published, repeatedly "half-finished". Survivor scans
+// must still terminate within the pigeonhole bound forever after.
+TEST(FaultInjection, HalfFinishedHandshakeDoesNotWedgeScanners) {
+  constexpr std::size_t kN = 4;
+  core::BoundedSwSnapshot<Tag> snap(kN, Tag{});
+  std::vector<std::function<void()>> bodies;
+  lin::Recorder recorder(kN);
+
+  bodies.push_back([&] { snap.update(3, Tag{3, 1}); });  // victim: pid 3
+  for (std::size_t p = 0; p < 3; ++p) {
+    bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+      for (int i = 0; i < 10; ++i) {
+        const lin::Time inv = recorder.tick();
+        std::vector<Tag> view = snap.scan(pid);
+        const lin::Time res = recorder.tick();
+        recorder.add_scan(pid, std::move(view), inv, res);
+      }
+    });
+  }
+  // Crash after 5 steps: inside the handshake/embedded-scan region.
+  CrashAfterPolicy policy(/*victim index in bodies=*/0, 5);
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+
+  for (ProcessId p = 0; p < 3; ++p) {
+    // bodies[1..3] map to snapshot pids 0..2
+    EXPECT_LE(snap.stats(p).max_double_collects, kN + 1);
+  }
+}
+
+}  // namespace
+}  // namespace asnap

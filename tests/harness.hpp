@@ -1,0 +1,120 @@
+// Shared test harness: drives snapshot objects with randomized concurrent
+// workloads over Tag values and records complete operation histories for
+// the linearizability checkers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/instrumentation.hpp"
+#include "common/rng.hpp"
+#include "lin/history.hpp"
+
+namespace asnap::testing {
+
+struct WorkloadConfig {
+  std::size_t processes = 4;
+  std::size_t ops_per_process = 200;
+  double scan_prob = 0.5;
+  std::uint64_t seed = 1;
+  /// Probability of yielding the OS scheduler before each primitive register
+  /// step. Essential on few-core machines: without it, threads interleave
+  /// only at coarse preemption boundaries and concurrency bugs hide.
+  double yield_prob = 0.2;
+};
+
+/// Step hook that yields with fixed probability — randomized preemption at
+/// exactly the atomic-step granularity the paper's proofs reason about.
+struct ChaosYield {
+  Rng rng;
+  double prob;
+
+  static void hook(void* ctx, StepKind /*kind*/) {
+    auto* self = static_cast<ChaosYield*>(ctx);
+    if (self->prob > 0 && self->rng.chance(self->prob)) {
+      std::this_thread::yield();
+    }
+  }
+};
+
+/// Runs a single-writer workload: process i updates word i with uniquely
+/// tagged values and scans, all recorded. The snapshot must hold lin::Tag
+/// values and have been constructed with init == lin::Tag{}.
+template <typename Snap>
+lin::History run_sw_workload(Snap& snap, const WorkloadConfig& cfg) {
+  lin::Recorder recorder(cfg.processes);
+  std::atomic<bool> go{false};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(cfg.processes);
+    for (std::size_t p = 0; p < cfg.processes; ++p) {
+      threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        Rng rng(cfg.seed * 0x9E3779B9ULL + pid);
+        ChaosYield chaos{Rng(cfg.seed * 31 + pid), cfg.yield_prob};
+        ScopedStepHook hook(&ChaosYield::hook, &chaos);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        std::uint64_t seq = 0;
+        for (std::size_t op = 0; op < cfg.ops_per_process; ++op) {
+          if (rng.chance(cfg.scan_prob)) {
+            const lin::Time inv = recorder.tick();
+            std::vector<lin::Tag> view = snap.scan(pid);
+            const lin::Time res = recorder.tick();
+            recorder.add_scan(pid, std::move(view), inv, res);
+          } else {
+            const lin::Tag tag{pid, ++seq};
+            const lin::Time inv = recorder.tick();
+            snap.update(pid, tag);
+            const lin::Time res = recorder.tick();
+            recorder.add_update(pid, pid, tag, inv, res);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+  }  // join
+  return recorder.take();
+}
+
+/// Runs a multi-writer workload: every process updates uniformly random
+/// words. The snapshot must expose update(pid, word, Tag) and scan(pid).
+template <typename Snap>
+lin::History run_mw_workload(Snap& snap, const WorkloadConfig& cfg) {
+  const std::size_t words = snap.words();
+  lin::Recorder recorder(words);
+  std::atomic<bool> go{false};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(cfg.processes);
+    for (std::size_t p = 0; p < cfg.processes; ++p) {
+      threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        Rng rng(cfg.seed * 0x2545F491ULL + pid);
+        ChaosYield chaos{Rng(cfg.seed * 37 + pid), cfg.yield_prob};
+        ScopedStepHook hook(&ChaosYield::hook, &chaos);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        std::uint64_t seq = 0;
+        for (std::size_t op = 0; op < cfg.ops_per_process; ++op) {
+          if (rng.chance(cfg.scan_prob)) {
+            const lin::Time inv = recorder.tick();
+            std::vector<lin::Tag> view = snap.scan(pid);
+            const lin::Time res = recorder.tick();
+            recorder.add_scan(pid, std::move(view), inv, res);
+          } else {
+            const std::size_t k = rng.below(words);
+            const lin::Tag tag{pid, ++seq};
+            const lin::Time inv = recorder.tick();
+            snap.update(pid, k, tag);
+            const lin::Time res = recorder.tick();
+            recorder.add_update(pid, k, tag, inv, res);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+  }  // join
+  return recorder.take();
+}
+
+}  // namespace asnap::testing

@@ -1,0 +1,274 @@
+// Tests for the classical register hierarchy (safe bit -> regular bit ->
+// K-valued regular -> atomic 1W1R -> atomic 1WnR). Each level's test shows
+// two things: the level BELOW genuinely exhibits the anomaly (garbage /
+// new-old inversion — no vacuous strength), and the construction at this
+// level removes exactly that anomaly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lin/history.hpp"
+#include "lin/wing_gong.hpp"
+#include "reg/hierarchy/atomic_from_regular.hpp"
+#include "reg/hierarchy/regular_bit.hpp"
+#include "reg/hierarchy/regular_kvalued.hpp"
+#include "reg/hierarchy/safe_bit.hpp"
+#include "reg/hierarchy/simulated_regular.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap::reg::hierarchy {
+namespace {
+
+// Runs writer/reader bodies under round-robin turnstile so reads land
+// inside write windows deterministically.
+void run_interleaved(std::vector<std::function<void()>> bodies) {
+  sched::RoundRobinPolicy policy;
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+}
+
+// --- SafeBit ------------------------------------------------------------------
+
+TEST(SafeBit, SequentialReadsReturnLastWrite) {
+  SafeBit bit(false);
+  EXPECT_FALSE(bit.read());
+  bit.write(true);
+  EXPECT_TRUE(bit.read());
+  bit.write(false);
+  EXPECT_FALSE(bit.read());
+}
+
+TEST(SafeBit, OverlappedReadsMayReturnGarbage) {
+  // Writer rewrites `true` with `true`; a safe register may still return
+  // false to an overlapping read. Count garbage across seeds: it MUST
+  // happen for some seed (otherwise our simulation is vacuously strong).
+  int garbage = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SafeBit bit(true, seed);
+    bool seen = true;
+    run_interleaved({
+        [&] {
+          for (int i = 0; i < 8; ++i) bit.write(true);  // value never changes
+        },
+        [&] {
+          for (int i = 0; i < 8; ++i) seen = seen && bit.read();
+        },
+    });
+    if (!seen) ++garbage;
+  }
+  EXPECT_GT(garbage, 0) << "safe-bit simulation never produced garbage";
+}
+
+// --- RegularBit ----------------------------------------------------------------
+
+TEST(RegularBit, SequentialSemantics) {
+  RegularBit bit(false);
+  EXPECT_FALSE(bit.read());
+  bit.write(true);
+  EXPECT_TRUE(bit.read());
+  bit.write(true);
+  EXPECT_TRUE(bit.read());
+}
+
+TEST(RegularBit, RedundantWritesNeverProduceGarbage) {
+  // The same scenario that breaks SafeBit: rewriting an unchanged value.
+  // The regular construction skips the physical write, so every read is
+  // clean, for every seed.
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    RegularBit bit(true, seed);
+    bool seen = true;
+    run_interleaved({
+        [&] {
+          for (int i = 0; i < 8; ++i) bit.write(true);
+        },
+        [&] {
+          for (int i = 0; i < 8; ++i) seen = seen && bit.read();
+        },
+    });
+    EXPECT_TRUE(seen) << "seed " << seed;
+  }
+}
+
+TEST(RegularBit, ChangingWritesReturnOldOrNew) {
+  // Reads overlapping a 0->1 write may return 0 or 1 — both legal; the
+  // point is they may not return anything else, which for bits is vacuous,
+  // so we check the regularity ORDER property instead: once a read returns
+  // the new value after the write completed, later reads never return the
+  // old one (writer writes once).
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    RegularBit bit(false, seed);
+    std::vector<bool> reads;
+    run_interleaved({
+        [&] { bit.write(true); },
+        [&] {
+          for (int i = 0; i < 6; ++i) reads.push_back(bit.read());
+        },
+    });
+    // After the last read that can overlap the (single) write, all reads
+    // are post-write and must be true; monotone once stable:
+    bool stable_true = false;
+    for (std::size_t i = 0; i + 1 < reads.size(); ++i) {
+      if (reads[i] && reads[i + 1]) stable_true = true;
+      if (stable_true) {
+        EXPECT_TRUE(reads[i + 1]) << "seed " << seed;
+      }
+    }
+    EXPECT_TRUE(reads.back());  // the write completed long before the end
+  }
+}
+
+// --- RegularKValued -------------------------------------------------------------
+
+TEST(RegularKValued, SequentialSemantics) {
+  RegularKValued reg(8, 3);
+  EXPECT_EQ(reg.read(), 3u);
+  reg.write(5);
+  EXPECT_EQ(reg.read(), 5u);
+  reg.write(0);
+  EXPECT_EQ(reg.read(), 0u);
+  reg.write(7);
+  EXPECT_EQ(reg.read(), 7u);
+}
+
+TEST(RegularKValued, OverlappedReadsReturnOldOrOverlappingValues) {
+  // Writer performs a known sequence; every read must return the initial
+  // value or one of the written values (never an index that was never
+  // written) — regularity for the unary construction.
+  const std::set<std::size_t> legal{2, 6, 1, 4};
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    RegularKValued reg(8, 2, seed);
+    std::vector<std::size_t> reads;
+    run_interleaved({
+        [&] {
+          reg.write(6);
+          reg.write(1);
+          reg.write(4);
+        },
+        [&] {
+          for (int i = 0; i < 10; ++i) reads.push_back(reg.read());
+        },
+    });
+    for (const std::size_t v : reads) {
+      EXPECT_TRUE(legal.count(v))
+          << "read returned " << v << " (never written), seed " << seed;
+    }
+    EXPECT_EQ(reads.back(), 4u);
+  }
+}
+
+// --- SimulatedRegularRegister: the anomaly exists --------------------------------
+
+TEST(SimulatedRegular, ExhibitsNewOldInversion) {
+  // A reader polling during writes must, for some seed, observe value k
+  // then value k-1 — the inversion regularity allows. This guarantees the
+  // atomic constructions below are tested against a genuinely weak base.
+  int inversions = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SimulatedRegularRegister<std::uint64_t> reg(0, seed);
+    std::uint64_t last = 0;
+    bool inverted = false;
+    run_interleaved({
+        [&] {
+          for (std::uint64_t v = 1; v <= 12; ++v) reg.write(v);
+        },
+        [&] {
+          for (int i = 0; i < 24; ++i) {
+            const std::uint64_t v = reg.read();
+            if (v < last) inverted = true;
+            last = v;
+          }
+        },
+    });
+    if (inverted) ++inversions;
+  }
+  EXPECT_GT(inversions, 0) << "regular simulation is vacuously atomic";
+}
+
+// --- Atomic1W1R: the anomaly is gone ---------------------------------------------
+
+TEST(Atomic1W1R, SequentialSemantics) {
+  Atomic1W1R<int> reg(-1);
+  EXPECT_EQ(reg.read(), -1);
+  reg.write(10);
+  EXPECT_EQ(reg.read(), 10);
+  reg.write(20);
+  EXPECT_EQ(reg.read(), 20);
+}
+
+TEST(Atomic1W1R, NoInversionForAnySeed) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Atomic1W1R<std::uint64_t> reg(0, seed);
+    std::uint64_t last = 0;
+    bool inverted = false;
+    run_interleaved({
+        [&] {
+          for (std::uint64_t v = 1; v <= 12; ++v) reg.write(v);
+        },
+        [&] {
+          for (int i = 0; i < 24; ++i) {
+            const std::uint64_t v = reg.read();
+            if (v < last) inverted = true;
+            last = v;
+          }
+        },
+    });
+    EXPECT_FALSE(inverted) << "seed " << seed;
+  }
+}
+
+// --- AtomicSwmr: multi-reader atomicity ------------------------------------------
+
+TEST(AtomicSwmr, SequentialSemantics) {
+  AtomicSwmr<int> reg(3, 0);
+  reg.write(5);
+  EXPECT_EQ(reg.read(0), 5);
+  EXPECT_EQ(reg.read(1), 5);
+  reg.write(9);
+  EXPECT_EQ(reg.read(2), 9);
+}
+
+TEST(AtomicSwmr, TwoReadersNeverInvertEachOther) {
+  // The cross-reader inversion: r0 reads v, then (strictly later) r1 reads
+  // v' < v. The report write-back must prevent it for every seed. The
+  // check uses recorded intervals + the Wing-Gong oracle (a register is a
+  // 1-word snapshot).
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    lin::Recorder recorder(1);
+    AtomicSwmr<lin::Tag> areg(2, lin::Tag{}, seed * 131);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&] {
+      for (std::uint64_t s = 1; s <= 3; ++s) {
+        const lin::Tag tag{0, s};
+        const lin::Time inv = recorder.tick();
+        areg.write(tag);
+        const lin::Time res = recorder.tick();
+        recorder.add_update(0, 0, tag, inv, res);
+      }
+    });
+    for (std::size_t r = 0; r < 2; ++r) {
+      bodies.push_back([&, r] {
+        for (int i = 0; i < 3; ++i) {
+          const lin::Time inv = recorder.tick();
+          lin::Tag seen = areg.read(r);
+          const lin::Time res = recorder.tick();
+          recorder.add_scan(static_cast<ProcessId>(r + 1), {seen}, inv, res);
+        }
+      });
+    }
+    sched::RandomPolicy policy(seed);
+    sched::SimScheduler scheduler(policy);
+    scheduler.run(std::move(bodies));
+    EXPECT_EQ(lin::wing_gong_check(recorder.take(), 30),
+              lin::WgVerdict::kLinearizable)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace asnap::reg::hierarchy

@@ -1,0 +1,81 @@
+// Round-trip and error-handling tests for the history text format.
+#include <gtest/gtest.h>
+
+#include "lin/history.hpp"
+#include "lin/history_io.hpp"
+#include "lin/snapshot_checker.hpp"
+
+namespace asnap::lin {
+namespace {
+
+History sample() {
+  History h;
+  h.num_words = 2;
+  h.updates.push_back({0, 0, Tag{0, 1}, 0, 1});
+  h.updates.push_back({1, 1, Tag{1, 1}, 2, 5});
+  h.scans.push_back({1, {Tag{0, 1}, Tag{}}, 3, 4});
+  h.scans.push_back({0, {Tag{0, 1}, Tag{1, 1}}, 6, 7});
+  return h;
+}
+
+TEST(HistoryIo, RoundTripsExactly) {
+  const History original = sample();
+  const std::string text = dump_history(original);
+  std::string error;
+  const auto parsed = parse_history(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->num_words, original.num_words);
+  ASSERT_EQ(parsed->updates.size(), original.updates.size());
+  ASSERT_EQ(parsed->scans.size(), original.scans.size());
+  for (std::size_t i = 0; i < original.updates.size(); ++i) {
+    EXPECT_EQ(parsed->updates[i].proc, original.updates[i].proc);
+    EXPECT_EQ(parsed->updates[i].word, original.updates[i].word);
+    EXPECT_EQ(parsed->updates[i].tag, original.updates[i].tag);
+    EXPECT_EQ(parsed->updates[i].inv, original.updates[i].inv);
+    EXPECT_EQ(parsed->updates[i].res, original.updates[i].res);
+  }
+  for (std::size_t i = 0; i < original.scans.size(); ++i) {
+    EXPECT_EQ(parsed->scans[i].view, original.scans[i].view);
+  }
+  // Checker verdict survives the round trip.
+  EXPECT_EQ(check_single_writer(original).has_value(),
+            check_single_writer(*parsed).has_value());
+}
+
+TEST(HistoryIo, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "words 1\n"
+      "U 0 0 0 1 0 1   # trailing comment\n"
+      "S 1 2 3 0:1\n";
+  const auto parsed = parse_history(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->updates.size(), 1u);
+  EXPECT_EQ(parsed->scans.size(), 1u);
+  EXPECT_EQ(parsed->scans[0].view[0], (Tag{0, 1}));
+}
+
+TEST(HistoryIo, InitialTagDash) {
+  const auto parsed = parse_history("words 2\nS 0 0 1 - -\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->scans[0].view[0].is_initial());
+  EXPECT_TRUE(parsed->scans[0].view[1].is_initial());
+}
+
+TEST(HistoryIo, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_history("", &error).has_value());
+  EXPECT_FALSE(parse_history("U 0 0 0 1 0 1\n", &error).has_value());
+  EXPECT_FALSE(parse_history("words 0\n", &error).has_value());
+  EXPECT_FALSE(parse_history("words 1\nS 0 0 1 0:1 0:2\n", &error)
+                   .has_value());  // width mismatch
+  EXPECT_FALSE(parse_history("words 1\nS 0 0 1 garbage\n", &error)
+                   .has_value());
+  EXPECT_FALSE(parse_history("words 1\nX 1 2 3\n", &error).has_value());
+  EXPECT_FALSE(parse_history("words 1\nU 0 0 0 0 0 1\n", &error)
+                   .has_value());  // seq 0 reserved for initial
+}
+
+}  // namespace
+}  // namespace asnap::lin

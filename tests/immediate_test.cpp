@@ -1,0 +1,183 @@
+// Tests for the one-shot immediate snapshot: the three defining properties
+// (self-inclusion, containment, immediacy) under sequential use, real
+// concurrency, seeded deterministic schedules, and systematic exploration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/immediate_snapshot.hpp"
+#include "harness.hpp"
+#include "sched/explorer.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap::core {
+namespace {
+
+using Snap = ImmediateSnapshot<std::uint64_t>;
+using View = std::vector<Snap::Entry>;
+
+std::set<ProcessId> pids_of(const View& view) {
+  std::set<ProcessId> out;
+  for (const auto& e : view) out.insert(e.pid);
+  return out;
+}
+
+bool subset(const std::set<ProcessId>& a, const std::set<ProcessId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Asserts self-inclusion, containment and immediacy over a complete set of
+/// per-process views (empty view = process did not participate).
+void check_immediate_properties(const std::vector<View>& views) {
+  const std::size_t n = views.size();
+  std::vector<std::set<ProcessId>> sets(n);
+  std::vector<bool> participated(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (views[i].empty()) continue;
+    participated[i] = true;
+    sets[i] = pids_of(views[i]);
+    // self-inclusion
+    ASSERT_TRUE(sets[i].count(static_cast<ProcessId>(i)))
+        << "P" << i << " missing from its own view";
+    // views only contain participants, with their real values
+    for (const auto& entry : views[i]) {
+      ASSERT_LT(entry.pid, n);
+      ASSERT_EQ(entry.value, 1000 + entry.pid) << "phantom value";
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!participated[i]) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!participated[j]) continue;
+      // containment
+      ASSERT_TRUE(subset(sets[i], sets[j]) || subset(sets[j], sets[i]))
+          << "views of P" << i << " and P" << j << " incomparable";
+      // immediacy
+      if (sets[i].count(static_cast<ProcessId>(j))) {
+        ASSERT_TRUE(subset(sets[j], sets[i]))
+            << "P" << j << " in P" << i << "'s view but view_" << j
+            << " not contained";
+      }
+    }
+  }
+}
+
+TEST(ImmediateSnapshot, SoloParticipantSeesOnlyItself) {
+  Snap snap(4);
+  const View view = snap.write_read(2, 1002);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].pid, 2u);
+  EXPECT_EQ(view[0].value, 1002u);
+}
+
+TEST(ImmediateSnapshot, SequentialParticipantsNest) {
+  Snap snap(3);
+  std::vector<View> views(3);
+  views[0] = snap.write_read(0, 1000);
+  views[1] = snap.write_read(1, 1001);
+  views[2] = snap.write_read(2, 1002);
+  EXPECT_EQ(views[0].size(), 1u);
+  EXPECT_EQ(views[1].size(), 2u);
+  EXPECT_EQ(views[2].size(), 3u);
+  check_immediate_properties(views);
+}
+
+TEST(ImmediateSnapshot, PropertiesHoldUnderRealThreads) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const std::size_t n = 2 + seed % 5;  // 2..6
+    Snap snap(n);
+    std::vector<View> views(n);
+    {
+      std::vector<std::jthread> threads;
+      for (std::size_t p = 0; p < n; ++p) {
+        threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+          testing::ChaosYield chaos{Rng(seed * 131 + pid), 0.3};
+          ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+          views[pid] = snap.write_read(pid, 1000 + pid);
+        });
+      }
+    }
+    check_immediate_properties(views);
+  }
+}
+
+TEST(ImmediateSnapshot, PropertiesHoldUnderSeededSchedules) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    constexpr std::size_t kN = 4;
+    Snap snap(kN);
+    std::vector<View> views(kN);
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t p = 0; p < kN; ++p) {
+      bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+        views[pid] = snap.write_read(pid, 1000 + pid);
+      });
+    }
+    sched::RandomPolicy policy(seed);
+    sched::SimScheduler scheduler(policy);
+    scheduler.run(std::move(bodies));
+    check_immediate_properties(views);
+  }
+}
+
+TEST(ImmediateSnapshot, PropertiesHoldUnderSystematicExploration) {
+  std::shared_ptr<std::vector<View>> views;
+  sched::ProgramFactory factory = [&]() {
+    auto snap = std::make_shared<Snap>(3);
+    views = std::make_shared<std::vector<View>>(3);
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t p = 0; p < 3; ++p) {
+      bodies.push_back([snap, out = views, pid = static_cast<ProcessId>(p)] {
+        (*out)[pid] = snap->write_read(pid, 1000 + pid);
+      });
+    }
+    return bodies;
+  };
+  sched::ExploreConfig cfg;
+  cfg.max_preemptions = 2;
+  cfg.max_runs = 10000;
+  std::uint64_t checked = 0;
+  sched::explore(factory, cfg, [&](const sched::RunReport&) {
+    check_immediate_properties(*views);
+    ++checked;
+  });
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(ImmediateSnapshot, WaitFreeStepBound) {
+  constexpr std::size_t kN = 6;
+  Snap snap(kN);
+  std::vector<std::jthread> others;
+  std::atomic<int> remaining{kN - 1};
+  for (std::size_t p = 1; p < kN; ++p) {
+    others.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+      testing::ChaosYield chaos{Rng(pid), 0.2};
+      ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+      (void)snap.write_read(pid, 1000 + pid);
+      remaining.fetch_sub(1);
+    });
+  }
+  StepMeter meter;
+  (void)snap.write_read(0, 1000);
+  // Level descent: <= n iterations of (1 write + n reads) => O(n^2).
+  EXPECT_LE(meter.elapsed().total(), (kN + 1) * (kN + 1) * 2);
+}
+
+TEST(ImmediateSnapshot, LastArrivalSeesEveryone) {
+  constexpr std::size_t kN = 5;
+  Snap snap(kN);
+  for (std::size_t p = 0; p + 1 < kN; ++p) {
+    (void)snap.write_read(static_cast<ProcessId>(p), 1000 + p);
+  }
+  const View view = snap.write_read(kN - 1, 1000 + kN - 1);
+  EXPECT_EQ(view.size(), kN);
+}
+
+}  // namespace
+}  // namespace asnap::core

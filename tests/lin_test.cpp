@@ -1,0 +1,337 @@
+// Tests for the linearizability verification substrate itself: handcrafted
+// accept/reject histories for both checkers, plus randomized
+// checker-on-checker cross-validation of the polynomial single-writer
+// checker against the exhaustive Wing-Gong oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+
+namespace asnap::lin {
+namespace {
+
+Tag initial() { return Tag{}; }
+Tag t(ProcessId w, std::uint64_t s) { return Tag{w, s}; }
+
+// Handy builder for two-process single-writer histories.
+struct HistoryBuilder {
+  History h;
+  explicit HistoryBuilder(std::size_t words) { h.num_words = words; }
+  HistoryBuilder& update(ProcessId p, std::size_t word, Tag tag, Time inv,
+                         Time res) {
+    h.updates.push_back({p, word, tag, inv, res});
+    return *this;
+  }
+  HistoryBuilder& scan(ProcessId p, std::vector<Tag> view, Time inv,
+                       Time res) {
+    h.scans.push_back({p, std::move(view), inv, res});
+    return *this;
+  }
+};
+
+TEST(SwChecker, EmptyHistoryAccepted) {
+  History h;
+  h.num_words = 3;
+  EXPECT_FALSE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, SequentialUpdateThenScanAccepted) {
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 1)
+               .scan(1, {t(0, 1), initial()}, 2, 3)
+               .h;
+  EXPECT_FALSE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, ScanMissingCompletedUpdateRejected) {
+  // Update completed strictly before the scan began, but the scan returns
+  // the initial value: must serialize scan before update — impossible.
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 1)
+               .scan(1, {initial(), initial()}, 2, 3)
+               .h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, ScanSeesFutureUpdateRejected) {
+  // Scan finished before the update was even invoked, yet observed it.
+  auto h = HistoryBuilder(2)
+               .scan(1, {t(0, 1), initial()}, 0, 1)
+               .update(0, 0, t(0, 1), 2, 3)
+               .h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, OverlappingUpdateMayOrMayNotBeSeen) {
+  // Update overlaps the scan: both outcomes are linearizable.
+  auto seen = HistoryBuilder(2)
+                  .update(0, 0, t(0, 1), 0, 10)
+                  .scan(1, {t(0, 1), initial()}, 1, 9)
+                  .h;
+  EXPECT_FALSE(check_single_writer(seen).has_value());
+
+  auto missed = HistoryBuilder(2)
+                    .update(0, 0, t(0, 1), 0, 10)
+                    .scan(1, {initial(), initial()}, 1, 9)
+                    .h;
+  EXPECT_FALSE(check_single_writer(missed).has_value());
+}
+
+TEST(SwChecker, StaleValueAfterNewerCompletedRejected) {
+  // Two updates by P0 complete, then a scan returns the first value.
+  auto h = HistoryBuilder(1)
+               .update(0, 0, t(0, 1), 0, 1)
+               .update(0, 0, t(0, 2), 2, 3)
+               .scan(0, {t(0, 1)}, 4, 5)
+               .h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, IncomparableScanViewsRejected) {
+  // The signature snapshot violation: S1 sees U0 but not U1; S2 sees U1 but
+  // not U0. No single serialization can order the two updates both ways.
+  // All four operations are mutually concurrent.
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 100)
+               .update(1, 1, t(1, 1), 0, 100)
+               .scan(0, {t(0, 1), initial()}, 1, 99)
+               .scan(1, {initial(), t(1, 1)}, 1, 99)
+               .h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kNotLinearizable);
+}
+
+TEST(SwChecker, ComparableScanViewsAccepted) {
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 100)
+               .update(1, 1, t(1, 1), 0, 100)
+               .scan(0, {t(0, 1), initial()}, 1, 99)
+               .scan(1, {t(0, 1), t(1, 1)}, 1, 99)
+               .h;
+  EXPECT_FALSE(check_single_writer(h).has_value());
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kLinearizable);
+}
+
+TEST(SwChecker, RealTimeOrderBetweenScansEnforced) {
+  // S1 completes before S2 starts but S1's view is strictly newer: reject.
+  auto h = HistoryBuilder(1)
+               .update(0, 0, t(0, 1), 0, 20)
+               .scan(0, {t(0, 1)}, 1, 2)
+               .scan(0, {initial()}, 3, 4)
+               .h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kNotLinearizable);
+}
+
+TEST(SwChecker, UnknownTagRejected) {
+  auto h = HistoryBuilder(1).scan(0, {t(0, 5)}, 0, 1).h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, WrongViewWidthRejected) {
+  auto h = HistoryBuilder(2).scan(0, {initial()}, 0, 1).h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, NonConsecutiveSequenceRejected) {
+  auto h = HistoryBuilder(1).update(0, 0, t(0, 2), 0, 1).h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+TEST(SwChecker, WriteToForeignWordRejected) {
+  auto h = HistoryBuilder(2).update(0, 1, t(0, 1), 0, 1).h;
+  EXPECT_TRUE(check_single_writer(h).has_value());
+}
+
+// --- Wing-Gong unit tests ---------------------------------------------------
+
+TEST(WingGong, AcceptsSequentialHistory) {
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 1)
+               .scan(1, {t(0, 1), initial()}, 2, 3)
+               .update(1, 1, t(1, 1), 4, 5)
+               .scan(0, {t(0, 1), t(1, 1)}, 6, 7)
+               .h;
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kLinearizable);
+}
+
+TEST(WingGong, RejectsStaleRead) {
+  auto h = HistoryBuilder(1)
+               .update(0, 0, t(0, 1), 0, 1)
+               .scan(1, {initial()}, 2, 3)
+               .h;
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kNotLinearizable);
+}
+
+TEST(WingGong, MultiWriterSameWordAccepted) {
+  // Two writers to one word; scan sees the second writer's value.
+  auto h = HistoryBuilder(1)
+               .update(0, 0, t(0, 1), 0, 10)
+               .update(1, 0, t(1, 1), 0, 10)
+               .scan(2, {t(1, 1)}, 11, 12)
+               .h;
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kLinearizable);
+}
+
+TEST(WingGong, MultiWriterLostUpdateRejected) {
+  // Both updates complete before the scan; scan sees the initial value.
+  auto h = HistoryBuilder(1)
+               .update(0, 0, t(0, 1), 0, 1)
+               .update(1, 0, t(1, 1), 2, 3)
+               .scan(2, {initial()}, 4, 5)
+               .h;
+  EXPECT_EQ(wing_gong_check(h), WgVerdict::kNotLinearizable);
+}
+
+TEST(WingGong, TooLargeReported) {
+  HistoryBuilder b(1);
+  for (int i = 0; i < 40; ++i) {
+    b.update(0, 0, t(0, static_cast<std::uint64_t>(i + 1)), 2 * i, 2 * i + 1);
+  }
+  EXPECT_EQ(wing_gong_check(b.h, 28), WgVerdict::kTooLarge);
+}
+
+// --- Multi-writer forced-edge checker ---------------------------------------
+
+TEST(MwChecker, AcceptsValidMultiWriterHistory) {
+  auto h = HistoryBuilder(2)
+               .update(0, 0, t(0, 1), 0, 1)
+               .update(1, 0, t(1, 1), 2, 3)
+               .scan(2, {t(1, 1), initial()}, 4, 5)
+               .h;
+  EXPECT_FALSE(check_multi_writer_forced(h).has_value());
+}
+
+TEST(MwChecker, RejectsReadFromFuture) {
+  auto h = HistoryBuilder(1)
+               .scan(2, {t(1, 1)}, 0, 1)
+               .update(1, 0, t(1, 1), 2, 3)
+               .h;
+  EXPECT_TRUE(check_multi_writer_forced(h).has_value());
+}
+
+TEST(MwChecker, RejectsInitialViewAfterCompletedWrite) {
+  auto h = HistoryBuilder(1)
+               .update(1, 0, t(1, 1), 0, 1)
+               .scan(2, {initial()}, 2, 3)
+               .h;
+  EXPECT_TRUE(check_multi_writer_forced(h).has_value());
+}
+
+TEST(MwChecker, RejectsSameWriterStaleRead) {
+  // P1 writes word 0 twice, both complete, scan sees the first write.
+  auto h = HistoryBuilder(1)
+               .update(1, 0, t(1, 1), 0, 1)
+               .update(1, 0, t(1, 2), 2, 3)
+               .scan(2, {t(1, 1)}, 4, 5)
+               .h;
+  EXPECT_TRUE(check_multi_writer_forced(h).has_value());
+}
+
+TEST(MwChecker, RejectsNeverWrittenTag) {
+  auto h = HistoryBuilder(1).scan(0, {t(3, 9)}, 0, 1).h;
+  EXPECT_TRUE(check_multi_writer_forced(h).has_value());
+}
+
+// --- Randomized cross-validation --------------------------------------------
+
+// Generates small random single-writer histories — a mix of well-behaved and
+// deliberately corrupted views — and demands the polynomial checker and the
+// Wing-Gong oracle agree on every single one.
+TEST(CheckerCrossValidation, PolynomialMatchesWingGongOnRandomHistories) {
+  Rng rng(20260708);
+  int agreements = 0;
+  int rejects = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t n = 2 + rng.below(2);        // 2..3 processes/words
+    const std::size_t total_ops = 4 + rng.below(7);  // 4..10 ops
+    History h;
+    h.num_words = n;
+
+    // Random intervals on a discrete clock.
+    Time clock = 0;
+    std::vector<std::uint64_t> seq(n, 0);
+    std::vector<std::vector<Time>> update_windows;  // for plausible views
+    struct Pending {
+      bool is_scan;
+      ProcessId proc;
+      Time inv;
+    };
+    // Interleave ops: each op gets inv then res with random gaps; to create
+    // real overlap we start several ops before closing them.
+    std::vector<Pending> open;
+    std::size_t started = 0;
+    std::vector<std::size_t> proc_busy(n, 0);
+    while (started < total_ops || !open.empty()) {
+      const bool may_start = started < total_ops && open.size() < 3;
+      const bool start_now = may_start && (open.empty() || rng.chance(0.55));
+      if (start_now) {
+        ProcessId p = static_cast<ProcessId>(rng.below(n));
+        if (proc_busy[p]) {  // keep per-process sequentiality
+          bool found = false;
+          for (std::size_t q = 0; q < n; ++q) {
+            if (!proc_busy[q]) {
+              p = static_cast<ProcessId>(q);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            // all busy: fall through to closing one instead
+            goto close_one;
+          }
+        }
+        proc_busy[p] = 1;
+        open.push_back({rng.chance(0.5), p, clock++});
+        ++started;
+        continue;
+      }
+    close_one: {
+      const std::size_t pick = rng.below(open.size());
+      const Pending op = open[pick];
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+      proc_busy[op.proc] = 0;
+      const Time res = clock++;
+      if (op.is_scan) {
+        // Mostly-plausible view: for each word, any seq up to the current
+        // count (occasionally a garbage future value).
+        std::vector<Tag> view(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::uint64_t hi = seq[j];
+          std::uint64_t s = hi == 0 ? 0 : rng.below(hi + 1);
+          if (rng.chance(0.03)) s = hi + 1;  // corrupt: future value
+          view[j] = s == 0 ? Tag{} : Tag{static_cast<ProcessId>(j), s};
+        }
+        h.scans.push_back({op.proc, std::move(view), op.inv, res});
+      } else {
+        const std::size_t j = op.proc;
+        h.updates.push_back({op.proc, j,
+                             Tag{op.proc, ++seq[j]}, op.inv, res});
+      }
+    }
+    }
+
+    const bool poly_ok = !check_single_writer(h).has_value();
+    const WgVerdict wg = wing_gong_check(h, 30);
+    ASSERT_NE(wg, WgVerdict::kTooLarge);
+    const bool wg_ok = wg == WgVerdict::kLinearizable;
+    ASSERT_EQ(poly_ok, wg_ok)
+        << "checker disagreement on trial " << trial << " (poly=" << poly_ok
+        << ", wing-gong=" << wg_ok << ")";
+    ++agreements;
+    rejects += !wg_ok;
+  }
+  EXPECT_EQ(agreements, 3000);
+  // The generator must produce a healthy mix of accepted and rejected
+  // histories for the cross-validation to mean anything.
+  EXPECT_GT(rejects, 100);
+  EXPECT_LT(rejects, 2900);
+}
+
+}  // namespace
+}  // namespace asnap::lin

@@ -1,0 +1,104 @@
+// Unit tests for the simulated asynchronous network.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "net/network.hpp"
+
+namespace asnap::net {
+namespace {
+
+TEST(Mailbox, DeliversPushedMessages) {
+  Mailbox box(1);
+  box.push(Message{0, 7, 42, {}});
+  const auto msg = box.try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 7u);
+  EXPECT_EQ(msg->rid, 42u);
+}
+
+TEST(Mailbox, TryReceiveEmptyReturnsNothing) {
+  Mailbox box(1);
+  EXPECT_FALSE(box.try_receive().has_value());
+}
+
+TEST(Mailbox, ReceiveBlocksUntilPush) {
+  Mailbox box(1);
+  std::jthread producer([&] { box.push(Message{3, 1, 1, {}}); });
+  const auto msg = box.receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 3u);
+}
+
+TEST(Mailbox, CloseDrainsThenSignals) {
+  Mailbox box(1);
+  box.push(Message{0, 1, 1, {}});
+  box.close();
+  EXPECT_TRUE(box.receive().has_value());   // drain pending
+  EXPECT_FALSE(box.receive().has_value());  // then closed
+  box.push(Message{0, 2, 2, {}});           // dropped after close
+  EXPECT_FALSE(box.try_receive().has_value());
+}
+
+TEST(Mailbox, ReordersDeliveries) {
+  Mailbox box(99);
+  for (std::uint64_t i = 0; i < 64; ++i) box.push(Message{0, i, i, {}});
+  bool out_of_order = false;
+  std::uint64_t last = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto msg = box.try_receive();
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type < last) out_of_order = true;
+    last = msg->type;
+  }
+  EXPECT_TRUE(out_of_order) << "random pop should reorder 64 messages";
+}
+
+TEST(Network, RoutesToCorrectNodeAndPort) {
+  Network net(3, 7);
+  net.send(0, 2, Port::kServer, 5, 1, {});
+  net.send(0, 2, Port::kClient, 6, 2, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  const auto server_msg = net.mailbox(2, Port::kServer).try_receive();
+  ASSERT_TRUE(server_msg.has_value());
+  EXPECT_EQ(server_msg->type, 5u);
+  const auto client_msg = net.mailbox(2, Port::kClient).try_receive();
+  ASSERT_TRUE(client_msg.has_value());
+  EXPECT_EQ(client_msg->type, 6u);
+}
+
+TEST(Network, BroadcastReachesEveryNode) {
+  Network net(4, 7);
+  net.broadcast(1, Port::kServer, 9, 3, {});
+  for (NodeId id = 0; id < 4; ++id) {
+    const auto msg = net.mailbox(id, Port::kServer).try_receive();
+    ASSERT_TRUE(msg.has_value()) << "node " << id;
+    EXPECT_EQ(msg->from, 1u);
+  }
+  EXPECT_EQ(net.messages_sent(), 4u);
+}
+
+TEST(Network, CrashDropsTrafficBothWays) {
+  Network net(3, 7);
+  net.crash(1);
+  EXPECT_TRUE(net.crashed(1));
+  EXPECT_EQ(net.alive_count(), 2u);
+  net.send(0, 1, Port::kServer, 1, 1, {});  // to crashed: dropped
+  net.send(1, 0, Port::kServer, 1, 1, {});  // from crashed: dropped
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_FALSE(net.mailbox(0, Port::kServer).try_receive().has_value());
+}
+
+TEST(Network, CrashUnblocksReceivers) {
+  Network net(2, 7);
+  std::jthread receiver([&] {
+    const auto msg = net.mailbox(0, Port::kServer).receive();
+    EXPECT_FALSE(msg.has_value());  // woken by crash-close
+  });
+  std::this_thread::yield();
+  net.crash(0);
+}
+
+}  // namespace
+}  // namespace asnap::net

@@ -1,0 +1,332 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// the same invariant battery runs over every algorithm x process count x
+// workload mix, on real threads with randomized per-step yields, AND under
+// the deterministic scheduler with seeded random schedules.
+//
+// Properties checked on every run:
+//   P1  the recorded history is linearizable (exact single-writer checker);
+//   P2  pigeonhole: no scan used more than n+1 (resp. 2n+1) double collects;
+//   P3  per-process scan sequences are componentwise monotone;
+//   P4  every scanned tag was written by the right process with a plausible
+//       sequence number (well-formedness, also covered by P1's checker).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "harness.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "reg/mwmr_register.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+enum class Algo { kUnbounded, kBounded, kMultiWriter };
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::kUnbounded:
+      return "Fig2Unbounded";
+    case Algo::kBounded:
+      return "Fig3Bounded";
+    case Algo::kMultiWriter:
+      return "Fig4MultiWriter";
+  }
+  return "?";
+}
+
+/// Uniform facade over the three algorithms in single-writer usage, plus
+/// access to stats and the per-scan bound.
+class AnySnapshot {
+ public:
+  AnySnapshot(Algo algo, std::size_t n) : algo_(algo), n_(n) {
+    switch (algo) {
+      case Algo::kUnbounded:
+        unbounded_ = std::make_unique<core::UnboundedSwSnapshot<Tag>>(n, Tag{});
+        break;
+      case Algo::kBounded:
+        bounded_ = std::make_unique<core::BoundedSwSnapshot<Tag>>(n, Tag{});
+        break;
+      case Algo::kMultiWriter:
+        multi_ = std::make_unique<core::BoundedMwSnapshot<Tag>>(n, n, Tag{});
+        break;
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  void update(ProcessId i, Tag v) {
+    switch (algo_) {
+      case Algo::kUnbounded:
+        unbounded_->update(i, v);
+        break;
+      case Algo::kBounded:
+        bounded_->update(i, v);
+        break;
+      case Algo::kMultiWriter:
+        multi_->update(i, i, v);
+        break;
+    }
+  }
+
+  std::vector<Tag> scan(ProcessId i) {
+    switch (algo_) {
+      case Algo::kUnbounded:
+        return unbounded_->scan(i);
+      case Algo::kBounded:
+        return bounded_->scan(i);
+      case Algo::kMultiWriter:
+        return multi_->scan(i);
+    }
+    return {};
+  }
+
+  const core::ScanStats& stats(ProcessId i) const {
+    switch (algo_) {
+      case Algo::kUnbounded:
+        return unbounded_->stats(i);
+      case Algo::kBounded:
+        return bounded_->stats(i);
+      case Algo::kMultiWriter:
+      default:
+        return multi_->stats(i);
+    }
+  }
+
+  std::uint64_t double_collect_bound() const {
+    return algo_ == Algo::kMultiWriter ? 2 * n_ + 1 : n_ + 1;
+  }
+
+ private:
+  Algo algo_;
+  std::size_t n_;
+  std::unique_ptr<core::UnboundedSwSnapshot<Tag>> unbounded_;
+  std::unique_ptr<core::BoundedSwSnapshot<Tag>> bounded_;
+  std::unique_ptr<core::BoundedMwSnapshot<Tag>> multi_;
+};
+
+void check_properties(const AnySnapshot& snap, const lin::History& history,
+                      const std::string& label) {
+  // P1: linearizability.
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << label << ": " << *violation;
+
+  // P2: pigeonhole bound.
+  for (ProcessId p = 0; p < snap.size(); ++p) {
+    EXPECT_LE(snap.stats(p).max_double_collects, snap.double_collect_bound())
+        << label << " P" << p;
+  }
+
+  // P3: per-process scan monotonicity (scans by one process are sequential;
+  // order them by invocation).
+  std::vector<std::vector<const lin::ScanOp*>> per_proc(snap.size());
+  for (const lin::ScanOp& s : history.scans) {
+    per_proc[s.proc].push_back(&s);
+  }
+  for (auto& scans : per_proc) {
+    std::sort(scans.begin(), scans.end(),
+              [](const lin::ScanOp* a, const lin::ScanOp* b) {
+                return a->inv < b->inv;
+              });
+    for (std::size_t k = 1; k < scans.size(); ++k) {
+      for (std::size_t j = 0; j < snap.size(); ++j) {
+        EXPECT_LE(scans[k - 1]->view[j].seq, scans[k]->view[j].seq)
+            << label << ": scan views went backwards";
+      }
+    }
+  }
+}
+
+// --- Real-thread sweep --------------------------------------------------------
+
+using ThreadParam = std::tuple<Algo, std::size_t /*n*/, int /*scan %*/>;
+
+class ThreadSweep : public ::testing::TestWithParam<ThreadParam> {};
+
+TEST_P(ThreadSweep, PropertiesHoldUnderRealThreads) {
+  const auto [algo, n, scan_pct] = GetParam();
+  AnySnapshot snap(algo, n);
+  testing::WorkloadConfig cfg;
+  cfg.processes = n;
+  cfg.ops_per_process = 150;
+  cfg.scan_prob = scan_pct / 100.0;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(scan_pct) * 13 + n;
+  cfg.yield_prob = 0.25;
+  const lin::History history = testing::run_sw_workload(snap, cfg);
+  check_properties(snap, history,
+                   algo_name(algo) + "/n=" + std::to_string(n) + "/scan%=" +
+                       std::to_string(scan_pct));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ThreadSweep,
+    ::testing::Combine(::testing::Values(Algo::kUnbounded, Algo::kBounded,
+                                         Algo::kMultiWriter),
+                       ::testing::Values<std::size_t>(2, 3, 5, 8),
+                       ::testing::Values(10, 50, 90)),
+    [](const ::testing::TestParamInfo<ThreadParam>& info) {
+      return algo_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_scan" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Deterministic random-schedule sweep ---------------------------------------
+
+using SimParam = std::tuple<Algo, std::size_t /*n*/, std::uint64_t /*seed*/>;
+
+class SimSweep : public ::testing::TestWithParam<SimParam> {};
+
+// Runs a fixed program (every process does interleaved updates and scans)
+// under a seeded random scheduler; records and checks the history. Every
+// seed is a different — but reproducible — interleaving of atomic steps.
+TEST_P(SimSweep, PropertiesHoldUnderSeededSchedules) {
+  const auto [algo, n, seed] = GetParam();
+  AnySnapshot snap(algo, n);
+  lin::Recorder recorder(n);
+
+  std::vector<std::function<void()>> bodies;
+  for (std::size_t p = 0; p < n; ++p) {
+    bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+      std::uint64_t seq = 0;
+      for (int op = 0; op < 6; ++op) {
+        if (op % 2 == static_cast<int>(pid) % 2) {
+          const lin::Time inv = recorder.tick();
+          snap.update(pid, Tag{pid, ++seq});
+          const lin::Time res = recorder.tick();
+          recorder.add_update(pid, pid, Tag{pid, seq}, inv, res);
+        } else {
+          const lin::Time inv = recorder.tick();
+          std::vector<Tag> view = snap.scan(pid);
+          const lin::Time res = recorder.tick();
+          recorder.add_scan(pid, std::move(view), inv, res);
+        }
+      }
+    });
+  }
+  sched::RandomPolicy policy(seed);
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+
+  const lin::History history = recorder.take();
+  check_properties(snap, history,
+                   algo_name(algo) + "/sim seed=" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededSchedules, SimSweep,
+    ::testing::Combine(::testing::Values(Algo::kUnbounded, Algo::kBounded,
+                                         Algo::kMultiWriter),
+                       ::testing::Values<std::size_t>(2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8)),
+    [](const ::testing::TestParamInfo<SimParam>& info) {
+      return algo_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Genuinely multi-writer sweeps (m independent of n) -----------------------
+
+enum class MwAlgo { kDirect, kCompound, kLayered };
+
+std::string mw_algo_name(MwAlgo a) {
+  switch (a) {
+    case MwAlgo::kDirect:
+      return "Direct";
+    case MwAlgo::kCompound:
+      return "CompoundVA";
+    case MwAlgo::kLayered:
+      return "Layered";
+  }
+  return "?";
+}
+
+using MwParam =
+    std::tuple<MwAlgo, std::size_t /*n*/, std::size_t /*m*/, int /*scan %*/>;
+
+class MwWordSweep : public ::testing::TestWithParam<MwParam> {};
+
+template <typename Snap>
+void run_mw_property(Snap& snap, std::size_t n, int scan_pct,
+                     std::uint64_t seed, const std::string& label) {
+  testing::WorkloadConfig cfg;
+  cfg.processes = n;
+  cfg.ops_per_process = 100;
+  cfg.scan_prob = scan_pct / 100.0;
+  cfg.seed = seed;
+  cfg.yield_prob = 0.25;
+  const lin::History history = testing::run_mw_workload(snap, cfg);
+  const auto violation = lin::check_multi_writer_forced(history);
+  ASSERT_FALSE(violation.has_value()) << label << ": " << *violation;
+  // Per-writer-per-word view monotonicity: across any one process's
+  // sequential scans, the tag seen for (writer w on word k) never regresses
+  // to an older write BY THE SAME WRITER to the same word.
+  std::vector<std::vector<const lin::ScanOp*>> per_proc(n);
+  for (const lin::ScanOp& s : history.scans) per_proc[s.proc].push_back(&s);
+  for (auto& scans : per_proc) {
+    std::sort(scans.begin(), scans.end(),
+              [](const lin::ScanOp* a, const lin::ScanOp* b) {
+                return a->inv < b->inv;
+              });
+    for (std::size_t x = 1; x < scans.size(); ++x) {
+      for (std::size_t k = 0; k < history.num_words; ++k) {
+        const lin::Tag& prev = scans[x - 1]->view[k];
+        const lin::Tag& cur = scans[x]->view[k];
+        if (!prev.is_initial() && cur.writer == prev.writer) {
+          EXPECT_GE(cur.seq, prev.seq) << label << ": same-writer regression";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MwWordSweep, ForcedEdgePropertiesHold) {
+  const auto [algo, n, m, scan_pct] = GetParam();
+  const std::uint64_t seed = 9000 + n * 31 + m * 7 + scan_pct;
+  const std::string label = mw_algo_name(algo) + "/n=" + std::to_string(n) +
+                            "/m=" + std::to_string(m);
+  switch (algo) {
+    case MwAlgo::kDirect: {
+      core::BoundedMwSnapshot<Tag, reg::DirectMwmrRegister> snap(n, m, Tag{});
+      run_mw_property(snap, n, scan_pct, seed, label);
+      break;
+    }
+    case MwAlgo::kCompound: {
+      core::BoundedMwSnapshot<Tag, reg::VitanyiAwerbuchMwmr> snap(n, m,
+                                                                  Tag{});
+      run_mw_property(snap, n, scan_pct, seed, label);
+      break;
+    }
+    case MwAlgo::kLayered: {
+      core::LayeredMwSnapshot<Tag> snap(n, m, Tag{});
+      run_mw_property(snap, n, scan_pct, seed, label);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WordShapes, MwWordSweep,
+    ::testing::Combine(::testing::Values(MwAlgo::kDirect, MwAlgo::kCompound,
+                                         MwAlgo::kLayered),
+                       ::testing::Values<std::size_t>(2, 4),
+                       ::testing::Values<std::size_t>(1, 3, 8),
+                       ::testing::Values(30, 70)),
+    [](const ::testing::TestParamInfo<MwParam>& info) {
+      return mw_algo_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param)) + "_scan" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace asnap

@@ -1,0 +1,161 @@
+// Correctness tests for the bounded multi-writer snapshot (Figure 4),
+// including the compound instantiation over MWMR-from-SWMR registers, with
+// multi-writer workloads checked by the sound forced-edge checker and small
+// histories checked exactly by the Wing-Gong oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "harness.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+#include "reg/mwmr_register.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+using DirectMw = core::BoundedMwSnapshot<Tag, reg::DirectMwmrRegister>;
+using CompoundMw = core::BoundedMwSnapshot<Tag, reg::VitanyiAwerbuchMwmr>;
+using LayeredMw = core::LayeredMwSnapshot<Tag>;
+
+template <typename S>
+struct MwSnapshotTest : public ::testing::Test {};
+
+using MwImpls = ::testing::Types<DirectMw, CompoundMw, LayeredMw>;
+TYPED_TEST_SUITE(MwSnapshotTest, MwImpls);
+
+TYPED_TEST(MwSnapshotTest, InitialScanReturnsInitialValues) {
+  TypeParam snap(3, 5, Tag{});
+  const std::vector<Tag> view = snap.scan(1);
+  ASSERT_EQ(view.size(), 5u);
+  for (const Tag& t : view) EXPECT_TRUE(t.is_initial());
+}
+
+TYPED_TEST(MwSnapshotTest, AnyProcessWritesAnyWord) {
+  TypeParam snap(3, 4, Tag{});
+  snap.update(0, 3, Tag{0, 1});
+  snap.update(2, 0, Tag{2, 1});
+  snap.update(1, 3, Tag{1, 1});  // overwrites P0's value in word 3
+  const std::vector<Tag> view = snap.scan(0);
+  EXPECT_EQ(view[0], (Tag{2, 1}));
+  EXPECT_TRUE(view[1].is_initial());
+  EXPECT_TRUE(view[2].is_initial());
+  EXPECT_EQ(view[3], (Tag{1, 1}));
+}
+
+TYPED_TEST(MwSnapshotTest, FewerWordsThanProcesses) {
+  TypeParam snap(4, 2, Tag{});
+  snap.update(3, 1, Tag{3, 1});
+  EXPECT_EQ(snap.scan(2)[1], (Tag{3, 1}));
+}
+
+TYPED_TEST(MwSnapshotTest, MoreWordsThanProcesses) {
+  TypeParam snap(2, 8, Tag{});
+  for (std::size_t k = 0; k < 8; ++k) {
+    snap.update(0, k, Tag{0, k + 1});
+  }
+  const std::vector<Tag> view = snap.scan(1);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(view[k], (Tag{0, k + 1}));
+  }
+}
+
+TYPED_TEST(MwSnapshotTest, RepeatedWritesToSameWordByOneProcess) {
+  TypeParam snap(2, 1, Tag{});
+  for (std::uint64_t s = 1; s <= 20; ++s) snap.update(0, 0, Tag{0, s});
+  EXPECT_EQ(snap.scan(1)[0], (Tag{0, 20}));
+}
+
+TYPED_TEST(MwSnapshotTest, StressHistoriesPassForcedEdgeChecker) {
+  for (const std::size_t words : {2u, 5u}) {
+    TypeParam snap(4, words, Tag{});
+    testing::WorkloadConfig cfg;
+    cfg.processes = 4;
+    cfg.ops_per_process = 120;
+    cfg.scan_prob = 0.4;
+    cfg.seed = 1000 + words;
+    cfg.yield_prob = 0.25;
+    const lin::History history = testing::run_mw_workload(snap, cfg);
+    const auto violation = lin::check_multi_writer_forced(history);
+    ASSERT_FALSE(violation.has_value()) << "words=" << words << ": "
+                                        << *violation;
+  }
+}
+
+TYPED_TEST(MwSnapshotTest, TinyMwHistoriesPassTheExhaustiveOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    TypeParam snap(3, 2, Tag{});
+    testing::WorkloadConfig cfg;
+    cfg.processes = 3;
+    cfg.ops_per_process = 4;
+    cfg.scan_prob = 0.5;
+    cfg.seed = seed;
+    const lin::History history = testing::run_mw_workload(snap, cfg);
+    EXPECT_EQ(lin::wing_gong_check(history, 30), lin::WgVerdict::kLinearizable)
+        << "seed " << seed;
+  }
+}
+
+TYPED_TEST(MwSnapshotTest, PigeonholeBoundOnDoubleCollects) {
+  constexpr std::size_t kN = 3;
+  TypeParam snap(kN, 4, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = kN;
+  cfg.ops_per_process = 400;
+  cfg.scan_prob = 0.4;
+  cfg.seed = 4242;
+  cfg.yield_prob = 0.3;
+  (void)testing::run_mw_workload(snap, cfg);
+  for (ProcessId p = 0; p < kN; ++p) {
+    // Section 5: at most 2n+1 double collects before success or borrow.
+    EXPECT_LE(snap.stats(p).max_double_collects, 2 * kN + 1) << "P" << p;
+  }
+}
+
+TYPED_TEST(MwSnapshotTest, SingleWriterUsagePassesExactChecker) {
+  // Run Figure 4 through the single-writer pattern (process i writes only
+  // word i) so the exact polynomial checker applies end-to-end.
+  constexpr std::size_t kN = 4;
+  TypeParam snap(kN, kN, Tag{});
+  core::SingleWriterAdapter<TypeParam> adapter(snap);
+  testing::WorkloadConfig cfg;
+  cfg.processes = kN;
+  cfg.ops_per_process = 150;
+  cfg.scan_prob = 0.5;
+  cfg.seed = 31337;
+  cfg.yield_prob = 0.25;
+  const lin::History history = testing::run_sw_workload(adapter, cfg);
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+// The compound construction must be built from SWMR primitives only: its
+// per-operation SWMR step count is what E7 measures. Sanity-check the cost
+// relation here: a compound scan costs ~(m+1)x the SWMR steps of the direct
+// version's MWMR ops (each MWMR op expands to n+1 SWMR ops).
+TEST(CompoundMwSnapshot, ExpandsEachMwmrOpIntoSwmrOps) {
+  constexpr std::size_t kN = 4;
+  constexpr std::size_t kM = 4;
+  DirectMw direct(kN, kM, Tag{});
+  CompoundMw compound(kN, kM, Tag{});
+
+  StepMeter meter;
+  (void)direct.scan(0);
+  const std::uint64_t direct_steps = meter.elapsed().total();
+
+  meter.reset();
+  (void)compound.scan(0);
+  const std::uint64_t compound_steps = meter.elapsed().total();
+
+  // Uncontended scan: one double collect. Direct: 2m MWMR reads + 3n
+  // handshake ops. Compound: each of the 2m MWMR reads becomes n+1 SWMR
+  // ops. The compound cost must clearly exceed the direct cost.
+  EXPECT_GT(compound_steps, direct_steps + 2 * kM * (kN - 1));
+}
+
+}  // namespace
+}  // namespace asnap

@@ -1,0 +1,252 @@
+// Correctness tests for the single-writer snapshot implementations:
+// Figure 2 (unbounded), Figure 3 (bounded), Figure 4 run in single-writer
+// mode, and the practical baselines. Typed tests run the same battery over
+// every implementation; randomized concurrent stress histories are verified
+// by the exact single-writer linearizability checker (experiment E1-E4).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "harness.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+// Wrapper so the typed test can own a BoundedMwSnapshot and expose it
+// through the single-writer interface (process i writes word i).
+class MwAsSw {
+ public:
+  MwAsSw(std::size_t n, const Tag& init)
+      : snap_(n, n, init), adapter_(snap_) {}
+  std::size_t size() const { return adapter_.size(); }
+  void update(ProcessId i, Tag v) { adapter_.update(i, v); }
+  std::vector<Tag> scan(ProcessId i) { return adapter_.scan(i); }
+  const core::ScanStats& stats(ProcessId i) const { return snap_.stats(i); }
+
+ private:
+  core::BoundedMwSnapshot<Tag> snap_;
+  core::SingleWriterAdapter<core::BoundedMwSnapshot<Tag>> adapter_;
+};
+
+template <typename S>
+struct SwSnapshotTest : public ::testing::Test {
+  static S make(std::size_t n) { return S(n, Tag{}); }
+};
+
+using SwImpls =
+    ::testing::Types<core::UnboundedSwSnapshot<Tag>,
+                     core::BoundedSwSnapshot<Tag>, MwAsSw,
+                     core::MutexSnapshot<Tag>, core::DoubleCollectSnapshot<Tag>>;
+TYPED_TEST_SUITE(SwSnapshotTest, SwImpls);
+
+TYPED_TEST(SwSnapshotTest, InitialScanReturnsInitialValues) {
+  auto snap = TestFixture::make(4);
+  const std::vector<Tag> view = snap.scan(0);
+  ASSERT_EQ(view.size(), 4u);
+  for (const Tag& t : view) EXPECT_TRUE(t.is_initial());
+}
+
+TYPED_TEST(SwSnapshotTest, SequentialUpdateThenScan) {
+  auto snap = TestFixture::make(3);
+  snap.update(1, Tag{1, 1});
+  const std::vector<Tag> view = snap.scan(0);
+  EXPECT_TRUE(view[0].is_initial());
+  EXPECT_EQ(view[1], (Tag{1, 1}));
+  EXPECT_TRUE(view[2].is_initial());
+}
+
+TYPED_TEST(SwSnapshotTest, SequentialLastWritePerProcessWins) {
+  auto snap = TestFixture::make(2);
+  for (std::uint64_t s = 1; s <= 10; ++s) snap.update(0, Tag{0, s});
+  for (std::uint64_t s = 1; s <= 5; ++s) snap.update(1, Tag{1, s});
+  const std::vector<Tag> view = snap.scan(1);
+  EXPECT_EQ(view[0], (Tag{0, 10}));
+  EXPECT_EQ(view[1], (Tag{1, 5}));
+}
+
+TYPED_TEST(SwSnapshotTest, ScannerSeesOwnPrecedingUpdate) {
+  auto snap = TestFixture::make(3);
+  snap.update(2, Tag{2, 1});
+  const std::vector<Tag> view = snap.scan(2);
+  EXPECT_EQ(view[2], (Tag{2, 1}));
+}
+
+TYPED_TEST(SwSnapshotTest, SingleProcessDegenerateCase) {
+  auto snap = TestFixture::make(1);
+  EXPECT_TRUE(snap.scan(0)[0].is_initial());
+  snap.update(0, Tag{0, 1});
+  EXPECT_EQ(snap.scan(0)[0], (Tag{0, 1}));
+}
+
+TYPED_TEST(SwSnapshotTest, StressHistoriesAreLinearizable) {
+  for (const std::size_t n : {2u, 3u, 6u}) {
+    for (const double scan_prob : {0.15, 0.5, 0.85}) {
+      auto snap = TestFixture::make(n);
+      testing::WorkloadConfig cfg;
+      cfg.processes = n;
+      cfg.ops_per_process = 120;
+      cfg.scan_prob = scan_prob;
+      cfg.seed = 42 + n * 10 + static_cast<std::uint64_t>(scan_prob * 100);
+      const lin::History history = testing::run_sw_workload(snap, cfg);
+      const auto violation = lin::check_single_writer(history);
+      ASSERT_FALSE(violation.has_value())
+          << "n=" << n << " scan_prob=" << scan_prob << ": " << *violation;
+    }
+  }
+}
+
+TYPED_TEST(SwSnapshotTest, UpdateHeavyStressIsLinearizable) {
+  auto snap = TestFixture::make(4);
+  testing::WorkloadConfig cfg;
+  cfg.processes = 4;
+  cfg.ops_per_process = 400;
+  cfg.scan_prob = 0.05;  // almost all updates: maximal interference
+  cfg.seed = 777;
+  cfg.yield_prob = 0.3;
+  const lin::History history = testing::run_sw_workload(snap, cfg);
+  const auto violation = lin::check_single_writer(history);
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+TYPED_TEST(SwSnapshotTest, TinyHistoriesPassTheExhaustiveOracle) {
+  // Belt and braces: small runs must also satisfy the Wing-Gong oracle
+  // (which exercises a completely independent decision procedure).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto snap = TestFixture::make(2);
+    testing::WorkloadConfig cfg;
+    cfg.processes = 2;
+    cfg.ops_per_process = 6;
+    cfg.scan_prob = 0.5;
+    cfg.seed = seed;
+    const lin::History history = testing::run_sw_workload(snap, cfg);
+    EXPECT_EQ(lin::wing_gong_check(history, 30), lin::WgVerdict::kLinearizable)
+        << "seed " << seed;
+  }
+}
+
+// --- Wait-freedom: measured step bounds (Lemmas 3.4 / 4.4, experiment E5) ---
+
+template <typename S>
+struct WaitFreeBoundTest : public ::testing::Test {};
+
+using WaitFreeImpls = ::testing::Types<core::UnboundedSwSnapshot<Tag>,
+                                       core::BoundedSwSnapshot<Tag>, MwAsSw>;
+TYPED_TEST_SUITE(WaitFreeBoundTest, WaitFreeImpls);
+
+TYPED_TEST(WaitFreeBoundTest, EveryOperationFinishesWithinQuadraticSteps) {
+  // Concurrent updaters hammer the object while one process interleaves
+  // scans and updates; every single operation must respect the O(n^2)
+  // primitive-step bound regardless of interference.
+  constexpr std::size_t kN = 5;
+  TypeParam snap(kN, Tag{});
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> updaters;
+  for (std::size_t p = 1; p < kN; ++p) {
+    updaters.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+      testing::ChaosYield chaos{Rng(pid), 0.2};
+      ScopedStepHook hook(&testing::ChaosYield::hook, &chaos);
+      std::uint64_t seq = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        snap.update(pid, Tag{pid, ++seq});
+      }
+    });
+  }
+
+  // Very generous constant for the O((n+1) * (collect + handshake)) shape;
+  // what matters is that it does NOT grow with the number of retries an
+  // adversary can force, only with n^2.
+  const std::uint64_t kBound = 40 * (kN + 2) * (kN + 2);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 300; ++i) {
+    StepMeter meter;
+    if (i % 3 == 0) {
+      snap.update(0, Tag{0, ++seq});
+    } else {
+      (void)snap.scan(0);
+    }
+    ASSERT_LE(meter.elapsed().total(), kBound) << "op " << i;
+  }
+  stop.store(true, std::memory_order_release);
+}
+
+// --- Protocol statistics ----------------------------------------------------
+
+TYPED_TEST(WaitFreeBoundTest, PigeonholeBoundOnDoubleCollects) {
+  constexpr std::size_t kN = 4;
+  TypeParam snap(kN, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = kN;
+  cfg.ops_per_process = 500;
+  cfg.scan_prob = 0.4;
+  cfg.seed = 99;
+  cfg.yield_prob = 0.3;
+  (void)testing::run_sw_workload(snap, cfg);
+  for (ProcessId p = 0; p < kN; ++p) {
+    // Figure 2/3: at most n+1 double collects; Figure 4: at most 2n+1.
+    EXPECT_LE(snap.stats(p).max_double_collects, 2 * kN + 1) << "P" << p;
+    EXPECT_GT(snap.stats(p).scans, 0u);
+  }
+}
+
+TEST(UnboundedSwSnapshot, StrictPigeonholeBound) {
+  constexpr std::size_t kN = 4;
+  core::UnboundedSwSnapshot<Tag> snap(kN, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = kN;
+  cfg.ops_per_process = 800;
+  cfg.scan_prob = 0.3;
+  cfg.seed = 5;
+  cfg.yield_prob = 0.35;
+  (void)testing::run_sw_workload(snap, cfg);
+  for (ProcessId p = 0; p < kN; ++p) {
+    EXPECT_LE(snap.stats(p).max_double_collects, kN + 1);
+  }
+}
+
+TEST(BoundedSwSnapshot, StrictPigeonholeBound) {
+  constexpr std::size_t kN = 4;
+  core::BoundedSwSnapshot<Tag> snap(kN, Tag{});
+  testing::WorkloadConfig cfg;
+  cfg.processes = kN;
+  cfg.ops_per_process = 800;
+  cfg.scan_prob = 0.3;
+  cfg.seed = 6;
+  cfg.yield_prob = 0.35;
+  (void)testing::run_sw_workload(snap, cfg);
+  for (ProcessId p = 0; p < kN; ++p) {
+    EXPECT_LE(snap.stats(p).max_double_collects, kN + 1);
+  }
+}
+
+// --- Baseline sanity: the Observation-1-only algorithm can starve -----------
+
+TEST(DoubleCollectSnapshot, UpdatesAreConstantTime) {
+  core::DoubleCollectSnapshot<Tag> snap(8, Tag{});
+  StepMeter meter;
+  snap.update(3, Tag{3, 1});
+  EXPECT_EQ(meter.elapsed().writes, 1u);
+  EXPECT_EQ(meter.elapsed().reads, 0u);  // no embedded scan
+}
+
+TEST(DoubleCollectSnapshot, BoundedScanReportsFailureUnderContention) {
+  // With an updater writing at every opportunity, a budgeted scan may fail —
+  // the non-wait-freedom the paper fixes. We only assert the API contract
+  // here (failure is *allowed* and reported); the deterministic-scheduler
+  // tests construct guaranteed starvation.
+  core::DoubleCollectSnapshot<Tag> snap(2, Tag{});
+  snap.update(0, Tag{0, 1});
+  std::vector<Tag> out;
+  const bool ok = snap.try_scan(1, 4, out);
+  if (ok) {
+    EXPECT_EQ(out[0], (Tag{0, 1}));
+  }
+}
+
+}  // namespace
+}  // namespace asnap

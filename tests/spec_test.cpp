@@ -1,0 +1,196 @@
+// Tests for the executable Figure-1 specification (spec::SwsAutomaton):
+// the automaton's own transition discipline, hand-crafted behavior
+// accept/reject cases, and the triangulation theorem of this repository —
+// on random histories, THREE independent decision procedures must agree:
+//   1. the polynomial single-writer checker (constraint digraph),
+//   2. the Wing-Gong linearizability search,
+//   3. behavior membership in the SWS automaton (this module).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+#include "spec/sws_automaton.hpp"
+
+namespace asnap::spec {
+namespace {
+
+using lin::Tag;
+
+TEST(SwsAutomaton, UpdateLifecycle) {
+  SwsAutomaton sws(2);
+  EXPECT_FALSE(sws.update_enabled(0));
+
+  sws.update_request(0, Tag{0, 1});
+  EXPECT_TRUE(sws.update_enabled(0));
+  EXPECT_FALSE(sws.scan_enabled(0));
+
+  sws.update(0);
+  EXPECT_FALSE(sws.update_enabled(0));
+  EXPECT_TRUE(sws.update_return_enabled(0));
+  EXPECT_EQ(sws.memory()[0], (Tag{0, 1}));
+
+  sws.update_return(0);
+  EXPECT_EQ(sws.interface(0).kind, InterfaceVar::Kind::kBottom);
+}
+
+TEST(SwsAutomaton, ScanLifecycleReturnsMemoryAtScanInstant) {
+  SwsAutomaton sws(2);
+  sws.update_request(1, Tag{1, 1});
+  sws.update(1);
+  sws.update_return(1);
+
+  sws.scan_request(0);
+  EXPECT_TRUE(sws.scan_enabled(0));
+  sws.scan(0);  // Mem captured HERE
+
+  // A later update must not affect the already-captured view.
+  sws.update_request(1, Tag{1, 2});
+  sws.update(1);
+  sws.update_return(1);
+
+  const std::vector<Tag> view = sws.scan_return(0);
+  EXPECT_EQ(view[1], (Tag{1, 1}));
+  EXPECT_TRUE(view[0].is_initial());
+}
+
+TEST(SwsAutomaton, IndependentProcessesDoNotInterfere) {
+  SwsAutomaton sws(3);
+  sws.update_request(0, Tag{0, 1});
+  sws.scan_request(1);
+  EXPECT_TRUE(sws.update_enabled(0));
+  EXPECT_TRUE(sws.scan_enabled(1));
+  sws.scan(1);  // scans before the update fires
+  sws.update(0);
+  const std::vector<Tag> view = sws.scan_return(1);
+  EXPECT_TRUE(view[0].is_initial());
+}
+
+// --- behavior membership -----------------------------------------------------
+
+lin::History make_history(std::size_t words) {
+  lin::History h;
+  h.num_words = words;
+  return h;
+}
+
+TEST(SwsAccepts, SequentialBehaviorAccepted) {
+  lin::History h = make_history(2);
+  h.updates.push_back({0, 0, Tag{0, 1}, 0, 1});
+  h.scans.push_back({1, {Tag{0, 1}, Tag{}}, 2, 3});
+  EXPECT_EQ(sws_accepts(h), std::optional<bool>(true));
+}
+
+TEST(SwsAccepts, MissedCompletedUpdateRejected) {
+  lin::History h = make_history(2);
+  h.updates.push_back({0, 0, Tag{0, 1}, 0, 1});
+  h.scans.push_back({1, {Tag{}, Tag{}}, 2, 3});
+  EXPECT_EQ(sws_accepts(h), std::optional<bool>(false));
+}
+
+TEST(SwsAccepts, ConcurrentUpdateMayGoEitherWay) {
+  for (const bool seen : {true, false}) {
+    lin::History h = make_history(1);
+    h.updates.push_back({0, 0, Tag{0, 1}, 0, 10});
+    h.scans.push_back({1, {seen ? Tag{0, 1} : Tag{}}, 1, 9});
+    EXPECT_EQ(sws_accepts(h), std::optional<bool>(true)) << "seen=" << seen;
+  }
+}
+
+TEST(SwsAccepts, IncomparableViewsRejected) {
+  lin::History h = make_history(2);
+  h.updates.push_back({0, 0, Tag{0, 1}, 0, 100});
+  h.updates.push_back({1, 1, Tag{1, 1}, 0, 100});
+  h.scans.push_back({0, {Tag{0, 1}, Tag{}}, 1, 99});
+  h.scans.push_back({1, {Tag{}, Tag{1, 1}}, 1, 99});
+  EXPECT_EQ(sws_accepts(h), std::optional<bool>(false));
+}
+
+TEST(SwsAccepts, TooLargeGivesNoVerdict) {
+  lin::History h = make_history(1);
+  for (std::uint64_t s = 1; s <= 40; ++s) {
+    h.updates.push_back(
+        {0, 0, Tag{0, s}, 2 * s, 2 * s + 1});
+  }
+  EXPECT_EQ(sws_accepts(h, 28), std::nullopt);
+}
+
+// --- triangulation ------------------------------------------------------------
+
+// The same random-history generator idea as the lin cross-validation test,
+// but now THREE deciders must agree pairwise on every history.
+TEST(CheckerTriangulation, ThreeDecidersAgreeOnRandomHistories) {
+  Rng rng(424242);
+  int rejected = 0;
+  for (int trial = 0; trial < 1200; ++trial) {
+    const std::size_t n = 2 + rng.below(2);
+    const std::size_t total_ops = 4 + rng.below(6);
+    lin::History h;
+    h.num_words = n;
+
+    lin::Time clock = 0;
+    std::vector<std::uint64_t> seq(n, 0);
+    struct Pending {
+      bool is_scan;
+      ProcessId proc;
+      lin::Time inv;
+    };
+    std::vector<Pending> open;
+    std::vector<std::size_t> busy(n, 0);
+    std::size_t started = 0;
+    while (started < total_ops || !open.empty()) {
+      ProcessId free_proc = kNoProcess;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (!busy[q]) {
+          free_proc = static_cast<ProcessId>(q);
+          break;
+        }
+      }
+      const bool can_start =
+          started < total_ops && open.size() < 3 && free_proc != kNoProcess;
+      if (can_start && (open.empty() || rng.chance(0.5))) {
+        busy[free_proc] = 1;
+        open.push_back({rng.chance(0.5), free_proc, clock++});
+        ++started;
+        continue;
+      }
+      const std::size_t pick = rng.below(open.size());
+      const Pending op = open[pick];
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+      busy[op.proc] = 0;
+      const lin::Time res = clock++;
+      if (op.is_scan) {
+        std::vector<Tag> view(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::uint64_t hi = seq[j];
+          std::uint64_t s = hi == 0 ? 0 : rng.below(hi + 1);
+          if (rng.chance(0.04)) s = hi + 1;  // corrupt
+          view[j] = s == 0 ? Tag{} : Tag{static_cast<ProcessId>(j), s};
+        }
+        h.scans.push_back({op.proc, std::move(view), op.inv, res});
+      } else {
+        h.updates.push_back(
+            {op.proc, op.proc, Tag{op.proc, ++seq[op.proc]}, op.inv, res});
+      }
+    }
+
+    const bool poly = !lin::check_single_writer(h).has_value();
+    const lin::WgVerdict wg = lin::wing_gong_check(h, 30);
+    const std::optional<bool> sws = sws_accepts(h, 30);
+    ASSERT_NE(wg, lin::WgVerdict::kTooLarge);
+    ASSERT_TRUE(sws.has_value());
+    const bool wg_ok = wg == lin::WgVerdict::kLinearizable;
+    ASSERT_EQ(poly, wg_ok) << "trial " << trial;
+    ASSERT_EQ(wg_ok, *sws) << "trial " << trial
+                           << ": Wing-Gong and the SWS automaton disagree";
+    rejected += !wg_ok;
+  }
+  EXPECT_GT(rejected, 30);
+  EXPECT_LT(rejected, 1170);
+}
+
+}  // namespace
+}  // namespace asnap::spec

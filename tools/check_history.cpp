@@ -1,0 +1,88 @@
+// Replay a saved operation history through all available checkers.
+//
+//   build/tools/check_history <file.history> [--multi-writer]
+//
+// File format: see src/lin/history_io.hpp. Default runs the exact
+// single-writer checker plus (when the history is small enough) the
+// Wing-Gong oracle and the SWS-automaton behavior membership decider;
+// --multi-writer switches the polynomial check to the sound forced-edge
+// variant. Exit code 0 = accepted by every checker that gave a verdict.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lin/history.hpp"
+#include "lin/history_io.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "lin/wing_gong.hpp"
+#include "spec/sws_automaton.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.history> [--multi-writer]\n",
+                 argv[0]);
+    return 2;
+  }
+  const bool multi_writer =
+      argc > 2 && std::string(argv[2]) == "--multi-writer";
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  const auto history = asnap::lin::parse_history(buffer.str(), &error);
+  if (!history.has_value()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("history: %zu words, %zu updates, %zu scans\n",
+              history->num_words, history->updates.size(),
+              history->scans.size());
+
+  bool all_ok = true;
+  if (multi_writer) {
+    const auto violation = asnap::lin::check_multi_writer_forced(*history);
+    std::printf("forced-edge checker: %s\n",
+                violation ? violation->c_str() : "accepted");
+    all_ok &= !violation.has_value();
+  } else {
+    const auto violation = asnap::lin::check_single_writer(*history);
+    std::printf("single-writer exact checker: %s\n",
+                violation ? violation->c_str() : "accepted");
+    all_ok &= !violation.has_value();
+  }
+
+  const auto wg = asnap::lin::wing_gong_check(*history, 30);
+  switch (wg) {
+    case asnap::lin::WgVerdict::kLinearizable:
+      std::printf("wing-gong oracle: linearizable\n");
+      break;
+    case asnap::lin::WgVerdict::kNotLinearizable:
+      std::printf("wing-gong oracle: NOT linearizable\n");
+      all_ok = false;
+      break;
+    case asnap::lin::WgVerdict::kTooLarge:
+      std::printf("wing-gong oracle: skipped (history too large)\n");
+      break;
+  }
+
+  if (!multi_writer) {
+    const auto sws = asnap::spec::sws_accepts(*history, 30);
+    if (sws.has_value()) {
+      std::printf("SWS automaton: %s\n",
+                  *sws ? "behavior accepted" : "NOT a behavior of SWS");
+      all_ok &= *sws;
+    } else {
+      std::printf("SWS automaton: skipped (history too large)\n");
+    }
+  }
+
+  std::printf("%s\n", all_ok ? "OK" : "VIOLATION");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Long-running randomized stress + linearizability checking from the
+// command line — the tool you leave running overnight when you change
+// anything in core/.
+//
+//   build/tools/stress_driver [algo] [n] [ops_per_proc] [scan_pct] [rounds] [seed]
+//
+//   algo: fig2 | fig3 | fig4 | mutex | seqlock | doublecollect (default fig3)
+//
+// Each round runs a fresh object with a derived seed, records the history
+// on real threads with randomized per-step yields, and verifies it with the
+// exact single-writer checker. Any violation aborts with a description and
+// a nonzero exit code.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <fstream>
+
+#include "core/snapshot.hpp"
+#include "lin/history_io.hpp"
+#include "lin/snapshot_checker.hpp"
+
+// The test harness is header-only and deliberately reusable from tools.
+#include "../tests/harness.hpp"
+
+namespace {
+
+using namespace asnap;
+using lin::Tag;
+
+struct Options {
+  std::string algo = "fig3";
+  std::size_t n = 4;
+  std::size_t ops = 500;
+  int scan_pct = 50;
+  int rounds = 20;
+  std::uint64_t seed = 1;
+};
+
+template <typename Snap>
+int run_rounds(const Options& opt) {
+  for (int round = 0; round < opt.rounds; ++round) {
+    Snap snap(opt.n, Tag{});
+    testing::WorkloadConfig cfg;
+    cfg.processes = opt.n;
+    cfg.ops_per_process = opt.ops;
+    cfg.scan_prob = opt.scan_pct / 100.0;
+    cfg.seed = opt.seed + static_cast<std::uint64_t>(round) * 7919;
+    cfg.yield_prob = 0.25;
+    const lin::History history = testing::run_sw_workload(snap, cfg);
+    const auto violation = lin::check_single_writer(history);
+    if (violation.has_value()) {
+      const std::string dump_path =
+          "violation_seed" + std::to_string(cfg.seed) + ".history";
+      std::ofstream(dump_path) << lin::dump_history(history);
+      std::fprintf(stderr,
+                   "VIOLATION in round %d (seed %llu): %s\n"
+                   "history (%zu updates, %zu scans) saved to %s — replay "
+                   "with tools/check_history\n",
+                   round, static_cast<unsigned long long>(cfg.seed),
+                   violation->c_str(), history.updates.size(),
+                   history.scans.size(), dump_path.c_str());
+      return 1;
+    }
+    std::printf("round %3d ok: %zu updates, %zu scans linearizable\n", round,
+                history.updates.size(), history.scans.size());
+  }
+  std::printf("all %d rounds linearizable.\n", opt.rounds);
+  return 0;
+}
+
+// Figure 4 adapter (single-writer usage so the exact checker applies).
+class Fig4AsSw {
+ public:
+  Fig4AsSw(std::size_t n, const Tag& init) : snap_(n, n, init) {}
+  std::size_t size() const { return snap_.size(); }
+  void update(ProcessId i, Tag v) { snap_.update(i, i, v); }
+  std::vector<Tag> scan(ProcessId i) { return snap_.scan(i); }
+
+ private:
+  core::BoundedMwSnapshot<Tag> snap_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc > 1) opt.algo = argv[1];
+  if (argc > 2) opt.n = static_cast<std::size_t>(std::atoi(argv[2]));
+  if (argc > 3) opt.ops = static_cast<std::size_t>(std::atoi(argv[3]));
+  if (argc > 4) opt.scan_pct = std::atoi(argv[4]);
+  if (argc > 5) opt.rounds = std::atoi(argv[5]);
+  if (argc > 6) opt.seed = static_cast<std::uint64_t>(std::atoll(argv[6]));
+
+  std::printf("stress: algo=%s n=%zu ops=%zu scan%%=%d rounds=%d seed=%llu\n",
+              opt.algo.c_str(), opt.n, opt.ops, opt.scan_pct, opt.rounds,
+              static_cast<unsigned long long>(opt.seed));
+
+  if (opt.algo == "fig2") {
+    return run_rounds<core::UnboundedSwSnapshot<Tag>>(opt);
+  }
+  if (opt.algo == "fig3") {
+    return run_rounds<core::BoundedSwSnapshot<Tag>>(opt);
+  }
+  if (opt.algo == "fig4") {
+    return run_rounds<Fig4AsSw>(opt);
+  }
+  if (opt.algo == "mutex") {
+    return run_rounds<core::MutexSnapshot<Tag>>(opt);
+  }
+  if (opt.algo == "doublecollect") {
+    return run_rounds<core::DoubleCollectSnapshot<Tag>>(opt);
+  }
+  std::fprintf(stderr, "unknown algo '%s'\n", opt.algo.c_str());
+  return 2;
+}

@@ -1,10 +1,18 @@
 // Experiment E9 — Section 6's message-passing snapshot via ABD emulation.
 //
-// Reports messages per snapshot operation as the cluster grows, and
+// Part 1 reports messages per snapshot operation as the cluster grows, and
 // demonstrates liveness under minority crashes: updates/scans keep
 // completing, at a reduced message cost (crashed nodes' traffic vanishes).
 // Expected shape: a scan is n register reads, each ~2 quorum rounds of ~2n
 // messages, so messages/scan grows ~n^2 (times retries under contention).
+//
+// Part 2 sweeps the lossy-network adversary (seeded drop rate, optional
+// duplication) on a fixed cluster and reports the robustness overhead the
+// retransmission machinery pays: messages and retransmitted broadcasts per
+// operation, plus duplicate replies discarded by the per-responder dedup.
+// Each sweep row is also emitted as a JSON line (prefix "JSON ") so results
+// files stay machine-readable alongside the human table.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 
@@ -14,6 +22,7 @@
 namespace {
 
 using namespace asnap;
+using namespace std::chrono_literals;
 
 struct OpCost {
   double update_msgs;
@@ -32,6 +41,42 @@ OpCost measure(abd::MessagePassingSnapshot<std::uint64_t>& snap,
   return OpCost{
       static_cast<double>(after_updates - before_updates) / kOps,
       static_cast<double>(after_scans - after_updates) / kOps,
+  };
+}
+
+struct LossCost {
+  double msgs_per_op;
+  double retransmits_per_op;
+  double dup_replies_per_op;
+};
+
+/// Mixed update/scan workload on one process under a fault plan; reports
+/// per-operation message and retransmission overhead.
+LossCost measure_loss(double drop, bool dup) {
+  constexpr std::size_t kNodes = 5;
+  constexpr int kOps = 40;  // kOps updates + kOps scans
+  abd::AbdConfig config;
+  config.initial_rto = 300us;
+  config.max_rto = 5ms;
+  config.op_deadline = 30s;
+  abd::MessagePassingSnapshot<std::uint64_t> snap(kNodes, 0, /*seed=*/9,
+                                                  config);
+  net::FaultPlan plan;
+  plan.drop_prob = drop;
+  plan.dup_prob = dup ? 0.3 : 0.0;
+  snap.set_fault_plan(plan);
+  const std::uint64_t msgs0 = snap.messages_sent();
+  const std::uint64_t retx0 = snap.retransmits_sent();
+  const std::uint64_t dups0 = snap.dup_replies_ignored();
+  for (int i = 0; i < kOps; ++i) {
+    snap.update(0, i + 1);
+    (void)snap.scan(0);
+  }
+  const double ops = 2.0 * kOps;
+  return LossCost{
+      static_cast<double>(snap.messages_sent() - msgs0) / ops,
+      static_cast<double>(snap.retransmits_sent() - retx0) / ops,
+      static_cast<double>(snap.dup_replies_ignored() - dups0) / ops,
   };
 }
 
@@ -61,5 +106,26 @@ int main() {
               "double collect: messages/scan ~ 4n^2 + handshake-free.\n"
               "Minority crashes reduce traffic but never block operations "
               "(liveness needs only a majority).\n");
+
+  std::printf("\n-- loss-rate sweep (n=5, seeded adversary; messages include "
+              "retransmitted broadcasts) --\n");
+  std::printf("%6s %5s %12s %14s %16s\n", "drop", "dup", "msgs/op",
+              "retransmits/op", "dup replies/op");
+  for (const bool dup : {false, true}) {
+    for (const double drop : {0.0, 0.1, 0.3}) {
+      const LossCost cost = measure_loss(drop, dup);
+      std::printf("%5.0f%% %5s %12.1f %14.2f %16.2f\n", drop * 100,
+                  dup ? "on" : "off", cost.msgs_per_op,
+                  cost.retransmits_per_op, cost.dup_replies_per_op);
+      std::printf("JSON {\"experiment\":\"E9-loss\",\"n\":5,\"drop\":%.2f,"
+                  "\"dup\":%s,\"msgs_per_op\":%.2f,\"retransmits_per_op\":"
+                  "%.3f,\"dup_replies_per_op\":%.3f}\n",
+                  drop, dup ? "true" : "false", cost.msgs_per_op,
+                  cost.retransmits_per_op, cost.dup_replies_per_op);
+    }
+  }
+  std::printf("\nRetransmission overhead stays sub-linear in drop rate while "
+              "every operation still completes; the dedup-by-responder rule "
+              "is what keeps duplicated replies from corrupting quorums.\n");
   return 0;
 }

@@ -12,6 +12,15 @@ mkdir -p results
 echo "== tests =="
 ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 
+# The lossy-network fault matrix (ctest label `fault`) re-runs under
+# ThreadSanitizer: the retry/timeout/backoff paths in abd/ and the
+# held-message pump in net/ are exactly where data races would hide.
+echo "== fault matrix under TSan =="
+cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
+cmake --build build-tsan
+ctest --test-dir build-tsan -L fault --output-on-failure 2>&1 \
+  | tee results/ctest_fault_tsan.txt | tail -3
+
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")

@@ -11,21 +11,41 @@
 //     upgrades regularity to atomicity (no new/old inversion between two
 //     readers).
 //
-// Liveness requires only a majority of nodes alive: with f < n/2 crashed,
-// every operation still completes — the resilience property Section 6
-// advertises for message-passing snapshot memories.
+// The network may LOSE, DUPLICATE and DELAY messages (net::FaultInjector),
+// so every client round is a retransmission loop: broadcast, wait on a
+// retransmission timeout (common/RetryBackoff, exponential), rebroadcast
+// with the SAME request id until a majority of DISTINCT replicas answered
+// or the operation deadline passes. Safety under loss/duplication rests on
+// two pillars:
+//   * replica handlers are idempotent — a WRITE(ts, v) applied twice is a
+//     no-op the second time (ts <= replica ts), and a READ reply is pure;
+//   * reply counting is deduplicated by responder node id, so duplicated or
+//     retransmission-induced repeat replies can never let one replica
+//     satisfy the majority twice.
+// Liveness requires a majority of nodes alive and reachable within the
+// deadline: with f < n/2 crashed every operation still completes. When no
+// majority answers in time the operation returns a graceful
+// OpStatus::kTimeout (try_read/try_write) instead of blocking forever.
+//
+// Crashed nodes may recover(): their endpoints reopen and, before the
+// replica resumes serving, its state is resynchronized by a quorum read of
+// every register so it rejoins no staler than the latest majority-acked
+// write.
 //
 // AbdRegisterArray adapts a cluster to reg::SwmrRegisterArray, so the
 // UNCHANGED Figure 2 snapshot algorithm (core::UnboundedSwSnapshot) can be
 // instantiated on top of a message-passing system.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/backoff.hpp"
 #include "common/config.hpp"
 #include "common/instrumentation.hpp"
 #include "net/network.hpp"
@@ -39,6 +59,25 @@ enum MsgType : std::uint64_t {
   kWriteAck = 4,
 };
 
+/// Outcome of one client quorum round / operation.
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,  ///< no majority of distinct replicas answered in time
+  kClosed = 2,   ///< the client's own endpoint closed (node crashed/shutdown)
+};
+
+/// Client-side timing knobs. Defaults are generous so fault-free workloads
+/// never retransmit spuriously; fault-heavy tests tighten them.
+struct AbdConfig {
+  /// First retransmission timeout of a round; doubles (RetryBackoff) up to
+  /// max_rto on every retransmission.
+  std::chrono::microseconds initial_rto{std::chrono::milliseconds(20)};
+  std::chrono::microseconds max_rto{std::chrono::milliseconds(160)};
+  /// Total budget for one operation (a read spends it across both its query
+  /// and write-back rounds). On expiry the operation reports kTimeout.
+  std::chrono::microseconds op_deadline{std::chrono::seconds(10)};
+};
+
 /// A cluster of n nodes replicating `regs` single-writer registers of type
 /// V. Register r is owned (written) by node r's client; every node hosts a
 /// replica of every register. Client operations may be invoked from any
@@ -48,8 +87,9 @@ template <typename V>
 class AbdCluster {
  public:
   AbdCluster(std::size_t nodes, std::size_t regs, const V& init,
-             std::uint64_t seed = 1)
+             std::uint64_t seed = 1, AbdConfig config = {})
       : net_(nodes, seed),
+        config_(config),
         replicas_(nodes),
         write_ts_(regs, 0) {
     ASNAP_ASSERT(nodes >= 1 && regs >= 1);
@@ -80,56 +120,136 @@ class AbdCluster {
 
   /// Owner write: two message rounds are not needed for the writer (its own
   /// timestamp is fresh by construction) — one broadcast + majority acks.
-  void write(std::size_t reg, net::NodeId writer, V value) {
+  /// Returns kTimeout/kClosed instead of blocking when no majority of
+  /// distinct replicas acks within the deadline.
+  OpStatus try_write(std::size_t reg, net::NodeId writer, V value) {
     ASNAP_ASSERT(reg < registers());
     step_point(StepKind::kRegisterWrite);
     const std::uint64_t ts = ++write_ts_[reg];
-    run_write_round(writer, reg, ts, std::move(value));
+    const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
+    return run_write_round(writer, reg, ts, std::move(value), deadline);
   }
 
-  /// Read with write-back round.
-  V read(std::size_t reg, net::NodeId reader) {
+  /// Read with write-back round. nullopt carries the round's failure
+  /// (timeout or closed endpoint); a value means both rounds reached a
+  /// majority of distinct replicas.
+  std::optional<V> try_read(std::size_t reg, net::NodeId reader) {
     ASNAP_ASSERT(reg < registers());
     step_point(StepKind::kRegisterRead);
-    const std::uint64_t rid = next_rid();
-    net_.broadcast(reader, net::Port::kServer, kReadReq, rid,
-                   std::any(ReadReq{reg}));
-    // Collect the majority of replies, keeping the maximum timestamp.
+    const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
     std::uint64_t best_ts = 0;
     V best_value{};
-    bool have_any = false;
-    std::size_t replies = 0;
-    auto& inbox = net_.mailbox(reader, net::Port::kClient);
-    while (replies < majority()) {
-      auto msg = inbox.receive();
-      ASNAP_ASSERT_MSG(msg.has_value(),
-                       "client mailbox closed mid-operation (crashed node "
-                       "still executing operations?)");
-      if (msg->rid != rid || msg->type != kReadReply) continue;  // stale
-      const auto& reply = std::any_cast<const ReadReply&>(msg->payload);
-      if (!have_any || reply.ts > best_ts) {
-        best_ts = reply.ts;
-        best_value = reply.value;
-        have_any = true;
-      }
-      ++replies;
+    if (run_query_round(reader, reg, deadline, best_ts, best_value,
+                        majority()) != OpStatus::kOk) {
+      return std::nullopt;
     }
-    // Write-back round: make the adopted value stable at a majority.
-    run_write_round(reader, reg, best_ts, best_value);
+    // Write-back round: make the adopted value stable at a majority before
+    // returning it (the atomicity upgrade).
+    if (run_write_round(reader, reg, best_ts, best_value, deadline) !=
+        OpStatus::kOk) {
+      return std::nullopt;
+    }
     return best_value;
   }
 
+  /// Asserting wrappers for callers that operate under the liveness
+  /// precondition (a majority alive and reachable): the snapshot layer and
+  /// the fault-free tests/benches.
+  void write(std::size_t reg, net::NodeId writer, V value) {
+    const OpStatus status = try_write(reg, writer, std::move(value));
+    ASNAP_ASSERT_MSG(status == OpStatus::kOk,
+                     "ABD write found no majority within its deadline "
+                     "(majority crashed or partitioned?)");
+  }
+
+  V read(std::size_t reg, net::NodeId reader) {
+    std::optional<V> value = try_read(reg, reader);
+    ASNAP_ASSERT_MSG(value.has_value(),
+                     "ABD read found no majority within its deadline "
+                     "(majority crashed or partitioned?)");
+    return *std::move(value);
+  }
+
   /// Fail-stop a node: closing its mailboxes makes its server loop exit and
-  /// drops all of its traffic. The caller must ensure no operation of that
-  /// node is in flight and that a majority remains alive.
+  /// drops all of its traffic. In-flight operations of OTHER nodes keep
+  /// completing as long as a majority remains alive; in-flight operations of
+  /// this node return kClosed.
   void crash(net::NodeId node) { net_.crash(node); }
 
-  /// Sever the link between two nodes. Liveness requires every node that
-  /// still issues operations to reach a majority of replicas directly.
+  /// Restart a crashed node: rejoin the network, resynchronize every
+  /// replica from a majority quorum, then resume serving. Replica state is
+  /// retained across a crash (crash-recovery with stable storage, as in
+  /// [ABD]), so the node's own replica counts as one member of the resync
+  /// quorum; the query round collects the remaining majority()-1 distinct
+  /// replies from the other replicas and adopts the maximum timestamp, so
+  /// the node rejoins no staler than the latest majority-acked write.
+  /// Returns false — and re-crashes the node — if no such quorum was
+  /// reachable; the caller may retry later.
+  bool recover(net::NodeId node) {
+    ASNAP_ASSERT(node < nodes());
+    ASNAP_ASSERT_MSG(net_.crashed(node), "recover() of a live node");
+    servers_[node] = std::jthread();  // join the exited incarnation
+    net_.recover(node);
+    // Resync before serving: the node's replica may predate majority-acked
+    // writes it missed while down. One quorum read per register, issued
+    // from the recovering node's client endpoint (its server is not up yet,
+    // so replies can only come from the other replicas).
+    for (std::size_t reg = 0; reg < registers(); ++reg) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + config_.op_deadline;
+      Replica& rep = replicas_[node][reg];
+      std::uint64_t best_ts = rep.ts;  // self: retained quorum member
+      V best_value = rep.value;
+      if (run_query_round(node, reg, deadline, best_ts, best_value,
+                          majority() - 1) != OpStatus::kOk) {
+        net_.crash(node);  // could not resync: stay down
+        return false;
+      }
+      if (best_ts > rep.ts) {
+        rep.ts = best_ts;
+        rep.value = std::move(best_value);
+      }
+    }
+    servers_[node] = std::jthread(
+        [this, node](std::stop_token st) { serve(node, st); });
+    return true;
+  }
+
+  /// Sever / restore the link between two nodes. Liveness requires every
+  /// node that still issues operations to reach a majority of replicas
+  /// directly.
   void cut_link(net::NodeId a, net::NodeId b) { net_.cut_link(a, b); }
+  void restore_link(net::NodeId a, net::NodeId b) { net_.restore_link(a, b); }
+
+  /// Fault-injection control passthroughs — see net::FaultPlan.
+  net::Network& network() { return net_; }
+  void set_fault_plan(const net::FaultPlan& plan) { net_.set_fault_plan(plan); }
+  void partition(const std::vector<std::vector<net::NodeId>>& groups) {
+    net_.partition(groups);
+  }
+  void heal() { net_.heal(); }
 
   std::uint64_t messages_sent() const { return net_.messages_sent(); }
   std::size_t alive_count() const { return net_.alive_count(); }
+
+  /// Aggregate retry metrics across all clients (per-thread breakdowns come
+  /// from asnap::RetryMeter).
+  std::uint64_t retransmits_sent() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dup_replies_ignored() const {
+    return dup_replies_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t round_timeouts() const {
+    return round_timeouts_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: a replica's current timestamp for one register. Only valid
+  /// at quiescent points (no in-flight operation touching the node).
+  std::uint64_t replica_ts(net::NodeId node, std::size_t reg) const {
+    ASNAP_ASSERT(node < nodes() && reg < registers());
+    return replicas_[node][reg].ts;
+  }
 
  private:
   struct Replica {
@@ -154,24 +274,102 @@ class AbdCluster {
     return rid_gen_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void run_write_round(net::NodeId client, std::size_t reg, std::uint64_t ts,
-                       V value) {
-    const std::uint64_t rid = next_rid();
-    net_.broadcast(client, net::Port::kServer, kWriteReq, rid,
-                   std::any(WriteReq{reg, ts, std::move(value)}));
-    std::size_t acks = 0;
+  /// One retransmitting quorum round: broadcast `transmit()`, then collect
+  /// replies matching (rid, want_type) until `needed` DISTINCT responders
+  /// are reached (the majority, except for recovery resync where the
+  /// recovering replica itself is one quorum member). Waits with
+  /// exponential backoff and rebroadcasts (same rid — replica handlers are
+  /// idempotent) on every expiry until `deadline`. on_reply runs once per
+  /// distinct responder.
+  template <typename Transmit, typename OnReply>
+  OpStatus run_round(net::NodeId client, std::uint64_t rid,
+                     std::uint64_t want_type,
+                     std::chrono::steady_clock::time_point deadline,
+                     std::size_t needed, Transmit&& transmit,
+                     OnReply&& on_reply) {
+    if (needed == 0) return OpStatus::kOk;
     auto& inbox = net_.mailbox(client, net::Port::kClient);
-    while (acks < majority()) {
-      auto msg = inbox.receive();
-      ASNAP_ASSERT_MSG(msg.has_value(),
-                       "client mailbox closed mid-operation");
-      if (msg->rid != rid || msg->type != kWriteAck) continue;
-      ++acks;
+    RetryBackoff backoff(config_.initial_rto, config_.max_rto);
+    std::vector<char> seen(net_.size(), 0);
+    std::size_t accepted = 0;
+    note_round();
+    transmit();
+    auto retransmit_at = std::chrono::steady_clock::now() + backoff.current();
+    while (accepted < needed) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        note_round_timeout();
+        round_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return OpStatus::kTimeout;
+      }
+      auto msg = inbox.receive_until(std::min(deadline, retransmit_at));
+      if (!msg.has_value()) {
+        if (inbox.closed()) return OpStatus::kClosed;
+        if (std::chrono::steady_clock::now() >= retransmit_at) {
+          note_retransmit();
+          retransmits_.fetch_add(1, std::memory_order_relaxed);
+          transmit();
+          backoff.grow();
+          retransmit_at = std::chrono::steady_clock::now() + backoff.current();
+        }
+        continue;
+      }
+      if (msg->rid != rid || msg->type != want_type) continue;  // stale round
+      if (seen[msg->from]) {  // duplicated/retransmitted reply: count once
+        note_dup_reply();
+        dup_replies_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      seen[msg->from] = 1;
+      on_reply(*msg);
+      ++accepted;
     }
+    return OpStatus::kOk;
+  }
+
+  /// Query round of a read (or a recovery resync): fold the maximum
+  /// (ts, value) over `needed` distinct replies into best_ts/best_value
+  /// (callers pre-seed them; resync seeds with the local replica).
+  OpStatus run_query_round(net::NodeId client, std::size_t reg,
+                           std::chrono::steady_clock::time_point deadline,
+                           std::uint64_t& best_ts, V& best_value,
+                           std::size_t needed) {
+    const std::uint64_t rid = next_rid();
+    return run_round(
+        client, rid, kReadReply, deadline, needed,
+        [&] {
+          net_.broadcast(client, net::Port::kServer, kReadReq, rid,
+                         std::any(ReadReq{reg}));
+        },
+        [&](const net::Message& msg) {
+          const auto& reply = std::any_cast<const ReadReply&>(msg.payload);
+          // >= so a fresh read (seeded ts=0, value-initialized) adopts the
+          // replicas' init value; at equal ts values coincide (single
+          // writer), so re-adoption is harmless.
+          if (reply.ts >= best_ts) {
+            best_ts = reply.ts;
+            best_value = reply.value;
+          }
+        });
+  }
+
+  OpStatus run_write_round(net::NodeId client, std::size_t reg,
+                           std::uint64_t ts, V value,
+                           std::chrono::steady_clock::time_point deadline) {
+    const std::uint64_t rid = next_rid();
+    return run_round(
+        client, rid, kWriteAck, deadline, majority(),
+        [&] {
+          net_.broadcast(client, net::Port::kServer, kWriteReq, rid,
+                         std::any(WriteReq{reg, ts, value}));
+        },
+        [](const net::Message&) {});
   }
 
   /// Replica event loop for one node. Only this thread touches
-  /// replicas_[id], so replica state needs no locking.
+  /// replicas_[id], so replica state needs no locking. Handlers are
+  /// idempotent: re-delivered or duplicated requests re-send the reply but
+  /// never re-apply an effect (WRITE applies only on a strictly larger ts).
   void serve(net::NodeId id, std::stop_token st) {
     auto& inbox = net_.mailbox(id, net::Port::kServer);
     while (!st.stop_requested()) {
@@ -203,9 +401,13 @@ class AbdCluster {
   }
 
   net::Network net_;
+  AbdConfig config_;
   std::vector<std::vector<Replica>> replicas_;  ///< [node][register]
   std::vector<std::uint64_t> write_ts_;  ///< per register; owner-only access
   std::atomic<std::uint64_t> rid_gen_{1};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dup_replies_{0};
+  std::atomic<std::uint64_t> round_timeouts_{0};
   std::vector<std::jthread> servers_;
 };
 

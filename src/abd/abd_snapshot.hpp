@@ -26,8 +26,9 @@ class MessagePassingSnapshot {
   using Snapshot = core::UnboundedSwSnapshot<T, AbdRegisterArray>;
   using Record = typename Snapshot::Record;
 
-  MessagePassingSnapshot(std::size_t n, const T& init, std::uint64_t seed = 1)
-      : cluster_(n, n, Snapshot::initial_record(n, init), seed),
+  MessagePassingSnapshot(std::size_t n, const T& init, std::uint64_t seed = 1,
+                         AbdConfig config = {})
+      : cluster_(n, n, Snapshot::initial_record(n, init), seed, config),
         snapshot_(AbdRegisterArray<Record>(cluster_)) {}
 
   std::size_t size() const { return snapshot_.size(); }
@@ -39,11 +40,32 @@ class MessagePassingSnapshot {
   /// other processes continue as long as a majority is alive.
   void crash(ProcessId i) { cluster_.crash(i); }
 
+  /// Restart a crashed node (rejoin + replica resync from a majority); its
+  /// process may issue operations again once this returns true.
+  bool recover(ProcessId i) { return cluster_.recover(i); }
+
   /// Sever a link. Processes that keep operating must still reach a
   /// majority of replicas directly.
   void cut_link(ProcessId a, ProcessId b) { cluster_.cut_link(a, b); }
+  void restore_link(ProcessId a, ProcessId b) { cluster_.restore_link(a, b); }
+
+  /// Lossy-network adversary controls (drop/dup/delay/partition) — the
+  /// retransmitting ABD client rounds keep scans/updates live through them.
+  void set_fault_plan(const net::FaultPlan& plan) {
+    cluster_.set_fault_plan(plan);
+  }
+  void partition(const std::vector<std::vector<net::NodeId>>& groups) {
+    cluster_.partition(groups);
+  }
+  void heal() { cluster_.heal(); }
 
   std::uint64_t messages_sent() const { return cluster_.messages_sent(); }
+  std::uint64_t retransmits_sent() const {
+    return cluster_.retransmits_sent();
+  }
+  std::uint64_t dup_replies_ignored() const {
+    return cluster_.dup_replies_ignored();
+  }
   std::size_t alive_count() const { return cluster_.alive_count(); }
   const core::ScanStats& stats(ProcessId i) const { return snapshot_.stats(i); }
 

@@ -1,8 +1,13 @@
 // Bounded exponential backoff for optimistic retry loops (seqlock baseline,
-// hazard-pointer protect loops). Spins with a growing pause budget, then
-// yields to the OS scheduler so oversubscribed test runs stay live.
+// hazard-pointer protect loops) and for timed retransmission loops (the ABD
+// client rounds over the lossy network). Backoff spins with a growing pause
+// budget, then yields to the OS scheduler so oversubscribed test runs stay
+// live; RetryBackoff grows a retransmission timeout between a configured
+// floor and ceiling.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -38,6 +43,27 @@ class Backoff {
  private:
   static constexpr std::uint32_t kMaxSpins = 1024;
   std::uint32_t spins_ = 1;
+};
+
+/// Exponential retransmission timeout for message rounds over a lossy
+/// network: current() is how long to wait for a reply before retransmitting;
+/// grow() doubles it up to the ceiling. Unlike Backoff this never sleeps
+/// itself — the caller owns the timed wait (Mailbox::receive_until).
+class RetryBackoff {
+ public:
+  RetryBackoff(std::chrono::microseconds initial, std::chrono::microseconds max)
+      : initial_(initial), max_(max), current_(initial) {}
+
+  std::chrono::microseconds current() const { return current_; }
+
+  void grow() { current_ = std::min(max_, current_ * 2); }
+
+  void reset() { current_ = initial_; }
+
+ private:
+  std::chrono::microseconds initial_;
+  std::chrono::microseconds max_;
+  std::chrono::microseconds current_;
 };
 
 }  // namespace asnap

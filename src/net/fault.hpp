@@ -1,0 +1,126 @@
+// Seeded fault injection for the simulated network.
+//
+// Section 6 claims the message-passing snapshot is "resilient to process and
+// link failures"; the ABD-line follow-ups (Imbs–Mostéfaoui–Perrin–Raynal,
+// Hadjistasi–Nicolaou–Schwarzmann) further assume clients cope with
+// arbitrary message LOSS, DUPLICATION and DELAY. A FaultInjector attached to
+// Network::send realizes that adversary: per-message drop and duplication
+// probabilities, bounded delivery delay (held messages released by the
+// network's pump thread), and partition schedules that silently disconnect
+// node groups until heal().
+//
+// All randomness comes from one seeded Rng, so a fixed seed yields a fixed
+// sequence of fault decisions for a fixed sequence of send() calls (thread
+// interleaving still varies which send draws which decision, exactly like
+// the mailbox reordering Rng).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace asnap::net {
+
+using NodeId = std::uint32_t;
+
+/// Declarative description of the adversary. All probabilities are per
+/// message (per send() call crossing the injector).
+struct FaultPlan {
+  double drop_prob = 0.0;   ///< message silently lost
+  double dup_prob = 0.0;    ///< an extra copy is injected (independent of drop)
+  double delay_prob = 0.0;  ///< a surviving copy is held for a bounded time
+  std::chrono::microseconds min_delay{0};  ///< held-message delay lower bound
+  std::chrono::microseconds max_delay{0};  ///< held-message delay upper bound
+};
+
+/// What the adversary chose to do with one message. `copies` is 0, 1 or 2
+/// (drop and duplication are decided independently, so a duplicate can
+/// survive the drop of the primary — real networks duplicate in flight).
+/// delay[i] == 0 means copy i is delivered immediately.
+struct FaultDecision {
+  std::uint32_t copies = 1;
+  std::chrono::microseconds delay[2] = {std::chrono::microseconds{0},
+                                        std::chrono::microseconds{0}};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::size_t nodes, std::uint64_t seed, FaultPlan plan)
+      : plan_(plan), rng_(seed), group_(nodes, 0) {}
+
+  void set_plan(const FaultPlan& plan) {
+    std::lock_guard lock(mu_);
+    plan_ = plan;
+  }
+
+  FaultPlan plan() const {
+    std::lock_guard lock(mu_);
+    return plan_;
+  }
+
+  /// Install a partition: nodes in different groups cannot exchange
+  /// messages. Every node should appear in exactly one group; nodes listed
+  /// in no group land together in an implicit extra group.
+  void partition(const std::vector<std::vector<NodeId>>& groups) {
+    std::lock_guard lock(mu_);
+    for (auto& g : group_) g = 0;  // implicit group for unlisted nodes
+    std::uint32_t id = 1;
+    for (const auto& members : groups) {
+      for (const NodeId node : members) {
+        if (node < group_.size()) group_[node] = id;
+      }
+      ++id;
+    }
+    partitioned_ = true;
+  }
+
+  /// Remove the partition; every pair of nodes can communicate again.
+  void heal() {
+    std::lock_guard lock(mu_);
+    for (auto& g : group_) g = 0;
+    partitioned_ = false;
+  }
+
+  bool connected(NodeId a, NodeId b) const {
+    std::lock_guard lock(mu_);
+    if (!partitioned_) return true;
+    return group_[a] == group_[b];
+  }
+
+  /// Draw the fate of one message. Messages crossing a partition get zero
+  /// copies; otherwise drop/dup/delay are drawn from the plan.
+  FaultDecision decide(NodeId from, NodeId to) {
+    std::lock_guard lock(mu_);
+    FaultDecision d;
+    if (partitioned_ && group_[from] != group_[to]) {
+      d.copies = 0;
+      return d;
+    }
+    const bool drop = plan_.drop_prob > 0.0 && rng_.chance(plan_.drop_prob);
+    const bool dup = plan_.dup_prob > 0.0 && rng_.chance(plan_.dup_prob);
+    d.copies = (drop ? 0u : 1u) + (dup ? 1u : 0u);
+    for (std::uint32_t i = 0; i < d.copies; ++i) {
+      if (plan_.delay_prob > 0.0 && plan_.max_delay.count() > 0 &&
+          rng_.chance(plan_.delay_prob)) {
+        const auto span =
+            static_cast<std::uint64_t>((plan_.max_delay - plan_.min_delay).count());
+        d.delay[i] = plan_.min_delay +
+                     std::chrono::microseconds(
+                         span > 0 ? rng_.below(span + 1) : 0);
+      }
+    }
+    return d;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::uint32_t> group_;  ///< partition group per node
+  bool partitioned_ = false;
+};
+
+}  // namespace asnap::net

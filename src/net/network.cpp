@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -27,6 +28,23 @@ std::optional<Message> Mailbox::receive() {
   return out;
 }
 
+std::optional<Message> Mailbox::receive_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mu_);
+  cv_.wait_until(lock, deadline,
+                 [&] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return std::nullopt;  // timeout, or closed+drained
+  const std::size_t pick = rng_.below(pending_.size());
+  Message out = std::move(pending_[pick]);
+  pending_[pick] = std::move(pending_.back());
+  pending_.pop_back();
+  return out;
+}
+
+std::optional<Message> Mailbox::receive_for(std::chrono::microseconds timeout) {
+  return receive_until(std::chrono::steady_clock::now() + timeout);
+}
+
 std::optional<Message> Mailbox::try_receive() {
   std::lock_guard lock(mu_);
   if (pending_.empty()) return std::nullopt;
@@ -45,8 +63,19 @@ void Mailbox::close() {
   cv_.notify_all();
 }
 
+void Mailbox::reopen() {
+  std::lock_guard lock(mu_);
+  closed_ = false;
+  pending_.clear();  // in-flight traffic of the crashed incarnation is lost
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
 Network::Network(std::size_t nodes, std::uint64_t seed)
-    : nodes_(nodes), crashed_(nodes), link_down_(nodes * nodes) {
+    : nodes_(nodes), seed_(seed), crashed_(nodes), link_down_(nodes * nodes) {
   server_boxes_.reserve(nodes);
   client_boxes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -58,13 +87,49 @@ Network::Network(std::size_t nodes, std::uint64_t seed)
   for (auto& link : link_down_) link.store(false, std::memory_order_relaxed);
 }
 
+Network::~Network() {
+  if (pump_.joinable()) {
+    pump_.request_stop();
+    held_cv_.notify_all();
+    pump_.join();
+  }
+}
+
+void Network::deliver(NodeId to, Port port, Message msg) {
+  mailbox(to, port).push(std::move(msg));
+}
+
 void Network::send(NodeId from, NodeId to, Port port, std::uint64_t type,
                    std::uint64_t rid, std::any payload) {
   ASNAP_ASSERT(from < nodes_ && to < nodes_);
   if (crashed(from) || crashed(to)) return;  // fail-stop: traffic vanishes
   if (!link_ok(from, to)) return;            // severed link: message lost
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  mailbox(to, port).push(Message{from, type, rid, std::move(payload)});
+
+  FaultInjector* inj = injector_ptr_.load(std::memory_order_acquire);
+  if (inj == nullptr) {
+    deliver(to, port, Message{from, type, rid, std::move(payload)});
+    return;
+  }
+
+  const FaultDecision fate = inj->decide(from, to);
+  if (fate.copies == 0) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (fate.copies > 1) {
+    messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (std::uint32_t i = 0; i < fate.copies; ++i) {
+    Message copy{from, type, rid, payload};  // payload copied per copy
+    if (fate.delay[i].count() > 0) {
+      messages_delayed_.fetch_add(1, std::memory_order_relaxed);
+      hold(now + fate.delay[i], to, port, std::move(copy));
+    } else {
+      deliver(to, port, std::move(copy));
+    }
+  }
 }
 
 void Network::broadcast(NodeId from, Port port, std::uint64_t type,
@@ -90,12 +155,27 @@ bool Network::crashed(NodeId node) const {
   return crashed_[node].load(std::memory_order_acquire);
 }
 
+void Network::recover(NodeId node) {
+  ASNAP_ASSERT(node < nodes_);
+  server_boxes_[node]->reopen();
+  client_boxes_[node]->reopen();
+  crashed_[node].store(false, std::memory_order_release);
+}
+
 void Network::cut_link(NodeId a, NodeId b) {
   ASNAP_ASSERT(a < nodes_ && b < nodes_);
   link_down_[static_cast<std::size_t>(a) * nodes_ + b].store(
       true, std::memory_order_release);
   link_down_[static_cast<std::size_t>(b) * nodes_ + a].store(
       true, std::memory_order_release);
+}
+
+void Network::restore_link(NodeId a, NodeId b) {
+  ASNAP_ASSERT(a < nodes_ && b < nodes_);
+  link_down_[static_cast<std::size_t>(a) * nodes_ + b].store(
+      false, std::memory_order_release);
+  link_down_[static_cast<std::size_t>(b) * nodes_ + a].store(
+      false, std::memory_order_release);
 }
 
 bool Network::link_ok(NodeId from, NodeId to) const {
@@ -109,6 +189,94 @@ std::size_t Network::alive_count() const {
     if (!crashed_[i].load(std::memory_order_acquire)) ++alive;
   }
   return alive;
+}
+
+void Network::set_fault_plan(const FaultPlan& plan) {
+  FaultInjector* inj = injector_ptr_.load(std::memory_order_acquire);
+  if (inj != nullptr) {
+    inj->set_plan(plan);
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(nodes_, seed_ ^ 0xFA17FA17ULL,
+                                              plan);
+  injector_ptr_.store(injector_.get(), std::memory_order_release);
+}
+
+void Network::clear_faults() {
+  injector_ptr_.store(nullptr, std::memory_order_release);
+  // The injector object itself is kept alive until destruction so a send()
+  // that loaded the pointer concurrently can finish its decide() safely.
+  flush_held();
+}
+
+void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
+  if (injector_ptr_.load(std::memory_order_acquire) == nullptr) {
+    set_fault_plan(FaultPlan{});  // no-loss injector, partitions only
+  }
+  injector_->partition(groups);
+}
+
+void Network::heal() {
+  FaultInjector* inj = injector_ptr_.load(std::memory_order_acquire);
+  if (inj != nullptr) inj->heal();
+}
+
+void Network::flush_held() {
+  std::vector<Held> due;
+  {
+    std::lock_guard lock(held_mu_);
+    due.swap(held_);
+  }
+  for (auto& h : due) {
+    if (crashed(h.to)) continue;
+    deliver(h.to, h.port, std::move(h.msg));
+  }
+}
+
+namespace {
+struct HeldLater {
+  bool operator()(const auto& a, const auto& b) const { return a.due > b.due; }
+};
+}  // namespace
+
+void Network::hold(std::chrono::steady_clock::time_point due, NodeId to,
+                   Port port, Message msg) {
+  {
+    std::lock_guard lock(held_mu_);
+    held_.push_back(Held{due, to, port, std::move(msg)});
+    std::push_heap(held_.begin(), held_.end(), HeldLater{});
+    ensure_pump_locked();
+  }
+  held_cv_.notify_one();
+}
+
+void Network::ensure_pump_locked() {
+  if (pump_.joinable()) return;
+  pump_ = std::jthread([this](std::stop_token st) { pump(st); });
+}
+
+void Network::pump(std::stop_token st) {
+  std::unique_lock lock(held_mu_);
+  while (!st.stop_requested()) {
+    if (held_.empty()) {
+      held_cv_.wait(lock, [&] { return st.stop_requested() || !held_.empty(); });
+      continue;
+    }
+    const auto next_due = held_.front().due;
+    if (std::chrono::steady_clock::now() < next_due) {
+      held_cv_.wait_until(lock, next_due, [&] {
+        return st.stop_requested() ||
+               (!held_.empty() && held_.front().due < next_due);
+      });
+      continue;
+    }
+    std::pop_heap(held_.begin(), held_.end(), HeldLater{});
+    Held h = std::move(held_.back());
+    held_.pop_back();
+    lock.unlock();
+    if (!crashed(h.to)) deliver(h.to, h.port, std::move(h.msg));
+    lock.lock();
+  }
 }
 
 }  // namespace asnap::net

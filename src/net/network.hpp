@@ -7,29 +7,34 @@
 // connected."
 //
 // Model: n nodes, each with a server mailbox (replica protocol) and a client
-// mailbox (quorum replies). Delivery is reliable but asynchronous: receive()
-// pops a uniformly random pending message (seeded), so messages are
-// arbitrarily reordered, and threads interleave arbitrarily. Crashed nodes
-// silently drop all traffic in both directions — the fail-stop model of
-// [ABD]. This is a substitution for a real cluster (see DESIGN.md §6): it
-// preserves asynchrony, reordering and minority-crash behaviour, which is
-// what the emulation claim is about.
+// mailbox (quorum replies). Delivery is asynchronous: receive() pops a
+// uniformly random pending message (seeded), so messages are arbitrarily
+// reordered, and threads interleave arbitrarily. Crashed nodes silently drop
+// all traffic in both directions — the fail-stop model of [ABD] — and may
+// later recover() and rejoin. On top of reordering, an optional seeded
+// FaultInjector (fault.hpp) makes the network LOSSY: per-message drop,
+// duplication, bounded delivery delay (held messages released by a pump
+// thread) and partition schedules with heal(). This is a substitution for a
+// real cluster (see DESIGN.md §6): it preserves asynchrony, reordering,
+// loss, duplication and crash/recovery behaviour, which is what the
+// emulation claim is about.
 #pragma once
 
 #include <any>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 
 namespace asnap::net {
-
-using NodeId = std::uint32_t;
 
 struct Message {
   NodeId from = 0;
@@ -55,6 +60,15 @@ class Mailbox {
   /// Returns nullopt only after close().
   std::optional<Message> receive();
 
+  /// Deadline-aware receive: blocks until a message arrives, the mailbox is
+  /// closed, or `deadline` passes — whichever comes first. Returns nullopt
+  /// on timeout or on closed-and-drained; disambiguate with closed().
+  std::optional<Message> receive_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Relative-timeout convenience over receive_until().
+  std::optional<Message> receive_for(std::chrono::microseconds timeout);
+
   /// Non-blocking variant.
   std::optional<Message> try_receive();
 
@@ -62,8 +76,15 @@ class Mailbox {
   /// return nullopt. Pushes after close are dropped.
   void close();
 
+  /// Undo close(): the mailbox accepts pushes again (crash recovery).
+  /// Pending messages from before the close were already droppable by the
+  /// fail-stop model, so reopen() also clears them.
+  void reopen();
+
+  bool closed() const;
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Message> pending_;
   Rng rng_;
@@ -73,11 +94,16 @@ class Mailbox {
 class Network {
  public:
   Network(std::size_t nodes, std::uint64_t seed);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   std::size_t size() const { return nodes_; }
 
   /// Deliver (eventually) to the target's mailbox; dropped if either end
-  /// has crashed or the mailbox is closed.
+  /// has crashed or the mailbox is closed. With a fault plan installed the
+  /// message may additionally be dropped, duplicated or delayed.
   void send(NodeId from, NodeId to, Port port, std::uint64_t type,
             std::uint64_t rid, std::any payload);
 
@@ -92,24 +118,91 @@ class Network {
   bool crashed(NodeId node) const;
   std::size_t alive_count() const;
 
+  /// Undo crash(node): the node accepts and emits traffic again. Replica
+  /// resynchronization is the protocol layer's job (AbdCluster::recover).
+  void recover(NodeId node);
+
   /// Sever the bidirectional link between two nodes: messages between them
   /// silently vanish from now on. ([ABD] tolerates link failures as long as
   /// each operating client still reaches a majority.)
   void cut_link(NodeId a, NodeId b);
+  /// Undo cut_link(a, b).
+  void restore_link(NodeId a, NodeId b);
   bool link_ok(NodeId from, NodeId to) const;
 
-  /// Total messages accepted for delivery (for experiment E9).
+  // --- fault injection (lossy-network adversary) ---------------------------
+
+  /// Install (or replace) the seeded fault plan. Passing a default
+  /// FaultPlan{} restores reliable delivery but keeps the injector's
+  /// partition state; clear_faults() removes the injector entirely.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_faults();
+  bool faults_enabled() const {
+    return injector_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Partition the cluster into disjoint groups (see FaultInjector). A
+  /// no-fault injector is created on demand so partitions work without a
+  /// loss plan.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  /// Reconnect all partition groups.
+  void heal();
+
+  /// Deliver every held (delayed) message immediately. Useful at quiescent
+  /// points in tests; the pump thread normally releases them on schedule.
+  void flush_held();
+
+  /// Total messages accepted for delivery (for experiment E9). Counts each
+  /// send() call that passed the crash/link checks — retransmissions
+  /// included, injector-created duplicates not.
   std::uint64_t messages_sent() const {
     return messages_sent_.load(std::memory_order_relaxed);
   }
+  std::uint64_t messages_dropped() const {
+    return messages_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_duplicated() const {
+    return messages_duplicated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_delayed() const {
+    return messages_delayed_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// A message held by the injector for bounded-delay delivery.
+  struct Held {
+    std::chrono::steady_clock::time_point due;
+    NodeId to;
+    Port port;
+    Message msg;
+  };
+
+  void deliver(NodeId to, Port port, Message msg);
+  void hold(std::chrono::steady_clock::time_point due, NodeId to, Port port,
+            Message msg);
+  void ensure_pump_locked();  // requires held_mu_
+  void pump(std::stop_token st);
+
   std::size_t nodes_;
+  std::uint64_t seed_;
   std::vector<std::unique_ptr<Mailbox>> server_boxes_;
   std::vector<std::unique_ptr<Mailbox>> client_boxes_;
   std::vector<std::atomic<bool>> crashed_;
   std::vector<std::atomic<bool>> link_down_;  ///< [from * nodes_ + to]
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> messages_duplicated_{0};
+  std::atomic<std::uint64_t> messages_delayed_{0};
+
+  // Injector pointer is set from quiescent control points (test setup,
+  // between phases); send() readers load it via the atomic guard below.
+  std::unique_ptr<FaultInjector> injector_;
+  std::atomic<FaultInjector*> injector_ptr_{nullptr};
+
+  std::mutex held_mu_;
+  std::condition_variable held_cv_;
+  std::vector<Held> held_;  ///< min-heap ordered by due
+  std::jthread pump_;
 };
 
 }  // namespace asnap::net

@@ -1,6 +1,10 @@
-// Unit tests for the simulated asynchronous network.
+// Unit tests for the simulated asynchronous network: mailboxes (including
+// deadline-aware receives), routing, crash/recovery, link cuts, and the
+// seeded fault-injection layer (drop / duplication / bounded delay /
+// partition schedules).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -8,6 +12,8 @@
 
 namespace asnap::net {
 namespace {
+
+using namespace std::chrono_literals;
 
 TEST(Mailbox, DeliversPushedMessages) {
   Mailbox box(1);
@@ -55,6 +61,55 @@ TEST(Mailbox, ReordersDeliveries) {
   EXPECT_TRUE(out_of_order) << "random pop should reorder 64 messages";
 }
 
+TEST(Mailbox, ReceiveForTimesOutOnEmpty) {
+  Mailbox box(1);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.receive_for(5ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 5ms);
+  EXPECT_FALSE(box.closed());
+}
+
+TEST(Mailbox, ReceiveForTimeoutThenDelivery) {
+  Mailbox box(1);
+  EXPECT_FALSE(box.receive_for(1ms).has_value());  // nothing yet: timeout
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    box.push(Message{2, 8, 9, {}});
+  });
+  const auto msg = box.receive_for(2s);  // delivered well before the deadline
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 2u);
+  EXPECT_EQ(msg->type, 8u);
+}
+
+TEST(Mailbox, ReceiveForWakesOnCloseDuringWait) {
+  Mailbox box(1);
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(5ms);
+    box.close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto msg = box.receive_for(10s);
+  EXPECT_FALSE(msg.has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s)
+      << "close() must wake a deadline-waiting receiver promptly";
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, ReopenAcceptsPushesAgain) {
+  Mailbox box(1);
+  box.push(Message{0, 1, 1, {}});
+  box.close();
+  box.reopen();
+  EXPECT_FALSE(box.closed());
+  EXPECT_FALSE(box.try_receive().has_value())
+      << "reopen drops the dead incarnation's pending traffic";
+  box.push(Message{0, 2, 2, {}});
+  const auto msg = box.try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 2u);
+}
+
 TEST(Network, RoutesToCorrectNodeAndPort) {
   Network net(3, 7);
   net.send(0, 2, Port::kServer, 5, 1, {});
@@ -98,6 +153,120 @@ TEST(Network, CrashUnblocksReceivers) {
   });
   std::this_thread::yield();
   net.crash(0);
+}
+
+TEST(Network, RecoverReopensANodeAfterCrash) {
+  Network net(3, 7);
+  net.crash(1);
+  net.send(0, 1, Port::kServer, 1, 1, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  net.recover(1);
+  EXPECT_FALSE(net.crashed(1));
+  EXPECT_EQ(net.alive_count(), 3u);
+  net.send(0, 1, Port::kServer, 2, 2, {});
+  const auto msg = net.mailbox(1, Port::kServer).try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 2u);
+}
+
+TEST(Network, RestoreLinkReconnects) {
+  Network net(2, 7);
+  net.cut_link(0, 1);
+  net.send(0, 1, Port::kServer, 1, 1, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  net.restore_link(0, 1);
+  EXPECT_TRUE(net.link_ok(0, 1));
+  net.send(0, 1, Port::kServer, 2, 2, {});
+  EXPECT_TRUE(net.mailbox(1, Port::kServer).try_receive().has_value());
+}
+
+// --- fault injection ---------------------------------------------------------
+
+TEST(FaultInjection, DropAllLosesEveryMessage) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{.drop_prob = 1.0});
+  for (int i = 0; i < 8; ++i) net.send(0, 1, Port::kServer, 1, i, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  EXPECT_EQ(net.messages_dropped(), 8u);
+  EXPECT_EQ(net.messages_sent(), 8u) << "sends are counted before loss";
+}
+
+TEST(FaultInjection, SeededDropRateIsRoughlyHonored) {
+  Network net(2, 42);
+  net.set_fault_plan(FaultPlan{.drop_prob = 0.3});
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, Port::kServer, 1, i, {});
+  // Seeded Bernoulli(0.3) over 1000 draws: a wide window that only a broken
+  // injector misses.
+  EXPECT_GT(net.messages_dropped(), 200u);
+  EXPECT_LT(net.messages_dropped(), 400u);
+}
+
+TEST(FaultInjection, DuplicateDeliversTwoCopies) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{.dup_prob = 1.0});
+  net.send(0, 1, Port::kServer, 5, 9, {});
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  auto first = net.mailbox(1, Port::kServer).try_receive();
+  auto second = net.mailbox(1, Port::kServer).try_receive();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->rid, 9u);
+  EXPECT_EQ(second->rid, 9u);
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+}
+
+TEST(FaultInjection, DuplicateCanSurviveDropOfPrimary) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{.drop_prob = 1.0, .dup_prob = 1.0});
+  net.send(0, 1, Port::kServer, 5, 9, {});
+  // Primary dropped, duplicate delivered: exactly one copy arrives.
+  EXPECT_TRUE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+}
+
+TEST(FaultInjection, DelayedMessageArrivesWithinBound) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{
+      .delay_prob = 1.0, .min_delay = 2ms, .max_delay = 5ms});
+  net.send(0, 1, Port::kServer, 3, 4, {});
+  EXPECT_EQ(net.messages_delayed(), 1u);
+  const auto msg = net.mailbox(1, Port::kServer).receive_for(2s);
+  ASSERT_TRUE(msg.has_value()) << "pump must release the held message";
+  EXPECT_EQ(msg->type, 3u);
+}
+
+TEST(FaultInjection, FlushHeldDeliversImmediately) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{
+      .delay_prob = 1.0, .min_delay = 10s, .max_delay = 10s});
+  net.send(0, 1, Port::kServer, 3, 4, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  net.flush_held();
+  EXPECT_TRUE(net.mailbox(1, Port::kServer).try_receive().has_value());
+}
+
+TEST(FaultInjection, PartitionBlocksAcrossGroupsUntilHeal) {
+  Network net(4, 7);
+  net.partition({{0, 1}, {2, 3}});
+  net.send(0, 2, Port::kServer, 1, 1, {});  // across the cut: lost
+  net.send(0, 1, Port::kServer, 2, 2, {});  // same side: delivered
+  EXPECT_FALSE(net.mailbox(2, Port::kServer).try_receive().has_value());
+  EXPECT_TRUE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.heal();
+  net.send(0, 2, Port::kServer, 3, 3, {});
+  EXPECT_TRUE(net.mailbox(2, Port::kServer).try_receive().has_value());
+}
+
+TEST(FaultInjection, ClearFaultsRestoresReliableDelivery) {
+  Network net(2, 7);
+  net.set_fault_plan(FaultPlan{.drop_prob = 1.0});
+  net.send(0, 1, Port::kServer, 1, 1, {});
+  EXPECT_FALSE(net.mailbox(1, Port::kServer).try_receive().has_value());
+  net.clear_faults();
+  EXPECT_FALSE(net.faults_enabled());
+  net.send(0, 1, Port::kServer, 2, 2, {});
+  EXPECT_TRUE(net.mailbox(1, Port::kServer).try_receive().has_value());
 }
 
 }  // namespace

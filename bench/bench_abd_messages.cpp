@@ -12,12 +12,18 @@
 // operation, plus duplicate replies discarded by the per-responder dedup.
 // Each sweep row is also emitted as a JSON line (prefix "JSON ") so results
 // files stay machine-readable alongside the human table.
+//
+// Flags: --trace <path> records a protocol trace (ABD quorum rounds,
+// retransmissions, fault-injector decisions) for tools/trace_analyze.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "abd/abd_snapshot.hpp"
+#include "bench_util.hpp"
 #include "lin/history.hpp"
+#include "trace/exporter.hpp"
 
 namespace {
 
@@ -82,7 +88,10 @@ LossCost measure_loss(double drop, bool dup) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::consume_flag(argc, argv, "--trace");
+  trace::Session trace_session(trace_path);
+
   std::printf("%4s %8s %14s %12s %14s %12s\n", "n", "crashed",
               "msgs/update", "msgs/scan", "msgs/update", "msgs/scan");
   std::printf("%4s %8s %27s %27s\n", "", "", "(all nodes alive)",
@@ -117,11 +126,14 @@ int main() {
       std::printf("%5.0f%% %5s %12.1f %14.2f %16.2f\n", drop * 100,
                   dup ? "on" : "off", cost.msgs_per_op,
                   cost.retransmits_per_op, cost.dup_replies_per_op);
-      std::printf("JSON {\"experiment\":\"E9-loss\",\"n\":5,\"drop\":%.2f,"
-                  "\"dup\":%s,\"msgs_per_op\":%.2f,\"retransmits_per_op\":"
-                  "%.3f,\"dup_replies_per_op\":%.3f}\n",
-                  drop, dup ? "true" : "false", cost.msgs_per_op,
-                  cost.retransmits_per_op, cost.dup_replies_per_op);
+      bench::JsonWriter("E9-loss")
+          .field("n", 5)
+          .field("drop", drop)
+          .field("dup", dup)
+          .field("msgs_per_op", cost.msgs_per_op)
+          .field("retransmits_per_op", cost.retransmits_per_op)
+          .field("dup_replies_per_op", cost.dup_replies_per_op)
+          .print();
     }
   }
   std::printf("\nRetransmission overhead stays sub-linear in drop rate while "

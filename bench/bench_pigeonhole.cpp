@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/baselines/double_collect_snapshot.hpp"
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
@@ -86,6 +87,14 @@ void row(const char* name, std::size_t n, std::size_t bound,
               static_cast<unsigned long long>(starved),
               static_cast<unsigned long long>(tight), bound,
               tight_borrow || starved_borrow ? "yes" : "no");
+  bench::JsonWriter("E6-pigeonhole")
+      .field("algorithm", name)
+      .field("n", n)
+      .field("starved_double_collects", starved)
+      .field("adversary_double_collects", tight)
+      .field("bound", bound)
+      .field("borrowed", tight_borrow || starved_borrow)
+      .print();
 }
 
 }  // namespace

@@ -4,14 +4,21 @@
 // MEAN is fine, but its tail is unbounded under sustained updates, while the
 // paper algorithms' p99/max stay within the n^2 step budget. Reports
 // p50/p99/max over 2000 scans per algorithm, with n-1 background updaters.
+//
+// Flags: --samples <n> overrides the 2000 scans per algorithm;
+//        --trace <path> records a protocol trace of the whole run
+//        (Chrome JSON, or JSONL if the path ends in .jsonl) for
+//        tools/trace_analyze and Perfetto.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/snapshot.hpp"
+#include "trace/exporter.hpp"
 
 namespace {
 
@@ -47,14 +54,30 @@ LatencyStats measure_latency(const ScanFn& scan_once, int samples) {
 void report(const char* name, const LatencyStats& s) {
   std::printf("%-26s %10.2f %10.2f %10.2f %10.0f\n", name, s.p50_us, s.p99_us,
               s.max_us, s.failures);
+  bench::JsonWriter("E10b-latency")
+      .field("algorithm", name)
+      .field("p50_us", s.p50_us)
+      .field("p99_us", s.p99_us)
+      .field("max_us", s.max_us)
+      .field("give_ups", s.failures)
+      .print();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kN = 8;
-  constexpr int kSamples = 2000;
   constexpr std::size_t kBudget = 3 * kN;  // generous budget for baselines
+
+  const std::string trace_path = bench::consume_flag(argc, argv, "--trace");
+  const std::string samples_arg =
+      bench::consume_flag(argc, argv, "--samples", "2000");
+  const int kSamples = std::atoi(samples_arg.c_str());
+  if (kSamples <= 0) {
+    std::fprintf(stderr, "bad --samples value: %s\n", samples_arg.c_str());
+    return 2;
+  }
+  trace::Session trace_session(trace_path);
 
   std::printf("%-26s %10s %10s %10s %10s   (n=%zu, %d scans, %zu updaters)\n",
               "algorithm", "p50_us", "p99_us", "max_us", "give-ups", kN,

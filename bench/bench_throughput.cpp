@@ -5,12 +5,16 @@
 // this series is to quantify that premium and to show the baselines' cheap
 // numbers come with starvation (seqlock/double-collect) or blocking (mutex)
 // caveats that E6 makes concrete.
+// Flags: --trace <path> records a protocol trace of the whole run (consumed
+// before google-benchmark sees argv); everything else is google-benchmark's.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/snapshot.hpp"
+#include "trace/exporter.hpp"
 
 namespace {
 
@@ -100,4 +104,13 @@ BENCHMARK(BM_Throughput_DoubleCollect)->Arg(10)->Arg(50)->Arg(90);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string trace_path =
+      asnap::bench::consume_flag(argc, argv, "--trace");
+  asnap::trace::Session trace_session(trace_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

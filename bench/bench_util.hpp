@@ -6,7 +6,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -56,6 +59,80 @@ class InterferencePool {
   std::atomic<bool> stop_;
   std::vector<std::jthread> threads_;
 };
+
+/// Builds the machine-readable "JSON {...}" result lines the benches print
+/// alongside their human tables (scripts/run_experiments.sh greps for the
+/// prefix). Field order is insertion order; values are escaped-free by
+/// construction (keys and string values used by the benches are plain
+/// identifiers).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string_view experiment) {
+    body_ = "{\"experiment\":\"";
+    body_ += experiment;
+    body_ += '"';
+  }
+
+  JsonWriter& field(std::string_view key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonWriter& field(std::string_view key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonWriter& field(std::string_view key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    std::string quoted = "\"";
+    quoted += v;
+    quoted += '"';
+    return raw(key, quoted);
+  }
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+
+  /// The object, e.g. {"experiment":"E9-loss","drop":0.1}.
+  std::string str() const { return body_ + "}"; }
+
+  /// Prints the prefixed result line: JSON {...}\n.
+  void print() const { std::printf("JSON %s\n", str().c_str()); }
+
+ private:
+  JsonWriter& raw(std::string_view key, std::string_view value) {
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Pulls `--flag <value>` out of (argc, argv), compacting argv in place so
+/// downstream flag parsers (e.g. google-benchmark's) never see it. Returns
+/// the value, or `fallback` if the flag is absent.
+inline std::string consume_flag(int& argc, char** argv, std::string_view flag,
+                                std::string_view fallback = "") {
+  std::string value(fallback);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) {
+      value = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
+}
 
 /// Least-squares slope of log(y) against log(x): the measured complexity
 /// exponent of y(x) ~ x^slope.

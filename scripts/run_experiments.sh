@@ -1,8 +1,38 @@
 #!/usr/bin/env bash
 # Regenerates every experiment in EXPERIMENTS.md: builds, runs the full test
 # suite, then every benchmark binary, teeing outputs under results/.
+#
+# Options:
+#   --trace-dir <dir>   also capture protocol traces: the instrumented
+#                       benches get --trace <dir>/<bench>.json, and each
+#                       trace is fed through tools/trace_analyze (which
+#                       fails the run if any scan exceeded its pigeonhole
+#                       bound). The JSON files load directly in Perfetto.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TRACE_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --trace-dir)
+      TRACE_DIR="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown option: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+[ -n "$TRACE_DIR" ] && mkdir -p "$TRACE_DIR"
+
+# Benches wired for --trace (see bench/*.cpp headers).
+traced_bench() {
+  case "$1" in
+    bench_scan_latency|bench_throughput|bench_abd_messages) return 0 ;;
+    *) return 1 ;;
+  esac
+}
 
 cmake -B build -G Ninja
 cmake --build build
@@ -25,9 +55,25 @@ for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "== $name =="
+  trace_args=()
+  if [ -n "$TRACE_DIR" ] && traced_bench "$name"; then
+    trace_args=(--trace "$TRACE_DIR/$name.json")
+  fi
   # google-benchmark binaries honor the flag; the table binaries ignore argv.
-  "$b" --benchmark_min_time=0.05 2>&1 | tee "results/$name.txt"
+  # ${arr[@]+...} keeps `set -u` happy when the array is empty (bash < 4.4).
+  "$b" --benchmark_min_time=0.05 ${trace_args[@]+"${trace_args[@]}"} 2>&1 \
+    | tee "results/$name.txt"
 done
+
+if [ -n "$TRACE_DIR" ]; then
+  echo "== trace analysis =="
+  for t in "$TRACE_DIR"/*.json; do
+    [ -f "$t" ] || continue
+    echo "-- $(basename "$t") --"
+    build/tools/trace_analyze "$t" 2>&1 \
+      | tee "results/trace_analyze_$(basename "$t" .json).txt"
+  done
+fi
 
 echo
 echo "Outputs captured under results/. Update EXPERIMENTS.md from them."

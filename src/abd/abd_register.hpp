@@ -49,6 +49,7 @@
 #include "common/config.hpp"
 #include "common/instrumentation.hpp"
 #include "net/network.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::abd {
 
@@ -293,6 +294,7 @@ class AbdCluster {
     std::vector<char> seen(net_.size(), 0);
     std::size_t accepted = 0;
     note_round();
+    ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundBegin, client, rid, needed);
     transmit();
     auto retransmit_at = std::chrono::steady_clock::now() + backoff.current();
     while (accepted < needed) {
@@ -300,14 +302,19 @@ class AbdCluster {
       if (now >= deadline) {
         note_round_timeout();
         round_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundTimeout, client, rid);
         return OpStatus::kTimeout;
       }
       auto msg = inbox.receive_until(std::min(deadline, retransmit_at));
       if (!msg.has_value()) {
-        if (inbox.closed()) return OpStatus::kClosed;
+        if (inbox.closed()) {
+          ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundTimeout, client, rid);
+          return OpStatus::kClosed;
+        }
         if (std::chrono::steady_clock::now() >= retransmit_at) {
           note_retransmit();
           retransmits_.fetch_add(1, std::memory_order_relaxed);
+          ASNAP_TRACE_EVENT(trace::EventKind::kAbdRetransmit, client, rid);
           transmit();
           backoff.grow();
           retransmit_at = std::chrono::steady_clock::now() + backoff.current();
@@ -324,6 +331,8 @@ class AbdCluster {
       on_reply(*msg);
       ++accepted;
     }
+    ASNAP_TRACE_EVENT(trace::EventKind::kAbdQuorumReached, client, rid,
+                      accepted);
     return OpStatus::kOk;
   }
 

@@ -48,6 +48,7 @@
 #include "reg/big_register.hpp"
 #include "reg/handshake.hpp"
 #include "reg/mwmr_register.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::core {
 
@@ -90,12 +91,14 @@ class BoundedMwSnapshot {
   void update(ProcessId i, std::size_t k, T value) {
     ASNAP_ASSERT(i < n_ && k < m_);
     WellFormednessGuard guard(per_process_[i].busy);
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateBegin, i, k);
 
     // Line 0: handshake — p_{i,j} := ¬q_{j,i}.
     for (std::size_t j = 0; j < n_; ++j) {
       const bool q_ji = q_.read(static_cast<ProcessId>(j), i);
       p_.write(i, static_cast<ProcessId>(j), !q_ji);
     }
+    ASNAP_TRACE_EVENT(trace::EventKind::kHandshakeToggle, i, k);
 
     // Line 1: embedded scan, published in the single-writer view register
     // with one atomic write.
@@ -107,6 +110,7 @@ class BoundedMwSnapshot {
     me.word_toggle[k] ^= 1;
     words_[k]->write(i, Word{std::move(value), i, me.word_toggle[k] != 0});
     ++me.stats.updates;
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateEnd, i, k);
   }
 
   /// Figure 4, procedure scan_i.
@@ -141,6 +145,8 @@ class BoundedMwSnapshot {
     std::vector<Word> a;
     std::vector<Word> b;
     std::uint64_t attempts = 0;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanBegin, i, trace::kAlgoBoundedMw,
+                      n_);
 
     for (;;) {
       // Line 0.5: handshake — q_{i,j} := p_{j,i}.
@@ -150,8 +156,12 @@ class BoundedMwSnapshot {
       }
 
       // Lines 1-2.5: two collects of the words, then the handshake bits.
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, a);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, b);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
       for (std::size_t j = 0; j < n_; ++j) {
         h[j] = p_.read(static_cast<ProcessId>(j), i) ? 1 : 0;
       }
@@ -166,12 +176,14 @@ class BoundedMwSnapshot {
         if (a[k].id != b[k].id || a[k].toggle != b[k].toggle) clean = false;
       }
       if (clean) {
-        finish_scan(me, attempts, /*borrowed=*/false);
+        ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMatch, i, attempts);
+        finish_scan(i, me, attempts, /*borrowed=*/false);
         std::vector<T> values;
         values.reserve(m_);
         for (std::size_t k = 0; k < m_; ++k) values.push_back(b[k].value);
         return values;
       }
+      ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMismatch, i, attempts);
 
       // Lines 5-9: attribute changes; borrow view_j on the third offense.
       for (std::size_t j = 0; j < n_; ++j) {
@@ -187,11 +199,13 @@ class BoundedMwSnapshot {
         }
         if (!moved_now) continue;
         if (moved[j] == 2) {  // P_j moved three times: borrow its view
-          finish_scan(me, attempts, /*borrowed=*/true);
+          ASNAP_TRACE_EVENT(trace::EventKind::kViewBorrowed, i, j);
+          finish_scan(i, me, attempts, /*borrowed=*/true);
           std::vector<T> view = views_[j]->read();
           ASNAP_ASSERT(view.size() == m_);
           return view;
         }
+        ASNAP_TRACE_EVENT(trace::EventKind::kMovedDetected, i, j);
         ++moved[j];
       }
       ASNAP_ASSERT_MSG(attempts <= 2 * n_ + 1,
@@ -199,13 +213,16 @@ class BoundedMwSnapshot {
     }
   }
 
-  void finish_scan(PerProcess& me, std::uint64_t attempts, bool borrowed) {
+  void finish_scan([[maybe_unused]] ProcessId i, PerProcess& me,
+                   std::uint64_t attempts, bool borrowed) {
     ++me.stats.scans;
     me.stats.double_collects += attempts;
     if (attempts > me.stats.max_double_collects) {
       me.stats.max_double_collects = attempts;
     }
     if (borrowed) ++me.stats.borrowed_views;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanEnd, i, attempts,
+                      borrowed ? 1 : 0);
   }
 
   std::size_t n_;

@@ -40,6 +40,7 @@
 #include "core/snapshot_types.hpp"
 #include "reg/handshake.hpp"
 #include "reg/register_array.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::core {
 
@@ -74,6 +75,7 @@ class BoundedSwSnapshot {
     ASNAP_ASSERT(i < size());
     WellFormednessGuard guard(per_process_[i].busy);
     const std::size_t n = size();
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateBegin, i);
 
     // Line 0: collect handshake values f[j] := ¬q_{j,i}.
     std::vector<std::uint8_t> f(n);
@@ -87,9 +89,12 @@ class BoundedSwSnapshot {
     // Line 2: single atomic write of (value, f, ¬toggle, view).
     PerProcess& me = per_process_[i];
     me.toggle = !me.toggle;
+    ASNAP_TRACE_EVENT(trace::EventKind::kHandshakeToggle, i,
+                      me.toggle ? 1 : 0);
     regs_.write(i, Record{std::move(value), std::move(f), me.toggle,
                           std::move(view)});
     ++me.stats.updates;
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateEnd, i);
   }
 
   /// Figure 3, procedure scan_i.
@@ -125,6 +130,8 @@ class BoundedSwSnapshot {
     std::vector<Record> a;
     std::vector<Record> b;
     std::uint64_t attempts = 0;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanBegin, i, trace::kAlgoBoundedSw,
+                      n);
 
     for (;;) {
       // Line 0.5: handshake — q_{i,j} := p_{j,i}(r_j). Reading r_j is one
@@ -135,8 +142,12 @@ class BoundedSwSnapshot {
         q_.write(i, static_cast<ProcessId>(j), q_local[j] != 0);
       }
 
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, a);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, b);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
       ++attempts;
 
       // Line 3: nobody moved?
@@ -149,12 +160,14 @@ class BoundedSwSnapshot {
         }
       }
       if (clean) {
-        finish_scan(me, attempts, /*borrowed=*/false);
+        ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMatch, i, attempts);
+        finish_scan(i, me, attempts, /*borrowed=*/false);
         std::vector<T> values;
         values.reserve(n);
         for (std::size_t j = 0; j < n; ++j) values.push_back(b[j].value);
         return values;
       }
+      ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMismatch, i, attempts);
 
       // Lines 5-9: attribute movement; borrow a view on the second offense.
       for (std::size_t j = 0; j < n; ++j) {
@@ -163,10 +176,12 @@ class BoundedSwSnapshot {
                                a[j].toggle != b[j].toggle;
         if (!moved_now) continue;
         if (moved[j] != 0) {
-          finish_scan(me, attempts, /*borrowed=*/true);
+          ASNAP_TRACE_EVENT(trace::EventKind::kViewBorrowed, i, j);
+          finish_scan(i, me, attempts, /*borrowed=*/true);
           ASNAP_ASSERT(b[j].view.size() == n);
           return b[j].view;
         }
+        ASNAP_TRACE_EVENT(trace::EventKind::kMovedDetected, i, j);
         moved[j] = 1;
       }
       ASNAP_ASSERT_MSG(attempts <= n + 1,
@@ -174,13 +189,16 @@ class BoundedSwSnapshot {
     }
   }
 
-  void finish_scan(PerProcess& me, std::uint64_t attempts, bool borrowed) {
+  void finish_scan([[maybe_unused]] ProcessId i, PerProcess& me,
+                   std::uint64_t attempts, bool borrowed) {
     ++me.stats.scans;
     me.stats.double_collects += attempts;
     if (attempts > me.stats.max_double_collects) {
       me.stats.max_double_collects = attempts;
     }
     if (borrowed) ++me.stats.borrowed_views;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanEnd, i, attempts,
+                      borrowed ? 1 : 0);
   }
 
   Array regs_;

@@ -31,6 +31,7 @@
 #include "common/config.hpp"
 #include "core/snapshot_types.hpp"
 #include "reg/register_array.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::core {
 
@@ -70,11 +71,14 @@ class UnboundedSwSnapshot {
   void update(ProcessId i, T value) {
     ASNAP_ASSERT(i < size());
     WellFormednessGuard guard(per_process_[i].busy);
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateBegin, i,
+                      per_process_[i].seq + 1);
     std::vector<T> view = scan_impl(i);  // embedded scan
     PerProcess& me = per_process_[i];
     ++me.seq;
     regs_.write(i, Record{std::move(value), me.seq, std::move(view)});
     ++me.stats.updates;
+    ASNAP_TRACE_EVENT(trace::EventKind::kUpdateEnd, i, me.seq);
   }
 
   /// Figure 2, procedure scan_i.
@@ -109,10 +113,16 @@ class UnboundedSwSnapshot {
     std::vector<Record> a;
     std::vector<Record> b;
     std::uint64_t attempts = 0;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanBegin, i, trace::kAlgoUnboundedSw,
+                      n);
 
     for (;;) {
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, a);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectBegin, i, attempts);
       collect(i, b);
+      ASNAP_TRACE_EVENT(trace::EventKind::kCollectEnd, i, attempts);
       ++attempts;
 
       bool identical = true;
@@ -123,20 +133,24 @@ class UnboundedSwSnapshot {
         }
       }
       if (identical) {  // successful double collect (Observation 1)
-        finish_scan(me, attempts, /*borrowed=*/false);
+        ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMatch, i, attempts);
+        finish_scan(i, me, attempts, /*borrowed=*/false);
         std::vector<T> values;
         values.reserve(n);
         for (std::size_t j = 0; j < n; ++j) values.push_back(b[j].value);
         return values;
       }
+      ASNAP_TRACE_EVENT(trace::EventKind::kDoubleCollectMismatch, i, attempts);
 
       for (std::size_t j = 0; j < n; ++j) {
         if (a[j].seq == b[j].seq) continue;
         if (moved[j] != 0) {  // P_j moved twice: borrow its view (Obs. 2)
-          finish_scan(me, attempts, /*borrowed=*/true);
+          ASNAP_TRACE_EVENT(trace::EventKind::kViewBorrowed, i, j);
+          finish_scan(i, me, attempts, /*borrowed=*/true);
           ASNAP_ASSERT(b[j].view.size() == n);
           return b[j].view;
         }
+        ASNAP_TRACE_EVENT(trace::EventKind::kMovedDetected, i, j);
         moved[j] = 1;
       }
       // Wait-freedom invariant (Lemma 3.4): the pigeonhole bound.
@@ -145,13 +159,16 @@ class UnboundedSwSnapshot {
     }
   }
 
-  void finish_scan(PerProcess& me, std::uint64_t attempts, bool borrowed) {
+  void finish_scan([[maybe_unused]] ProcessId i, PerProcess& me,
+                   std::uint64_t attempts, bool borrowed) {
     ++me.stats.scans;
     me.stats.double_collects += attempts;
     if (attempts > me.stats.max_double_collects) {
       me.stats.max_double_collects = attempts;
     }
     if (borrowed) ++me.stats.borrowed_views;
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanEnd, i, attempts,
+                      borrowed ? 1 : 0);
   }
 
   Array regs_;

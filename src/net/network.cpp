@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::net {
 
@@ -115,16 +116,21 @@ void Network::send(NodeId from, NodeId to, Port port, std::uint64_t type,
   const FaultDecision fate = inj->decide(from, to);
   if (fate.copies == 0) {
     messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kFaultDrop, from, to);
     return;
   }
   if (fate.copies > 1) {
     messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kFaultDup, from, to);
   }
   const auto now = std::chrono::steady_clock::now();
   for (std::uint32_t i = 0; i < fate.copies; ++i) {
     Message copy{from, type, rid, payload};  // payload copied per copy
     if (fate.delay[i].count() > 0) {
       messages_delayed_.fetch_add(1, std::memory_order_relaxed);
+      ASNAP_TRACE_EVENT(
+          trace::EventKind::kFaultDelay, from, to,
+          static_cast<std::uint64_t>(fate.delay[i].count()));
       hold(now + fate.delay[i], to, port, std::move(copy));
     } else {
       deliver(to, port, std::move(copy));

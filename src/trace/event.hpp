@@ -1,0 +1,111 @@
+// Protocol-event vocabulary of the tracing subsystem.
+//
+// The paper's arguments are event-level: Observation 1 is about a pair of
+// collects reading equal sequence numbers, Observation 2 about a process
+// observed moving twice (thrice for Figure 4), Lemmas 3.4/4.4 about the
+// pigeonhole bound on double collects per scan. A TraceEvent makes exactly
+// these protocol events first-class: each is a fixed-size record (timestamp,
+// kind, acting process, two payload words) cheap enough to emit from the
+// hot path into a per-thread ring buffer (ring_buffer.hpp) and merge into a
+// Perfetto/chrome://tracing timeline afterwards (exporter.hpp).
+//
+// Two gates keep the cost honest:
+//   * compile time — every emission site goes through ASNAP_TRACE_EVENT,
+//     which compiles to nothing when the ASNAP_TRACE CMake option is OFF;
+//   * run time — with tracing compiled in but not enabled (the default),
+//     the macro is one relaxed atomic load and a predictable branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace asnap::trace {
+
+/// Every protocol event the subsystem knows about, across the whole stack:
+/// snapshot cores (core/), the ABD quorum client (abd/), and the lossy
+/// network adversary (net/).
+enum class EventKind : std::uint16_t {
+  kNone = 0,
+
+  // -- snapshot cores (pid = the paper's process index P_i) -----------------
+  kScanBegin,              ///< a0 = algorithm id (kAlgo*), a1 = n
+  kScanEnd,                ///< a0 = double collects used, a1 = borrowed (0/1)
+  kCollectBegin,           ///< a0 = double-collect attempts completed so far
+  kCollectEnd,             ///< a0 = as kCollectBegin
+  kDoubleCollectMatch,     ///< Observation 1 fired; a0 = attempts used
+  kDoubleCollectMismatch,  ///< some register changed between the collects
+  kMovedDetected,          ///< a0 = the process observed moving
+  kViewBorrowed,           ///< Observation 2 fired; a0 = view's owner
+  kUpdateBegin,            ///< a0 = word index (multi-writer) or seq hint
+  kUpdateEnd,              ///< a0 = as kUpdateBegin
+  kHandshakeToggle,        ///< updater flipped its handshake/toggle bits
+
+  // -- ABD quorum client (pid = client node id) -----------------------------
+  kAbdRoundBegin,     ///< a0 = request id, a1 = distinct replies needed
+  kAbdRetransmit,     ///< a0 = request id
+  kAbdQuorumReached,  ///< a0 = request id, a1 = replies accepted
+  kAbdRoundTimeout,   ///< a0 = request id
+
+  // -- fault injector (pid = sending node id) -------------------------------
+  kFaultDrop,   ///< a0 = destination node
+  kFaultDup,    ///< a0 = destination node
+  kFaultDelay,  ///< a0 = destination node, a1 = delay in microseconds
+
+  kKindCount,
+};
+
+/// Algorithm ids carried in kScanBegin.a0 so an analyzer can apply the right
+/// pigeonhole bound: n+1 double collects for A1/A2, 2n+1 for A3.
+inline constexpr std::uint64_t kAlgoUnboundedSw = 1;  ///< Figure 2 (A1)
+inline constexpr std::uint64_t kAlgoBoundedSw = 2;    ///< Figure 3 (A2)
+inline constexpr std::uint64_t kAlgoBoundedMw = 3;    ///< Figure 4 (A3)
+
+/// Stable lower_snake_case name of a kind ("scan_begin", ...). Returns
+/// "unknown" for out-of-range values (a torn slot that escaped validation).
+const char* kind_name(EventKind kind);
+
+/// One traced protocol event. 40 bytes; tid is assigned by the collector
+/// when the per-thread ring buffers are drained, not by the emitter.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;            ///< steady_clock nanoseconds
+  std::uint64_t a0 = 0;               ///< payload word (see EventKind docs)
+  std::uint64_t a1 = 0;               ///< payload word
+  std::uint32_t pid = 0;              ///< acting process / node id
+  std::uint32_t tid = 0;              ///< trace thread id (collector-filled)
+  EventKind kind = EventKind::kNone;
+};
+
+/// Master runtime switch. Inline so the disabled fast path is a single
+/// relaxed load of one global, with no function call.
+inline std::atomic<bool> g_trace_enabled{false};
+
+inline bool enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Append one event to the calling thread's ring buffer (registering the
+/// buffer on first use). Only called with tracing enabled; implemented in
+/// exporter.cpp next to the buffer registry. Marked cold so the call and
+/// its argument setup are laid out off the hot path: with tracing disabled,
+/// an instrumentation site costs the relaxed load and a not-taken branch,
+/// not the register pressure of a live call.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((cold))
+#endif
+void emit(EventKind kind, std::uint32_t pid, std::uint64_t a0 = 0,
+          std::uint64_t a1 = 0);
+
+}  // namespace asnap::trace
+
+// Emission macro: all instrumentation sites in core/, abd/ and net/ go
+// through this so a -DASNAP_TRACE=OFF build contains no tracing code at all.
+#if defined(ASNAP_TRACE) && ASNAP_TRACE
+#define ASNAP_TRACE_EVENT(kind, pid, ...)                        \
+  do {                                                           \
+    if (::asnap::trace::enabled()) [[unlikely]] {                \
+      ::asnap::trace::emit((kind), (pid), ##__VA_ARGS__);        \
+    }                                                            \
+  } while (0)
+#else
+#define ASNAP_TRACE_EVENT(kind, pid, ...) ((void)0)
+#endif

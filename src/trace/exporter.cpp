@@ -1,0 +1,286 @@
+#include "trace/exporter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "trace/ring_buffer.hpp"
+
+namespace asnap::trace {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's ring plus its never-recycled trace tid.
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, std::uint32_t id)
+      : ring(capacity), tid(id) {}
+  SpscRing ring;
+  std::uint32_t tid;
+};
+
+/// Owns every ring ever created; rings outlive their producer threads so
+/// late drains still see a dead thread's tail.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+  std::atomic<std::size_t> capacity{std::size_t{1} << 15};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: emitters may run at exit
+  return *r;
+}
+
+ThreadRing* register_thread_ring() {
+  Registry& reg = registry();
+  auto ring = std::make_unique<ThreadRing>(
+      reg.capacity.load(std::memory_order_relaxed), 0);
+  ThreadRing* raw = ring.get();
+  std::lock_guard lock(reg.mu);
+  raw->tid = reg.next_tid++;
+  reg.rings.push_back(std::move(ring));
+  return raw;
+}
+
+ThreadRing* this_thread_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) ring = register_thread_ring();
+  return ring;
+}
+
+}  // namespace
+
+void emit(EventKind kind, std::uint32_t pid, std::uint64_t a0,
+          std::uint64_t a1) {
+  TraceEvent ev;
+  ev.ts_ns = now_ns();
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.pid = pid;
+  ev.kind = kind;
+  this_thread_ring()->ring.push(ev);
+}
+
+void set_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_thread_buffer_capacity(std::size_t capacity) {
+  ASNAP_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "trace buffer capacity must be a power of two");
+  registry().capacity.store(capacity, std::memory_order_relaxed);
+}
+
+Drained drain_all() {
+  Drained out;
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (auto& tr : reg.rings) {
+    const std::size_t first = out.events.size();
+    const SpscRing::DrainStats stats = tr->ring.drain(out.events);
+    out.dropped += stats.dropped;
+    for (std::size_t i = first; i < out.events.size(); ++i) {
+      out.events[i].tid = tr->tid;
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void discard_all() { (void)drain_all(); }
+
+std::uint64_t total_dropped() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& tr : reg.rings) dropped += tr->ring.dropped();
+  return dropped;
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNone: return "none";
+    case EventKind::kScanBegin: return "scan_begin";
+    case EventKind::kScanEnd: return "scan_end";
+    case EventKind::kCollectBegin: return "collect_begin";
+    case EventKind::kCollectEnd: return "collect_end";
+    case EventKind::kDoubleCollectMatch: return "double_collect_match";
+    case EventKind::kDoubleCollectMismatch: return "double_collect_mismatch";
+    case EventKind::kMovedDetected: return "moved_detected";
+    case EventKind::kViewBorrowed: return "view_borrowed";
+    case EventKind::kUpdateBegin: return "update_begin";
+    case EventKind::kUpdateEnd: return "update_end";
+    case EventKind::kHandshakeToggle: return "handshake_toggle";
+    case EventKind::kAbdRoundBegin: return "abd_round_begin";
+    case EventKind::kAbdRetransmit: return "abd_retransmit";
+    case EventKind::kAbdQuorumReached: return "abd_quorum_reached";
+    case EventKind::kAbdRoundTimeout: return "abd_round_timeout";
+    case EventKind::kFaultDrop: return "fault_drop";
+    case EventKind::kFaultDup: return "fault_dup";
+    case EventKind::kFaultDelay: return "fault_delay";
+    case EventKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+bool is_begin_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kScanBegin:
+    case EventKind::kCollectBegin:
+    case EventKind::kUpdateBegin:
+    case EventKind::kAbdRoundBegin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_end_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kScanEnd:
+    case EventKind::kCollectEnd:
+    case EventKind::kUpdateEnd:
+    case EventKind::kAbdQuorumReached:
+    case EventKind::kAbdRoundTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* duration_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kScanBegin:
+    case EventKind::kScanEnd:
+      return "scan";
+    case EventKind::kCollectBegin:
+    case EventKind::kCollectEnd:
+      return "collect";
+    case EventKind::kUpdateBegin:
+    case EventKind::kUpdateEnd:
+      return "update";
+    case EventKind::kAbdRoundBegin:
+    case EventKind::kAbdQuorumReached:
+    case EventKind::kAbdRoundTimeout:
+      return "abd_round";
+    default:
+      return nullptr;
+  }
+}
+
+namespace {
+
+/// Category string for the Chrome "cat" field, by protocol layer.
+const char* kind_category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAbdRoundBegin:
+    case EventKind::kAbdRetransmit:
+    case EventKind::kAbdQuorumReached:
+    case EventKind::kAbdRoundTimeout:
+      return "abd";
+    case EventKind::kFaultDrop:
+    case EventKind::kFaultDup:
+    case EventKind::kFaultDelay:
+      return "net";
+    default:
+      return "snapshot";
+  }
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fputs("{\"traceEvents\":[", f.get());
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    const char* name = duration_name(ev.kind);
+    const char* ph = "i";
+    if (name != nullptr) {
+      ph = is_begin_kind(ev.kind) ? "B" : "E";
+    } else {
+      name = kind_name(ev.kind);
+    }
+    // Chrome "ts" is in microseconds; keep sub-microsecond precision.
+    std::fprintf(
+        f.get(),
+        "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+        "\"pid\":%u,\"tid\":%u%s,\"args\":{\"kind\":\"%s\",\"a0\":%llu,"
+        "\"a1\":%llu}}",
+        first ? "" : ",", name, kind_category(ev.kind), ph,
+        static_cast<double>(ev.ts_ns) / 1000.0, ev.pid, ev.tid,
+        ph[0] == 'i' ? ",\"s\":\"t\"" : "", kind_name(ev.kind),
+        static_cast<unsigned long long>(ev.a0),
+        static_cast<unsigned long long>(ev.a1));
+    first = false;
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f.get());
+  return true;
+}
+
+bool write_jsonl(const std::string& path,
+                 const std::vector<TraceEvent>& events) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  for (const TraceEvent& ev : events) {
+    std::fprintf(f.get(),
+                 "{\"ts\":%llu,\"kind\":\"%s\",\"pid\":%u,\"tid\":%u,"
+                 "\"a0\":%llu,\"a1\":%llu}\n",
+                 static_cast<unsigned long long>(ev.ts_ns), kind_name(ev.kind),
+                 ev.pid, ev.tid, static_cast<unsigned long long>(ev.a0),
+                 static_cast<unsigned long long>(ev.a1));
+  }
+  return true;
+}
+
+Session::Session(std::string path, std::size_t buffer_capacity)
+    : path_(std::move(path)) {
+  if (path_.empty()) return;
+  set_thread_buffer_capacity(buffer_capacity);
+  discard_all();
+  set_enabled(true);
+}
+
+Session::~Session() {
+  if (path_.empty()) return;
+  set_enabled(false);
+  const Drained drained = drain_all();
+  const bool jsonl =
+      path_.size() >= 6 && path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
+  const bool ok = jsonl ? write_jsonl(path_, drained.events)
+                        : write_chrome_trace(path_, drained.events);
+  if (ok) {
+    std::fprintf(stderr,
+                 "trace: wrote %zu events to %s (%llu dropped by ring "
+                 "overwrite)\n",
+                 drained.events.size(), path_.c_str(),
+                 static_cast<unsigned long long>(drained.dropped));
+  } else {
+    std::fprintf(stderr, "trace: FAILED to open %s\n", path_.c_str());
+  }
+}
+
+}  // namespace asnap::trace

@@ -1,0 +1,100 @@
+// Collector side of the tracing subsystem: thread-buffer registry, global
+// drain, and export to Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) or compact JSONL.
+//
+// Ownership model: the registry owns every per-thread ring for the lifetime
+// of the process, so a thread may exit (and its dense thread-registry id be
+// recycled) while its unexported events are still sitting in its ring — the
+// collector can always drain them later. Each ring gets a never-recycled
+// trace tid, which is what appears in the exported "tid" field.
+//
+// Chrome mapping (one timeline row per (pid, tid)):
+//   * Begin/End kinds (scan, collect, update, abd_round) export as "B"/"E"
+//     duration events, so scans nest visually inside updates (the embedded
+//     scan) and collects inside scans — the paper's structure, on screen.
+//   * Everything else (borrows, moved-detections, retransmits, fault
+//     decisions, handshake toggles) exports as thread-scoped "i" instants.
+//   * "pid" is the algorithm's process id, "tid" the emitting OS thread's
+//     trace tid; args carry the kind name and payload words.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace asnap::trace {
+
+// -- runtime control ---------------------------------------------------------
+
+/// Turn event collection on or off. Enabling does not clear previously
+/// collected events; use discard_all() for a fresh start.
+void set_enabled(bool on);
+
+/// Capacity (power of two) for per-thread rings created AFTER this call;
+/// existing rings keep their size. Default: 1 << 15 events (~1.3 MiB).
+void set_thread_buffer_capacity(std::size_t capacity);
+
+// -- collection --------------------------------------------------------------
+
+struct Drained {
+  std::vector<TraceEvent> events;  ///< merged from all threads, by ts_ns
+  std::uint64_t dropped = 0;       ///< ring-overwritten events, all threads
+};
+
+/// Drain every registered ring (consuming the events), stamp each event
+/// with its ring's trace tid, and return the merge sorted by timestamp.
+/// Call at quiescence for complete traces; calling while traced threads are
+/// running is safe but concurrently-emitted events may land in the next
+/// drain. Not reentrant: one drainer at a time.
+Drained drain_all();
+
+/// Drain and discard everything collected so far (test isolation).
+void discard_all();
+
+/// Events lost to ring overwriting so far (including not-yet-drained rings).
+std::uint64_t total_dropped();
+
+// -- export ------------------------------------------------------------------
+
+/// Write Chrome trace-event JSON ({"traceEvents": [...]}). Returns false if
+/// the file could not be opened.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// Write one compact JSON object per line:
+/// {"ts":..,"kind":"scan_begin","pid":0,"tid":1,"a0":..,"a1":..}
+bool write_jsonl(const std::string& path,
+                 const std::vector<TraceEvent>& events);
+
+/// True for kinds exported as "B" (paired with a matching end kind).
+bool is_begin_kind(EventKind kind);
+/// True for kinds exported as "E".
+bool is_end_kind(EventKind kind);
+/// Shared duration-track name for paired kinds ("scan", "collect",
+/// "update", "abd_round"); nullptr for instant kinds.
+const char* duration_name(EventKind kind);
+
+// -- one-stop bench/tool harness --------------------------------------------
+
+/// RAII trace capture: enables tracing on construction, and on destruction
+/// disables, drains and exports to `path` — Chrome JSON unless the path
+/// ends in ".jsonl" — printing a one-line summary to stderr. An empty path
+/// makes the session inert, so benches can pass their --trace flag through
+/// unconditionally.
+class Session {
+ public:
+  explicit Session(std::string path, std::size_t buffer_capacity = 1 << 15);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace asnap::trace

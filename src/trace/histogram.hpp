@@ -1,0 +1,105 @@
+// Log-bucketed histogram for latency and count distributions.
+//
+// HdrHistogram-style bucketing: values below 2^kSubBits get exact unit
+// buckets; above that, each power-of-two octave is split into 2^kSubBits
+// linear sub-buckets, so the relative quantization error is bounded by
+// 2^-kSubBits (6.25% with kSubBits = 4) across the full uint64 range with a
+// fixed 1024-counter footprint. That is the right trade for tracing: a p999
+// over millions of scan latencies costs no allocation and no sample
+// retention, unlike the sort-based percentiles in bench_scan_latency.
+//
+// percentile(q) returns the upper bound of the bucket containing the q-th
+// sample, so the reported value is >= the true percentile and within the
+// relative error bound above it (histogram_test checks this against a
+// sorted reference).
+//
+// Not thread-safe; meters are per-thread or post-hoc (trace_analyze), and
+// merge() folds them.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace asnap::trace {
+
+class LogHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  void record(std::uint64_t v) {
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Smallest recorded bucket upper bound covering at least fraction q of
+  /// the samples. q in [0, 1]; q = 0.5 is the median. Returns 0 when empty.
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil(q * count), clamped to [1, count]: rank of the target sample.
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) {
+        const std::uint64_t hi = bucket_high(b);
+        return hi < max_ ? hi : max_;  // never report past the true max
+      }
+    }
+    return max_;
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ != 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned exp = 63 - static_cast<unsigned>(std::countl_zero(v));
+    const auto sub = static_cast<std::size_t>((v >> (exp - kSubBits)) &
+                                              (kSub - 1));
+    return ((static_cast<std::size_t>(exp) - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  /// Largest value mapping to bucket b (inclusive).
+  static std::uint64_t bucket_high(std::size_t b) {
+    if (b < kSub) return b;
+    const unsigned exp = static_cast<unsigned>(b >> kSubBits) + kSubBits - 1;
+    const std::uint64_t sub = b & (kSub - 1);
+    const std::uint64_t low = (kSub + sub) << (exp - kSubBits);
+    const std::uint64_t width = std::uint64_t{1} << (exp - kSubBits);
+    return low + width - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace asnap::trace

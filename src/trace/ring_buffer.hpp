@@ -1,0 +1,161 @@
+// Per-thread SPSC trace ring: one writing thread, one draining collector.
+//
+// Requirements that shape the design:
+//   * the producer is a protocol hot path — a push must be a handful of
+//     relaxed stores, never a lock, never an allocation;
+//   * the collector (exporter.hpp) drains buffers of OTHER threads, possibly
+//     while those threads keep emitting, and must stay race-free under TSan;
+//   * tracing must never block the traced algorithm, so a full ring
+//     overwrites its oldest entries and counts them as dropped rather than
+//     stalling the producer (the standard flight-recorder policy).
+//
+// Implementation: a power-of-two array of slots, each guarded by a per-slot
+// seqlock (Boehm, "Can seqlocks get along with programming language memory
+// models?"). The producer stamps a slot odd (write in progress), publishes
+// the payload with relaxed stores, then stamps it even-for-this-lap with a
+// release store; the head index is published with a release store so a
+// drain's acquire load covers all completed slots. The consumer validates
+// each slot's stamp before and after copying it out (with an acquire fence
+// between payload loads and the re-check) and discards torn slots — a slot
+// can tear only when the producer laps the consumer mid-copy, in which case
+// the event was overwritten and is correctly reported as dropped. All slot
+// words are relaxed atomics, so the race window is well-defined for the
+// memory model (and silent for TSan) instead of undefined behaviour.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "trace/event.hpp"
+
+namespace asnap::trace {
+
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two.
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity), mask_(capacity - 1),
+        shift_(std::countr_zero(capacity)) {
+    ASNAP_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                     "ring capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side; must only ever be called from one thread.
+  void push(const TraceEvent& ev) {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[pos & mask_];
+    // Stamp odd = write in progress. The release fence keeps the payload
+    // stores below from being reordered above the odd stamp, so a reader
+    // that misses the stamp cannot also see a consistent-looking payload.
+    s.stamp.store(stamp_writing(pos), std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.ts.store(ev.ts_ns, std::memory_order_relaxed);
+    s.a0.store(ev.a0, std::memory_order_relaxed);
+    s.a1.store(ev.a1, std::memory_order_relaxed);
+    s.meta.store(pack_meta(ev.kind, ev.pid), std::memory_order_relaxed);
+    s.stamp.store(stamp_done(pos), std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+  }
+
+  struct DrainStats {
+    std::uint64_t drained = 0;
+    std::uint64_t dropped = 0;  ///< overwritten before this drain got to them
+  };
+
+  /// Consumer side; at most one concurrent drainer. Appends every event
+  /// published since the previous drain to `out` (oldest first) and
+  /// accounts events lost to overwriting. Safe to call while the producer
+  /// is pushing: concurrently overwritten slots are detected via their
+  /// stamps and counted as dropped.
+  DrainStats drain(std::vector<TraceEvent>& out) {
+    DrainStats stats;
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t pos = cursor_;
+    if (head > capacity() && pos < head - capacity()) {
+      stats.dropped += (head - capacity()) - pos;  // lapped while idle
+      pos = head - capacity();
+    }
+    for (; pos < head; ++pos) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+      if (before != stamp_done(pos)) {  // overwritten (or mid-overwrite)
+        ++stats.dropped;
+        continue;
+      }
+      TraceEvent ev;
+      ev.ts_ns = s.ts.load(std::memory_order_relaxed);
+      ev.a0 = s.a0.load(std::memory_order_relaxed);
+      ev.a1 = s.a1.load(std::memory_order_relaxed);
+      const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+      // Order the payload loads above before the validating re-read below.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t after = s.stamp.load(std::memory_order_relaxed);
+      if (after != before) {  // producer lapped us mid-copy: torn
+        ++stats.dropped;
+        continue;
+      }
+      ev.kind = unpack_kind(meta);
+      ev.pid = unpack_pid(meta);
+      out.push_back(ev);
+      ++stats.drained;
+    }
+    cursor_ = head;
+    dropped_total_.fetch_add(stats.dropped, std::memory_order_relaxed);
+    return stats;
+  }
+
+  /// Total events lost to overwriting, accumulated across drains.
+  std::uint64_t dropped() const {
+    return dropped_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(8) Slot {
+    std::atomic<std::uint64_t> stamp{0};  ///< seqlock: 0 = never written
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uint64_t> a0{0};
+    std::atomic<std::uint64_t> a1{0};
+    std::atomic<std::uint64_t> meta{0};  ///< kind | pid packed
+  };
+
+  // A slot's lap L (= pos / capacity) stamps as 2L+1 while the write is in
+  // flight and 2L+2 once complete, so every (lap, state) pair is distinct
+  // and 0 is reserved for "never written".
+  std::uint64_t stamp_writing(std::uint64_t pos) const {
+    return 2 * (pos >> shift_) + 1;
+  }
+  std::uint64_t stamp_done(std::uint64_t pos) const {
+    return 2 * (pos >> shift_) + 2;
+  }
+
+  static std::uint64_t pack_meta(EventKind kind, std::uint32_t pid) {
+    return static_cast<std::uint64_t>(kind) |
+           (static_cast<std::uint64_t>(pid) << 16);
+  }
+  static EventKind unpack_kind(std::uint64_t meta) {
+    const auto raw = static_cast<std::uint16_t>(meta & 0xffff);
+    return raw < static_cast<std::uint16_t>(EventKind::kKindCount)
+               ? static_cast<EventKind>(raw)
+               : EventKind::kNone;
+  }
+  static std::uint32_t unpack_pid(std::uint64_t meta) {
+    return static_cast<std::uint32_t>(meta >> 16);
+  }
+
+  std::vector<Slot> slots_;
+  const std::uint64_t mask_;
+  const unsigned shift_;  ///< log2(capacity), for lap arithmetic
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cursor_ = 0;  ///< consumer-only drain position
+  std::atomic<std::uint64_t> dropped_total_{0};
+};
+
+}  // namespace asnap::trace

@@ -1,0 +1,385 @@
+// Tests for the tracing subsystem (src/trace/): the per-thread SPSC ring's
+// overwrite-oldest policy and drop accounting, the log-bucketed histogram
+// against a sorted reference, the exported Chrome/JSONL formats, and —
+// under the deterministic scheduler — that the instrumented Figure 2 scan
+// emits well-formed collect pairs within the pigeonhole bound.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/unbounded_sw_snapshot.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+#include "trace/event.hpp"
+#include "trace/exporter.hpp"
+#include "trace/histogram.hpp"
+#include "trace/json.hpp"
+#include "trace/ring_buffer.hpp"
+
+namespace {
+
+using namespace asnap;
+
+trace::TraceEvent make_event(std::uint64_t seq) {
+  trace::TraceEvent ev;
+  ev.ts_ns = seq;
+  ev.a0 = seq;
+  ev.a1 = ~seq;
+  ev.pid = static_cast<std::uint32_t>(seq % 7);
+  ev.kind = trace::EventKind::kScanBegin;
+  return ev;
+}
+
+// -- SpscRing ----------------------------------------------------------------
+
+TEST(SpscRing, DrainsInOrderBelowCapacity) {
+  trace::SpscRing ring(64);
+  for (std::uint64_t i = 0; i < 50; ++i) ring.push(make_event(i));
+  std::vector<trace::TraceEvent> out;
+  const auto stats = ring.drain(out);
+  EXPECT_EQ(stats.drained, 50u);
+  EXPECT_EQ(stats.dropped, 0u);
+  ASSERT_EQ(out.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[i].a0, i);
+    EXPECT_EQ(out[i].a1, ~i);
+    EXPECT_EQ(out[i].kind, trace::EventKind::kScanBegin);
+  }
+}
+
+TEST(SpscRing, IncrementalDrainsResumeAtCursor) {
+  trace::SpscRing ring(16);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(make_event(i));
+  std::vector<trace::TraceEvent> out;
+  EXPECT_EQ(ring.drain(out).drained, 5u);
+  for (std::uint64_t i = 5; i < 12; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.drain(out).drained, 7u);
+  ASSERT_EQ(out.size(), 12u);
+  for (std::uint64_t i = 0; i < 12; ++i) EXPECT_EQ(out[i].a0, i);
+  // Nothing new: an empty drain.
+  const auto idle = ring.drain(out);
+  EXPECT_EQ(idle.drained, 0u);
+  EXPECT_EQ(idle.dropped, 0u);
+}
+
+TEST(SpscRing, WraparoundOverwritesOldestAndCountsDropped) {
+  constexpr std::uint64_t kCap = 32;
+  constexpr std::uint64_t kTotal = 3 * kCap + 5;
+  trace::SpscRing ring(kCap);
+  for (std::uint64_t i = 0; i < kTotal; ++i) ring.push(make_event(i));
+  std::vector<trace::TraceEvent> out;
+  const auto stats = ring.drain(out);
+  // The flight recorder keeps exactly the newest kCap events.
+  EXPECT_EQ(stats.drained, kCap);
+  EXPECT_EQ(stats.dropped, kTotal - kCap);
+  EXPECT_EQ(ring.dropped(), kTotal - kCap);
+  ASSERT_EQ(out.size(), kCap);
+  for (std::uint64_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(out[i].a0, kTotal - kCap + i);
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerNeverLosesAccounting) {
+  constexpr std::uint64_t kTotal = 200000;
+  trace::SpscRing ring(256);
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) ring.push(make_event(i));
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<trace::TraceEvent> out;
+  std::uint64_t dropped = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    dropped += ring.drain(out).dropped;
+    std::this_thread::yield();
+  }
+  producer.join();
+  dropped += ring.drain(out).dropped;
+
+  // Every push is either drained or accounted as dropped — never both,
+  // never neither.
+  EXPECT_EQ(out.size() + dropped, kTotal);
+  // Drained events come out oldest-first with no duplicates, and no event
+  // is torn: payload words must agree with each other.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].a1, ~out[i].a0);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].a0, out[i].a0);
+    }
+  }
+}
+
+// -- LogHistogram ------------------------------------------------------------
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  trace::LogHistogram h;
+  for (std::uint64_t v = 0; v < trace::LogHistogram::kSub; ++v) h.record(v);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    // With one sample per unit bucket, every percentile is exact.
+    const auto rank = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(q * trace::LogHistogram::kSub)));
+    EXPECT_EQ(h.percentile(q), rank - 1) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), trace::LogHistogram::kSub - 1);
+}
+
+TEST(LogHistogram, PercentilesTrackSortedReference) {
+  // Deterministic multiplicative generator spanning several octaves.
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(x % 10'000'000);
+  }
+  trace::LogHistogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    const std::uint64_t ref = sorted[rank - 1];
+    const std::uint64_t got = h.percentile(q);
+    // The histogram reports the bucket's inclusive upper bound: never below
+    // the true percentile, and above it by at most the 2^-kSubBits relative
+    // quantization error.
+    EXPECT_GE(got, ref) << "q=" << q;
+    EXPECT_LE(got, ref + (ref >> trace::LogHistogram::kSubBits) + 1)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.min(), sorted.front());
+  EXPECT_EQ(h.max(), sorted.back());
+  EXPECT_EQ(h.percentile(1.0), sorted.back());
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  trace::LogHistogram a;
+  trace::LogHistogram b;
+  trace::LogHistogram combined;
+  for (std::uint64_t v = 1; v < 5000; v += 3) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (std::uint64_t v = 100000; v < 900000; v += 1111) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, BucketBoundsRoundTrip) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{15},
+        std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{1023},
+        std::uint64_t{1024}, std::uint64_t{123456789},
+        ~std::uint64_t{0} >> 1, ~std::uint64_t{0}}) {
+    const std::size_t b = trace::LogHistogram::bucket_of(v);
+    ASSERT_LT(b, trace::LogHistogram::kBuckets);
+    EXPECT_LE(v, trace::LogHistogram::bucket_high(b));
+    if (b > 0) {
+      EXPECT_GT(v, trace::LogHistogram::bucket_high(b - 1));
+    }
+  }
+}
+
+// -- export formats ----------------------------------------------------------
+
+class TraceCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { trace::discard_all(); }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::discard_all();
+  }
+};
+
+TEST_F(TraceCaptureTest, ChromeTraceHasRequiredKeysAndBalancedDurations) {
+  trace::set_enabled(true);
+  trace::emit(trace::EventKind::kUpdateBegin, 2, 0);
+  trace::emit(trace::EventKind::kScanBegin, 2, trace::kAlgoUnboundedSw, 4);
+  trace::emit(trace::EventKind::kCollectBegin, 2, 0);
+  trace::emit(trace::EventKind::kCollectEnd, 2, 0);
+  trace::emit(trace::EventKind::kDoubleCollectMatch, 2, 1);
+  trace::emit(trace::EventKind::kScanEnd, 2, 1, 0);
+  trace::emit(trace::EventKind::kUpdateEnd, 2, 0);
+  trace::emit(trace::EventKind::kFaultDrop, 0, 3);
+  trace::set_enabled(false);
+
+  const trace::Drained drained = trace::drain_all();
+  ASSERT_EQ(drained.events.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(
+      drained.events.begin(), drained.events.end(),
+      [](const auto& a, const auto& b) { return a.ts_ns < b.ts_ns; }));
+  for (const auto& ev : drained.events) EXPECT_NE(ev.tid, 0u);
+
+  const std::string path = "trace_test_chrome.json";
+  ASSERT_TRUE(trace::write_chrome_trace(path, drained.events));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const trace::json::Value doc = trace::json::parse(buf.str());
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  const auto& events = doc["traceEvents"].as_array();
+  ASSERT_EQ(events.size(), 8u);
+
+  std::map<std::string, int> ph_balance;
+  for (const auto& ev : events) {
+    // The chrome trace-event contract: every record carries these keys.
+    EXPECT_TRUE(ev.has("name"));
+    EXPECT_TRUE(ev.has("ph"));
+    EXPECT_TRUE(ev.has("ts"));
+    EXPECT_TRUE(ev.has("pid"));
+    EXPECT_TRUE(ev.has("tid"));
+    const std::string ph = ev["ph"].as_string();
+    EXPECT_TRUE(ph == "B" || ph == "E" || ph == "i") << ph;
+    if (ph == "B") ++ph_balance[ev["name"].as_string()];
+    if (ph == "E") --ph_balance[ev["name"].as_string()];
+    if (ph == "i") {
+      EXPECT_EQ(ev["s"].as_string(), "t");
+    }
+  }
+  for (const auto& [name, balance] : ph_balance) {
+    EXPECT_EQ(balance, 0) << "unbalanced B/E for " << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceCaptureTest, JsonlRoundTripsEveryField) {
+  trace::set_enabled(true);
+  trace::emit(trace::EventKind::kAbdRoundBegin, 5, 77, 3);
+  trace::emit(trace::EventKind::kAbdQuorumReached, 5, 77, 3);
+  trace::set_enabled(false);
+  const trace::Drained drained = trace::drain_all();
+  ASSERT_EQ(drained.events.size(), 2u);
+
+  const std::string path = "trace_test.jsonl";
+  ASSERT_TRUE(trace::write_jsonl(path, drained.events));
+  std::ifstream in(path);
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(in, line)) {
+    const trace::json::Value obj = trace::json::parse(line);
+    ASSERT_LT(i, drained.events.size());
+    EXPECT_EQ(obj["ts"].as_u64(), drained.events[i].ts_ns);
+    EXPECT_EQ(obj["kind"].as_string(),
+              trace::kind_name(drained.events[i].kind));
+    EXPECT_EQ(obj["pid"].as_u64(), drained.events[i].pid);
+    EXPECT_EQ(obj["tid"].as_u64(), drained.events[i].tid);
+    EXPECT_EQ(obj["a0"].as_u64(), drained.events[i].a0);
+    EXPECT_EQ(obj["a1"].as_u64(), drained.events[i].a1);
+    ++i;
+  }
+  EXPECT_EQ(i, 2u);
+  std::remove(path.c_str());
+}
+
+#if defined(ASNAP_TRACE) && ASNAP_TRACE
+
+// -- instrumented algorithms under the deterministic scheduler ---------------
+
+TEST_F(TraceCaptureTest, StarvedUnboundedScanEmitsPairedCollectsWithinBound) {
+  constexpr std::size_t kN = 4;
+  core::UnboundedSwSnapshot<std::uint64_t> snap(kN, 0);
+  trace::set_enabled(true);
+
+  std::atomic<bool> scanner_done{false};
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] {
+    (void)snap.scan(0);
+    scanner_done.store(true, std::memory_order_relaxed);
+  });
+  for (std::size_t p = 1; p < kN; ++p) {
+    bodies.push_back([&, pid = static_cast<ProcessId>(p)] {
+      std::uint64_t it = 0;
+      while (!scanner_done.load(std::memory_order_relaxed)) {
+        snap.update(pid, ++it);
+      }
+    });
+  }
+  // One scanner step in seven: the adversarial schedule behind E6.
+  sched::StarvePolicy policy(0, 7);
+  sched::SimScheduler scheduler(policy);
+  scheduler.run(std::move(bodies));
+  trace::set_enabled(false);
+
+  const trace::Drained drained = trace::drain_all();
+  EXPECT_EQ(drained.dropped, 0u);
+  ASSERT_FALSE(drained.events.empty());
+
+  // Scanner events all carry pid 0 and one tid; find that thread's stream.
+  std::uint64_t collect_begins = 0;
+  std::uint64_t collect_ends = 0;
+  std::map<std::uint32_t, int> open_collects_by_tid;
+  std::vector<const trace::TraceEvent*> scan_ends;
+  for (const auto& ev : drained.events) {
+    if (ev.pid != 0) continue;  // updater traffic (embedded scans included)
+    switch (ev.kind) {
+      case trace::EventKind::kCollectBegin:
+        ++collect_begins;
+        EXPECT_EQ(open_collects_by_tid[ev.tid], 0)
+            << "nested collect on one thread";
+        ++open_collects_by_tid[ev.tid];
+        break;
+      case trace::EventKind::kCollectEnd:
+        ++collect_ends;
+        --open_collects_by_tid[ev.tid];
+        EXPECT_EQ(open_collects_by_tid[ev.tid], 0);
+        break;
+      case trace::EventKind::kScanEnd:
+        scan_ends.push_back(&ev);
+        break;
+      default:
+        break;
+    }
+  }
+  // Every collect that began also ended, in strict begin/end alternation.
+  EXPECT_EQ(collect_begins, collect_ends);
+  EXPECT_GT(collect_begins, 0u);
+
+  // The explicit scan by process 0 finished within the pigeonhole bound:
+  // at most n+1 double collects (Lemma 3.4), i.e. 2(n+1) single collects.
+  ASSERT_FALSE(scan_ends.empty());
+  for (const auto* end : scan_ends) {
+    EXPECT_LE(end->a0, kN + 1) << "scan exceeded the n+1 bound";
+  }
+  EXPECT_LE(collect_begins, 2 * (kN + 1) * scan_ends.size());
+}
+
+TEST_F(TraceCaptureTest, DisabledTracingEmitsNothing) {
+  // Default state: enabled() is false, the macro short-circuits.
+  core::UnboundedSwSnapshot<std::uint64_t> snap(2, 0);
+  snap.update(1, 42);
+  (void)snap.scan(0);
+  const trace::Drained drained = trace::drain_all();
+  EXPECT_TRUE(drained.events.empty());
+}
+
+#endif  // ASNAP_TRACE
+
+}  // namespace

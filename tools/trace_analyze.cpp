@@ -1,0 +1,375 @@
+// trace_analyze — paper-shaped statistics from a protocol trace.
+//
+// Ingests a trace written by trace::Session / trace::write_chrome_trace
+// (Chrome trace-event JSON) or trace::write_jsonl (one event per line) and
+// reports the distributions the paper's arguments are about:
+//
+//   * double collects per scan against the pigeonhole bound — n+1 for the
+//     single-writer algorithms (Lemma 3.4), 2n+1 for the multi-writer
+//     algorithm (Lemma 5.2); any traced scan over the bound is a protocol
+//     violation and makes the tool exit nonzero;
+//   * borrow rate (Observation-2 terminations) vs clean double collects;
+//   * scan / update latency percentiles (log-bucketed histograms);
+//   * handshake toggle frequency;
+//   * ABD retransmissions per quorum round (the robustness tail) and
+//     round timeouts;
+//   * fault-injector decisions observed (drops / dups / delays).
+//
+// Usage:
+//   trace_analyze <trace.json | trace.jsonl> ...
+//   trace_analyze --demo     # trace a small in-process workload, then
+//                            # analyze it (self-contained smoke test)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+#include "trace/event.hpp"
+#include "trace/exporter.hpp"
+#include "trace/histogram.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+using namespace asnap;
+
+/// One normalized event, whichever file format it came from.
+struct Row {
+  std::uint64_t ts_ns = 0;
+  std::string kind;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+};
+
+Row row_from_object(const trace::json::Value& obj, bool chrome) {
+  Row r;
+  if (chrome) {
+    // Chrome "ts" is microseconds; payload lives under "args".
+    r.ts_ns = static_cast<std::uint64_t>(obj["ts"].as_number() * 1000.0);
+    const trace::json::Value& args = obj["args"];
+    r.kind = args["kind"].is_string() ? args["kind"].as_string()
+                                      : obj["name"].as_string();
+    r.a0 = args["a0"].as_u64();
+    r.a1 = args["a1"].as_u64();
+  } else {
+    r.ts_ns = obj["ts"].as_u64();
+    r.kind = obj["kind"].as_string();
+    r.a0 = obj["a0"].as_u64();
+    r.a1 = obj["a1"].as_u64();
+  }
+  r.pid = static_cast<std::uint32_t>(obj["pid"].as_u64());
+  r.tid = static_cast<std::uint32_t>(obj["tid"].as_u64());
+  return r;
+}
+
+/// Loads a chrome-format ({"traceEvents":[...]}) or JSONL trace file.
+bool load_trace(const std::string& path, std::vector<Row>& rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_analyze: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  try {
+    const std::size_t first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && text[first] == '{' &&
+        text.find("\"traceEvents\"") != std::string::npos) {
+      const trace::json::Value doc = trace::json::parse(text);
+      const trace::json::Value& events = doc["traceEvents"];
+      if (!events.is_array()) {
+        std::fprintf(stderr, "trace_analyze: %s: traceEvents is not an array\n",
+                     path.c_str());
+        return false;
+      }
+      for (const trace::json::Value& ev : events.as_array()) {
+        rows.push_back(row_from_object(ev, /*chrome=*/true));
+      }
+    } else {  // JSONL
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        rows.push_back(
+            row_from_object(trace::json::parse(line), /*chrome=*/false));
+      }
+    }
+  } catch (const trace::json::ParseError& e) {
+    std::fprintf(stderr, "trace_analyze: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+struct ScanRecord {
+  std::uint64_t algo = 0;
+  std::uint64_t n = 0;
+  std::uint64_t attempts = 0;
+  bool borrowed = false;
+  std::uint64_t latency_ns = 0;
+};
+
+struct Analysis {
+  std::vector<ScanRecord> scans;
+  std::size_t incomplete_scans = 0;  ///< ends whose begin was overwritten
+  trace::LogHistogram update_latency_ns;
+  std::uint64_t updates = 0;
+  std::uint64_t handshake_toggles = 0;
+  std::uint64_t moved_detected = 0;
+  trace::LogHistogram retransmits_per_round;
+  std::uint64_t rounds = 0;
+  std::uint64_t round_timeouts = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t fault_delays = 0;
+  std::uint64_t first_ts = ~std::uint64_t{0};
+  std::uint64_t last_ts = 0;
+};
+
+Analysis analyze(std::vector<Row> rows) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.ts_ns < b.ts_ns; });
+  Analysis out;
+  struct PendingScan {
+    bool open = false;
+    std::uint64_t algo = 0, n = 0, begin_ts = 0;
+  };
+  struct PendingRound {
+    bool open = false;
+    std::uint64_t rid = 0, retransmits = 0;
+  };
+  std::map<std::uint32_t, PendingScan> scan_by_tid;
+  std::map<std::uint32_t, std::uint64_t> update_begin_by_tid;
+  std::map<std::uint32_t, PendingRound> round_by_tid;
+
+  for (const Row& r : rows) {
+    if (r.ts_ns < out.first_ts) out.first_ts = r.ts_ns;
+    if (r.ts_ns > out.last_ts) out.last_ts = r.ts_ns;
+
+    if (r.kind == "scan_begin") {
+      scan_by_tid[r.tid] = PendingScan{true, r.a0, r.a1, r.ts_ns};
+    } else if (r.kind == "scan_end") {
+      PendingScan& p = scan_by_tid[r.tid];
+      if (!p.open) {  // begin lost to ring overwrite: not attributable
+        ++out.incomplete_scans;
+        continue;
+      }
+      out.scans.push_back(ScanRecord{p.algo, p.n, r.a0, r.a1 != 0,
+                                     r.ts_ns - p.begin_ts});
+      p.open = false;
+    } else if (r.kind == "update_begin") {
+      update_begin_by_tid[r.tid] = r.ts_ns;
+    } else if (r.kind == "update_end") {
+      const auto it = update_begin_by_tid.find(r.tid);
+      if (it != update_begin_by_tid.end()) {
+        out.update_latency_ns.record(r.ts_ns - it->second);
+        update_begin_by_tid.erase(it);
+      }
+      ++out.updates;
+    } else if (r.kind == "handshake_toggle") {
+      ++out.handshake_toggles;
+    } else if (r.kind == "moved_detected") {
+      ++out.moved_detected;
+    } else if (r.kind == "abd_round_begin") {
+      round_by_tid[r.tid] = PendingRound{true, r.a0, 0};
+    } else if (r.kind == "abd_retransmit") {
+      PendingRound& p = round_by_tid[r.tid];
+      if (p.open && p.rid == r.a0) ++p.retransmits;
+    } else if (r.kind == "abd_quorum_reached" ||
+               r.kind == "abd_round_timeout") {
+      PendingRound& p = round_by_tid[r.tid];
+      if (p.open && p.rid == r.a0) {
+        out.retransmits_per_round.record(p.retransmits);
+        ++out.rounds;
+        if (r.kind == "abd_round_timeout") ++out.round_timeouts;
+        p.open = false;
+      }
+    } else if (r.kind == "fault_drop") {
+      ++out.fault_drops;
+    } else if (r.kind == "fault_dup") {
+      ++out.fault_dups;
+    } else if (r.kind == "fault_delay") {
+      ++out.fault_delays;
+    }
+  }
+  return out;
+}
+
+const char* algo_name(std::uint64_t algo) {
+  switch (algo) {
+    case trace::kAlgoUnboundedSw: return "Fig2 unbounded SW";
+    case trace::kAlgoBoundedSw: return "Fig3 bounded SW";
+    case trace::kAlgoBoundedMw: return "Fig4 bounded MW";
+    default: return "unknown";
+  }
+}
+
+std::uint64_t pigeonhole_bound(std::uint64_t algo, std::uint64_t n) {
+  return algo == trace::kAlgoBoundedMw ? 2 * n + 1 : n + 1;
+}
+
+/// Prints the report; returns the number of bound violations.
+std::size_t report(const Analysis& a) {
+  const double span_s = a.last_ts > a.first_ts
+                            ? static_cast<double>(a.last_ts - a.first_ts) / 1e9
+                            : 0.0;
+
+  // Per-algorithm scan statistics.
+  struct PerAlgo {
+    trace::LogHistogram attempts;
+    trace::LogHistogram latency_ns;
+    std::uint64_t n_max = 0;
+    std::uint64_t borrowed = 0;
+    std::uint64_t worst = 0;
+    std::uint64_t violations = 0;
+  };
+  std::map<std::uint64_t, PerAlgo> by_algo;
+  std::size_t violations = 0;
+  for (const ScanRecord& s : a.scans) {
+    PerAlgo& pa = by_algo[s.algo];
+    pa.attempts.record(s.attempts);
+    pa.latency_ns.record(s.latency_ns);
+    if (s.n > pa.n_max) pa.n_max = s.n;
+    if (s.borrowed) ++pa.borrowed;
+    if (s.attempts > pa.worst) pa.worst = s.attempts;
+    if (s.attempts > pigeonhole_bound(s.algo, s.n)) {
+      ++pa.violations;
+      ++violations;
+    }
+  }
+
+  std::printf("== scans: double collects vs the pigeonhole bound ==\n");
+  std::printf("%-20s %8s %6s %6s %6s %6s %6s %7s %10s\n", "algorithm",
+              "scans", "p50", "p99", "max", "bound", "viol", "borrow%",
+              "p99 lat");
+  for (const auto& [algo, pa] : by_algo) {
+    const std::uint64_t bound = pigeonhole_bound(algo, pa.n_max);
+    std::printf("%-20s %8llu %6llu %6llu %6llu %6llu %6llu %6.1f%% %8.1fus\n",
+                algo_name(algo),
+                static_cast<unsigned long long>(pa.attempts.count()),
+                static_cast<unsigned long long>(pa.attempts.percentile(0.50)),
+                static_cast<unsigned long long>(pa.attempts.percentile(0.99)),
+                static_cast<unsigned long long>(pa.worst),
+                static_cast<unsigned long long>(bound),
+                static_cast<unsigned long long>(pa.violations),
+                pa.attempts.count() == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(pa.borrowed) /
+                          static_cast<double>(pa.attempts.count()),
+                static_cast<double>(pa.latency_ns.percentile(0.99)) / 1000.0);
+  }
+  if (by_algo.empty()) std::printf("(no complete scans in trace)\n");
+  if (a.incomplete_scans != 0) {
+    std::printf("(%zu scan_end events had no scan_begin in the trace — "
+                "ring overwrote their start; excluded)\n",
+                a.incomplete_scans);
+  }
+
+  std::printf("\n== updates ==\n");
+  std::printf("updates: %llu   p50 %.1fus  p99 %.1fus  p999 %.1fus\n",
+              static_cast<unsigned long long>(a.updates),
+              static_cast<double>(a.update_latency_ns.percentile(0.50)) / 1e3,
+              static_cast<double>(a.update_latency_ns.percentile(0.99)) / 1e3,
+              static_cast<double>(a.update_latency_ns.percentile(0.999)) / 1e3);
+  std::printf("handshake toggles: %llu (%.1f/s)   moved-detections: %llu\n",
+              static_cast<unsigned long long>(a.handshake_toggles),
+              span_s > 0 ? static_cast<double>(a.handshake_toggles) / span_s
+                         : 0.0,
+              static_cast<unsigned long long>(a.moved_detected));
+
+  if (a.rounds != 0) {
+    std::printf("\n== ABD quorum rounds ==\n");
+    std::printf("rounds: %llu  timeouts: %llu  retransmits/round: p50 %llu "
+                "p99 %llu max %llu\n",
+                static_cast<unsigned long long>(a.rounds),
+                static_cast<unsigned long long>(a.round_timeouts),
+                static_cast<unsigned long long>(
+                    a.retransmits_per_round.percentile(0.50)),
+                static_cast<unsigned long long>(
+                    a.retransmits_per_round.percentile(0.99)),
+                static_cast<unsigned long long>(a.retransmits_per_round.max()));
+  }
+  if (a.fault_drops + a.fault_dups + a.fault_delays != 0) {
+    std::printf("\n== fault injector ==\n");
+    std::printf("drops: %llu  dups: %llu  delays: %llu\n",
+                static_cast<unsigned long long>(a.fault_drops),
+                static_cast<unsigned long long>(a.fault_dups),
+                static_cast<unsigned long long>(a.fault_delays));
+  }
+
+  if (violations != 0) {
+    std::printf("\nPROTOCOL VIOLATION: %zu scan(s) exceeded the pigeonhole "
+                "bound\n",
+                violations);
+  }
+  return violations;
+}
+
+/// --demo: run a small traced workload of all three algorithms (plus ABD
+/// fault events are exercised elsewhere) and analyze the result in-process.
+int run_demo() {
+  const std::string path = "trace_demo.json";
+  {
+    trace::Session session(path, /*buffer_capacity=*/1 << 16);
+    constexpr std::size_t kN = 4;
+    core::UnboundedSwSnapshot<std::uint64_t> a1(kN, 0);
+    core::BoundedSwSnapshot<std::uint64_t> a2(kN, 0);
+    core::BoundedMwSnapshot<std::uint64_t> a3(kN, kN, 0);
+    std::vector<std::jthread> threads;
+    for (std::size_t p = 1; p < kN; ++p) {
+      threads.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        for (std::uint64_t it = 1; it <= 500; ++it) {
+          a1.update(pid, it);
+          a2.update(pid, it);
+          a3.update(pid, it % kN, it);
+        }
+      });
+    }
+    for (int s = 0; s < 500; ++s) {
+      (void)a1.scan(0);
+      (void)a2.scan(0);
+      (void)a3.scan(0);
+    }
+  }
+  std::vector<Row> rows;
+  if (!load_trace(path, rows)) return 2;
+  std::printf("demo trace: %zu events from %s\n\n", rows.size(), path.c_str());
+  const Analysis a = analyze(std::move(rows));
+  if (a.scans.empty() && a.updates == 0) {
+    // ASNAP_TRACE compiled out: nothing to analyze, nothing to violate.
+    std::printf("(tracing compiled out — empty trace)\n");
+    return 0;
+  }
+  return report(a) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) return run_demo();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.json|trace.jsonl> ...\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  std::vector<Row> rows;
+  for (int i = 1; i < argc; ++i) {
+    if (!load_trace(argv[i], rows)) return 2;
+  }
+  std::printf("loaded %zu events from %d file(s)\n\n", rows.size(), argc - 1);
+  return report(analyze(std::move(rows))) == 0 ? 0 : 1;
+}

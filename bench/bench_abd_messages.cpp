@@ -54,6 +54,8 @@ struct LossCost {
   double msgs_per_op;
   double retransmits_per_op;
   double dup_replies_per_op;
+  std::uint64_t timeouts;    ///< quorum rounds that hit their deadline
+  std::uint64_t failed_ops;  ///< operations that gave up (degraded mode)
 };
 
 /// Mixed update/scan workload on one process under a fault plan; reports
@@ -74,15 +76,21 @@ LossCost measure_loss(double drop, bool dup) {
   const std::uint64_t msgs0 = snap.messages_sent();
   const std::uint64_t retx0 = snap.retransmits_sent();
   const std::uint64_t dups0 = snap.dup_replies_ignored();
+  const std::uint64_t tmo0 = snap.round_timeouts();
+  std::uint64_t failed_ops = 0;
   for (int i = 0; i < kOps; ++i) {
-    snap.update(0, i + 1);
-    (void)snap.scan(0);
+    // Degraded-mode entry points: under this sweep's deadlines every op
+    // should complete, so failed_ops is itself a result (expected 0).
+    if (!snap.try_update(0, i + 1)) ++failed_ops;
+    if (!snap.try_scan(0).has_value()) ++failed_ops;
   }
   const double ops = 2.0 * kOps;
   return LossCost{
       static_cast<double>(snap.messages_sent() - msgs0) / ops,
       static_cast<double>(snap.retransmits_sent() - retx0) / ops,
       static_cast<double>(snap.dup_replies_ignored() - dups0) / ops,
+      snap.round_timeouts() - tmo0,
+      failed_ops,
   };
 }
 
@@ -118,14 +126,16 @@ int main(int argc, char** argv) {
 
   std::printf("\n-- loss-rate sweep (n=5, seeded adversary; messages include "
               "retransmitted broadcasts) --\n");
-  std::printf("%6s %5s %12s %14s %16s\n", "drop", "dup", "msgs/op",
-              "retransmits/op", "dup replies/op");
+  std::printf("%6s %5s %12s %14s %16s %9s %11s\n", "drop", "dup", "msgs/op",
+              "retransmits/op", "dup replies/op", "timeouts", "failed ops");
   for (const bool dup : {false, true}) {
     for (const double drop : {0.0, 0.1, 0.3}) {
       const LossCost cost = measure_loss(drop, dup);
-      std::printf("%5.0f%% %5s %12.1f %14.2f %16.2f\n", drop * 100,
-                  dup ? "on" : "off", cost.msgs_per_op,
-                  cost.retransmits_per_op, cost.dup_replies_per_op);
+      std::printf("%5.0f%% %5s %12.1f %14.2f %16.2f %9llu %11llu\n",
+                  drop * 100, dup ? "on" : "off", cost.msgs_per_op,
+                  cost.retransmits_per_op, cost.dup_replies_per_op,
+                  static_cast<unsigned long long>(cost.timeouts),
+                  static_cast<unsigned long long>(cost.failed_ops));
       bench::JsonWriter("E9-loss")
           .field("n", 5)
           .field("drop", drop)
@@ -133,6 +143,8 @@ int main(int argc, char** argv) {
           .field("msgs_per_op", cost.msgs_per_op)
           .field("retransmits_per_op", cost.retransmits_per_op)
           .field("dup_replies_per_op", cost.dup_replies_per_op)
+          .field("timeouts", cost.timeouts)
+          .field("failed_ops", cost.failed_ops)
           .print();
     }
   }

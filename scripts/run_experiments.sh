@@ -42,13 +42,15 @@ mkdir -p results
 echo "== tests =="
 ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 
-# The lossy-network fault matrix (ctest label `fault`) re-runs under
-# ThreadSanitizer: the retry/timeout/backoff paths in abd/ and the
-# held-message pump in net/ are exactly where data races would hide.
-echo "== fault matrix under TSan =="
+# The lossy-network fault matrix (label `fault`), the tracing rings
+# (`trace`) and the self-healing/chaos layer (`chaos`) re-run under
+# ThreadSanitizer: retry/timeout/backoff paths in abd/, the held-message
+# pump in net/, the SPSC trace rings, and the detector/supervisor/breaker
+# threads are exactly where data races would hide.
+echo "== fault+trace+chaos matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L fault --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -64,6 +66,31 @@ for b in build/bench/bench_*; do
   "$b" --benchmark_min_time=0.05 ${trace_args[@]+"${trace_args[@]}"} 2>&1 \
     | tee "results/$name.txt"
 done
+
+# E10 — chaos resilience: self-healing cluster under sustained fault
+# injection. The 10s mixed scenario is the PR's acceptance gate (chaos_run
+# exits nonzero on any safety violation or liveness flag, and set -e stops
+# the script); breaker-ab isolates what the circuit breaker buys; the
+# crash-rate x loss-rate sweep maps availability and tail latency. JSON
+# lines land in results/chaos_resilience.jsonl.
+echo "== E10: chaos resilience =="
+chaos_trace_args=()
+if [ -n "$TRACE_DIR" ]; then
+  chaos_trace_args=(--trace "$TRACE_DIR/chaos_run.json")
+fi
+{
+  build/tools/chaos_run --scenario mixed --seconds 10 --seed 42 \
+    ${chaos_trace_args[@]+"${chaos_trace_args[@]}"}
+  build/tools/chaos_run --scenario breaker-ab --seconds 3 --seed 42
+  for crash in 1 4; do
+    for loss in 0 0.1 0.3; do
+      build/tools/chaos_run --scenario mixed --seconds 3 --seed 42 \
+        --crash-rate "$crash" --loss "$loss"
+    done
+  done
+} 2>&1 | tee results/chaos_resilience.txt
+grep '^JSON ' results/chaos_resilience.txt | sed 's/^JSON //' \
+  > results/chaos_resilience.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

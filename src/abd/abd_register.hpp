@@ -30,24 +30,50 @@
 // Crashed nodes may recover(): their endpoints reopen and, before the
 // replica resumes serving, its state is resynchronized by a quorum read of
 // every register so it rejoins no staler than the latest majority-acked
-// write.
+// write. Each recovery bumps the node's incarnation EPOCH; replicas stamp
+// every reply with their current epoch and clients discard replies stamped
+// by a pre-crash incarnation (defense in depth on top of per-round request
+// ids against arbitrarily delayed traffic).
+//
+// Self-healing (optional, off by default): with a net::FailureDetector
+// attached and AbdConfig::breaker.enabled set, quorum rounds run a CIRCUIT
+// BREAKER — transmissions skip replicas the client currently suspects
+// (periodically probing them so healed nodes are re-admitted), the initial
+// retransmission timeout adapts to observed per-replica RTTs
+// (ReplicaHealth) instead of the static initial_rto, and a round fails fast
+// once fewer plausibly-live replicas than the quorum needs have persisted
+// past a grace period — returning kTimeout in milliseconds instead of
+// burning the whole op_deadline. The breaker is a liveness optimization
+// only: it NEVER shrinks the quorum below the majority, so safety is
+// independent of detector accuracy (the unsafe_shrink_quorum knob that
+// violates this exists solely for the negative chaos test that proves the
+// checkers would catch such a bug).
 //
 // AbdRegisterArray adapts a cluster to reg::SwmrRegisterArray, so the
 // UNCHANGED Figure 2 snapshot algorithm (core::UnboundedSwSnapshot) can be
-// instantiated on top of a message-passing system.
+// instantiated on top of a message-passing system. Quorum failures surface
+// as QuorumUnavailable exceptions so degraded-mode callers (try_scan /
+// try_update on the snapshot layer) can observe them without aborting.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "abd/replica_health.hpp"
 #include "common/assert.hpp"
 #include "common/backoff.hpp"
 #include "common/config.hpp"
 #include "common/instrumentation.hpp"
+#include "net/failure_detector.hpp"
 #include "net/network.hpp"
 #include "trace/event.hpp"
 
@@ -67,6 +93,32 @@ enum class OpStatus : std::uint8_t {
   kClosed = 2,   ///< the client's own endpoint closed (node crashed/shutdown)
 };
 
+/// Circuit-breaker knobs, consulted only when `enabled` is set AND a
+/// failure detector is attached (AbdCluster::attach_detector).
+struct BreakerConfig {
+  bool enabled = false;
+  /// Floor for the adaptive RTT-derived initial retransmission timeout.
+  std::chrono::microseconds min_rto{200};
+  /// Initial round RTO = clamp(slowest replica RTT EWMA * rtt_multiplier,
+  /// min_rto, max_rto); falls back to AbdConfig::initial_rto until the
+  /// client has observed at least one reply.
+  double rtt_multiplier = 4.0;
+  /// Every probe_every-th transmission wave also targets suspected replicas,
+  /// so a healed node is re-admitted to rounds without waiting for the
+  /// detector's own trust transition. 0 disables probing.
+  std::uint32_t probe_every = 4;
+  /// Fail the round (kTimeout) once fewer plausibly-live replicas than the
+  /// quorum needs — non-suspected or already counted this round — have
+  /// persisted continuously for this long. Keeps degraded-mode latency at
+  /// detector scale instead of op_deadline scale.
+  std::chrono::microseconds fail_fast_grace{std::chrono::milliseconds(25)};
+  /// NEGATIVE-TEST ONLY: let the breaker shrink the quorum by the number of
+  /// suspected replicas. This breaks the majority-intersection safety
+  /// argument of [ABD]; it exists so the chaos checkers can demonstrate
+  /// they catch exactly this class of bug. Never set it elsewhere.
+  bool unsafe_shrink_quorum = false;
+};
+
 /// Client-side timing knobs. Defaults are generous so fault-free workloads
 /// never retransmit spuriously; fault-heavy tests tighten them.
 struct AbdConfig {
@@ -77,6 +129,7 @@ struct AbdConfig {
   /// Total budget for one operation (a read spends it across both its query
   /// and write-back rounds). On expiry the operation reports kTimeout.
   std::chrono::microseconds op_deadline{std::chrono::seconds(10)};
+  BreakerConfig breaker;
 };
 
 /// A cluster of n nodes replicating `regs` single-writer registers of type
@@ -92,8 +145,12 @@ class AbdCluster {
       : net_(nodes, seed),
         config_(config),
         replicas_(nodes),
-        write_ts_(regs, 0) {
+        write_ts_(regs, 0),
+        epochs_(nodes),
+        op_mu_(nodes),
+        health_(nodes) {
     ASNAP_ASSERT(nodes >= 1 && regs >= 1);
+    for (auto& epoch : epochs_) epoch.store(0, std::memory_order_relaxed);
     for (auto& node_replicas : replicas_) {
       node_replicas.assign(regs, Replica{0, init});
     }
@@ -126,6 +183,9 @@ class AbdCluster {
   OpStatus try_write(std::size_t reg, net::NodeId writer, V value) {
     ASNAP_ASSERT(reg < registers());
     step_point(StepKind::kRegisterWrite);
+    // Serializes against a concurrent supervisor recover() of this node,
+    // which issues resync rounds through the same client mailbox.
+    std::lock_guard op_lock(op_mu_[writer]);
     const std::uint64_t ts = ++write_ts_[reg];
     const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
     return run_write_round(writer, reg, ts, std::move(value), deadline);
@@ -137,6 +197,7 @@ class AbdCluster {
   std::optional<V> try_read(std::size_t reg, net::NodeId reader) {
     ASNAP_ASSERT(reg < registers());
     step_point(StepKind::kRegisterRead);
+    std::lock_guard op_lock(op_mu_[reader]);
     const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
     std::uint64_t best_ts = 0;
     V best_value{};
@@ -176,6 +237,7 @@ class AbdCluster {
   /// completing as long as a majority remains alive; in-flight operations of
   /// this node return kClosed.
   void crash(net::NodeId node) { net_.crash(node); }
+  bool crashed(net::NodeId node) const { return net_.crashed(node); }
 
   /// Restart a crashed node: rejoin the network, resynchronize every
   /// replica from a majority quorum, then resume serving. Replica state is
@@ -186,15 +248,27 @@ class AbdCluster {
   /// the node rejoins no staler than the latest majority-acked write.
   /// Returns false — and re-crashes the node — if no such quorum was
   /// reachable; the caller may retry later.
+  ///
+  /// Safe against the double-recover race (supervisor and a test both
+  /// calling it): the per-node op mutex serializes the two, and recovering
+  /// a node that is already live is a no-op returning true. Each effective
+  /// recovery bumps the node's incarnation epoch FIRST, so replies the dead
+  /// incarnation left in flight are discarded by every client.
   bool recover(net::NodeId node) {
     ASNAP_ASSERT(node < nodes());
-    ASNAP_ASSERT_MSG(net_.crashed(node), "recover() of a live node");
+    std::lock_guard op_lock(op_mu_[node]);
+    if (!net_.crashed(node)) return true;  // double recover: already live
+    const std::uint64_t epoch =
+        epochs_[node].fetch_add(1, std::memory_order_acq_rel) + 1;
+    ASNAP_TRACE_EVENT(trace::EventKind::kRecoverBegin, node, epoch);
     servers_[node] = std::jthread();  // join the exited incarnation
     net_.recover(node);
     // Resync before serving: the node's replica may predate majority-acked
     // writes it missed while down. One quorum read per register, issued
     // from the recovering node's client endpoint (its server is not up yet,
-    // so replies can only come from the other replicas).
+    // so replies can only come from the other replicas). The breaker is
+    // bypassed: this node's detector rows are stale until its monitor
+    // thread wakes and resets them.
     for (std::size_t reg = 0; reg < registers(); ++reg) {
       const auto deadline =
           std::chrono::steady_clock::now() + config_.op_deadline;
@@ -202,8 +276,10 @@ class AbdCluster {
       std::uint64_t best_ts = rep.ts;  // self: retained quorum member
       V best_value = rep.value;
       if (run_query_round(node, reg, deadline, best_ts, best_value,
-                          majority() - 1) != OpStatus::kOk) {
+                          majority() - 1, /*allow_breaker=*/false) !=
+          OpStatus::kOk) {
         net_.crash(node);  // could not resync: stay down
+        ASNAP_TRACE_EVENT(trace::EventKind::kRecoverEnd, node, 0);
         return false;
       }
       if (best_ts > rep.ts) {
@@ -213,7 +289,22 @@ class AbdCluster {
     }
     servers_[node] = std::jthread(
         [this, node](std::stop_token st) { serve(node, st); });
+    ASNAP_TRACE_EVENT(trace::EventKind::kRecoverEnd, node, 1);
     return true;
+  }
+
+  /// Attach (or detach, with nullptr) the failure detector whose per-client
+  /// suspicion hints drive the circuit breaker. Call from a quiescent point
+  /// before the workload starts; the detector must outlive the cluster or a
+  /// later attach_detector(nullptr).
+  void attach_detector(const net::FailureDetector* detector) {
+    detector_.store(detector, std::memory_order_release);
+  }
+
+  /// Current incarnation epoch of a node (0 until its first recovery).
+  std::uint64_t epoch(net::NodeId node) const {
+    ASNAP_ASSERT(node < nodes());
+    return epochs_[node].load(std::memory_order_acquire);
   }
 
   /// Sever / restore the link between two nodes. Liveness requires every
@@ -244,6 +335,15 @@ class AbdCluster {
   std::uint64_t round_timeouts() const {
     return round_timeouts_.load(std::memory_order_relaxed);
   }
+  std::uint64_t breaker_skips() const {
+    return breaker_skips_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fail_fasts() const {
+    return fail_fasts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stale_epoch_replies() const {
+    return stale_epoch_replies_.load(std::memory_order_relaxed);
+  }
 
   /// Test hook: a replica's current timestamp for one register. Only valid
   /// at quiescent points (no in-flight operation touching the node).
@@ -263,6 +363,7 @@ class AbdCluster {
   struct ReadReply {
     std::size_t reg;
     std::uint64_t ts;
+    std::uint64_t epoch;  ///< responder's incarnation at reply time
     V value;
   };
   struct WriteReq {
@@ -270,40 +371,122 @@ class AbdCluster {
     std::uint64_t ts;
     V value;
   };
+  struct WriteAck {
+    std::uint64_t epoch;  ///< responder's incarnation at ack time
+  };
 
   std::uint64_t next_rid() {
     return rid_gen_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// One retransmitting quorum round: broadcast `transmit()`, then collect
-  /// replies matching (rid, want_type) until `needed` DISTINCT responders
-  /// are reached (the majority, except for recovery resync where the
-  /// recovering replica itself is one quorum member). Waits with
-  /// exponential backoff and rebroadcasts (same rid — replica handlers are
-  /// idempotent) on every expiry until `deadline`. on_reply runs once per
-  /// distinct responder.
+  /// One retransmitting quorum round: transmit the request to each target
+  /// (`transmit_to(node)`), then collect replies matching (rid, want_type)
+  /// until `needed` DISTINCT responders are reached (the majority, except
+  /// for recovery resync where the recovering replica itself is one quorum
+  /// member). Waits with exponential backoff and retransmits (same rid —
+  /// replica handlers are idempotent) on every expiry until `deadline`.
+  /// on_reply runs once per distinct responder and returns whether the
+  /// reply counts (false = stamped by a stale incarnation; the responder
+  /// stays uncounted so its current incarnation can still answer).
+  ///
+  /// With the circuit breaker armed (config + detector + allow_breaker),
+  /// transmission waves skip suspected and already-counted replicas (with
+  /// periodic probe waves), the initial RTO adapts to observed replica
+  /// RTTs, and the round fails fast when too few plausibly-live replicas
+  /// remain. Without it the wave degenerates to the plain broadcast loop.
   template <typename Transmit, typename OnReply>
   OpStatus run_round(net::NodeId client, std::uint64_t rid,
                      std::uint64_t want_type,
                      std::chrono::steady_clock::time_point deadline,
-                     std::size_t needed, Transmit&& transmit,
-                     OnReply&& on_reply) {
+                     std::size_t needed, Transmit&& transmit_to,
+                     OnReply&& on_reply, bool allow_breaker = true) {
     if (needed == 0) return OpStatus::kOk;
+    const std::size_t n = net_.size();
     auto& inbox = net_.mailbox(client, net::Port::kClient);
-    RetryBackoff backoff(config_.initial_rto, config_.max_rto);
-    std::vector<char> seen(net_.size(), 0);
+    const net::FailureDetector* fd =
+        allow_breaker ? detector_.load(std::memory_order_acquire) : nullptr;
+    const bool breaker = config_.breaker.enabled && fd != nullptr;
+
+    auto initial_rto = config_.initial_rto;
+    if (breaker) {
+      const auto est = health_.max_rtt(client);
+      if (est.count() > 0) {
+        const auto adaptive =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                est * config_.breaker.rtt_multiplier);
+        initial_rto =
+            std::clamp(adaptive, config_.breaker.min_rto, config_.max_rto);
+      }
+    }
+    RetryBackoff backoff(initial_rto, config_.max_rto);
+
+    std::vector<char> seen(n, 0);
+    std::vector<std::chrono::steady_clock::time_point> last_tx(n);
     std::size_t accepted = 0;
+    std::uint32_t waves = 0;
+    std::optional<std::chrono::steady_clock::time_point> starved_since;
+
+    auto transmit_wave = [&] {
+      const std::uint32_t wave = waves++;
+      const bool probe = breaker && config_.breaker.probe_every != 0 &&
+                         (wave + 1) % config_.breaker.probe_every == 0;
+      const auto now = std::chrono::steady_clock::now();
+      for (net::NodeId to = 0; to < n; ++to) {
+        if (breaker && seen[to]) continue;  // already counted this round
+        if (breaker && !probe && fd->suspected(client, to)) {
+          breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+          ASNAP_TRACE_EVENT(trace::EventKind::kBreakerSkip, client, to);
+          continue;
+        }
+        last_tx[to] = now;
+        transmit_to(to);
+      }
+    };
+
+    // How many distinct replies this round still insists on. Always
+    // `needed` — except under the deliberately broken negative-test knob,
+    // which deducts currently-suspected uncounted replicas.
+    auto effective_needed = [&]() -> std::size_t {
+      if (!breaker || !config_.breaker.unsafe_shrink_quorum) return needed;
+      std::size_t suspected_uncounted = 0;
+      for (net::NodeId j = 0; j < n; ++j) {
+        if (!seen[j] && fd->suspected(client, j)) ++suspected_uncounted;
+      }
+      return needed > suspected_uncounted + 1 ? needed - suspected_uncounted
+                                              : 1;
+    };
+
     note_round();
     ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundBegin, client, rid, needed);
-    transmit();
+    transmit_wave();
     auto retransmit_at = std::chrono::steady_clock::now() + backoff.current();
-    while (accepted < needed) {
+    while (accepted < effective_needed()) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) {
         note_round_timeout();
         round_timeouts_.fetch_add(1, std::memory_order_relaxed);
         ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundTimeout, client, rid);
         return OpStatus::kTimeout;
+      }
+      if (breaker && !config_.breaker.unsafe_shrink_quorum) {
+        std::size_t plausible = 0;
+        for (net::NodeId j = 0; j < n; ++j) {
+          if (seen[j] || !fd->suspected(client, j)) ++plausible;
+        }
+        if (plausible < needed) {
+          if (!starved_since) {
+            starved_since = now;
+          } else if (now - *starved_since >= config_.breaker.fail_fast_grace) {
+            fail_fasts_.fetch_add(1, std::memory_order_relaxed);
+            note_round_timeout();
+            round_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            ASNAP_TRACE_EVENT(trace::EventKind::kBreakerFailFast, client, rid,
+                              plausible);
+            return OpStatus::kTimeout;
+          }
+        } else {
+          starved_since.reset();
+        }
       }
       auto msg = inbox.receive_until(std::min(deadline, retransmit_at));
       if (!msg.has_value()) {
@@ -315,7 +498,7 @@ class AbdCluster {
           note_retransmit();
           retransmits_.fetch_add(1, std::memory_order_relaxed);
           ASNAP_TRACE_EVENT(trace::EventKind::kAbdRetransmit, client, rid);
-          transmit();
+          transmit_wave();
           backoff.grow();
           retransmit_at = std::chrono::steady_clock::now() + backoff.current();
         }
@@ -327,8 +510,17 @@ class AbdCluster {
         dup_replies_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      if (!on_reply(*msg)) {  // stamped by a pre-crash incarnation
+        stale_epoch_replies_.fetch_add(1, std::memory_order_relaxed);
+        ASNAP_TRACE_EVENT(trace::EventKind::kStaleEpochReply, client,
+                          msg->from, 0);
+        continue;
+      }
       seen[msg->from] = 1;
-      on_reply(*msg);
+      if (last_tx[msg->from] != std::chrono::steady_clock::time_point{}) {
+        health_.record(client, msg->from,
+                       std::chrono::steady_clock::now() - last_tx[msg->from]);
+      }
       ++accepted;
     }
     ASNAP_TRACE_EVENT(trace::EventKind::kAbdQuorumReached, client, rid,
@@ -342,16 +534,20 @@ class AbdCluster {
   OpStatus run_query_round(net::NodeId client, std::size_t reg,
                            std::chrono::steady_clock::time_point deadline,
                            std::uint64_t& best_ts, V& best_value,
-                           std::size_t needed) {
+                           std::size_t needed, bool allow_breaker = true) {
     const std::uint64_t rid = next_rid();
     return run_round(
         client, rid, kReadReply, deadline, needed,
-        [&] {
-          net_.broadcast(client, net::Port::kServer, kReadReq, rid,
-                         std::any(ReadReq{reg}));
+        [&](net::NodeId to) {
+          net_.send(client, to, net::Port::kServer, kReadReq, rid,
+                    std::any(ReadReq{reg}));
         },
         [&](const net::Message& msg) {
           const auto& reply = std::any_cast<const ReadReply&>(msg.payload);
+          if (reply.epoch !=
+              epochs_[msg.from].load(std::memory_order_acquire)) {
+            return false;
+          }
           // >= so a fresh read (seeded ts=0, value-initialized) adopts the
           // replicas' init value; at equal ts values coincide (single
           // writer), so re-adoption is harmless.
@@ -359,7 +555,9 @@ class AbdCluster {
             best_ts = reply.ts;
             best_value = reply.value;
           }
-        });
+          return true;
+        },
+        allow_breaker);
   }
 
   OpStatus run_write_round(net::NodeId client, std::size_t reg,
@@ -368,11 +566,15 @@ class AbdCluster {
     const std::uint64_t rid = next_rid();
     return run_round(
         client, rid, kWriteAck, deadline, majority(),
-        [&] {
-          net_.broadcast(client, net::Port::kServer, kWriteReq, rid,
-                         std::any(WriteReq{reg, ts, value}));
+        [&](net::NodeId to) {
+          net_.send(client, to, net::Port::kServer, kWriteReq, rid,
+                    std::any(WriteReq{reg, ts, value}));
         },
-        [](const net::Message&) {});
+        [&](const net::Message& msg) {
+          const auto& ack = std::any_cast<const WriteAck&>(msg.payload);
+          return ack.epoch ==
+                 epochs_[msg.from].load(std::memory_order_acquire);
+        });
   }
 
   /// Replica event loop for one node. Only this thread touches
@@ -389,7 +591,10 @@ class AbdCluster {
           const auto& req = std::any_cast<const ReadReq&>(msg->payload);
           const Replica& rep = replicas_[id][req.reg];
           net_.send(id, msg->from, net::Port::kClient, kReadReply, msg->rid,
-                    std::any(ReadReply{req.reg, rep.ts, rep.value}));
+                    std::any(ReadReply{
+                        req.reg, rep.ts,
+                        epochs_[id].load(std::memory_order_relaxed),
+                        rep.value}));
           break;
         }
         case kWriteReq: {
@@ -400,7 +605,8 @@ class AbdCluster {
             rep.value = req.value;
           }
           net_.send(id, msg->from, net::Port::kClient, kWriteAck, msg->rid,
-                    std::any());
+                    std::any(WriteAck{
+                        epochs_[id].load(std::memory_order_relaxed)}));
           break;
         }
         default:
@@ -413,11 +619,36 @@ class AbdCluster {
   AbdConfig config_;
   std::vector<std::vector<Replica>> replicas_;  ///< [node][register]
   std::vector<std::uint64_t> write_ts_;  ///< per register; owner-only access
+  /// Incarnation epoch per node, bumped by each effective recover().
+  std::vector<std::atomic<std::uint64_t>> epochs_;
+  /// Per-node operation mutex: a node's client ops and a supervisor
+  /// recover() of the same node share one client mailbox, so they must not
+  /// interleave (reply stealing). deque because mutexes don't move.
+  mutable std::deque<std::mutex> op_mu_;
+  ReplicaHealth health_;  ///< per-(client, replica) RTT EWMAs
+  std::atomic<const net::FailureDetector*> detector_{nullptr};
   std::atomic<std::uint64_t> rid_gen_{1};
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> dup_replies_{0};
   std::atomic<std::uint64_t> round_timeouts_{0};
+  std::atomic<std::uint64_t> breaker_skips_{0};
+  std::atomic<std::uint64_t> fail_fasts_{0};
+  std::atomic<std::uint64_t> stale_epoch_replies_{0};
   std::vector<std::jthread> servers_;
+};
+
+/// Thrown by AbdRegisterArray when a register operation cannot reach a
+/// majority of distinct replicas within its deadline (or the client's own
+/// endpoint closed mid-operation). Unwinds cleanly through the snapshot
+/// cores — they keep only local state per operation — so degraded-mode
+/// callers (MessagePassingSnapshot::try_scan / try_update) can turn it into
+/// a soft failure while the asserting entry points keep the old abort
+/// behavior.
+struct QuorumUnavailable : std::runtime_error {
+  explicit QuorumUnavailable(const char* op)
+      : std::runtime_error(std::string("ABD ") + op +
+                           " found no majority within its deadline "
+                           "(majority crashed or partitioned?)") {}
 };
 
 /// Adapter: exposes an AbdCluster as a reg::SwmrRegisterArray so the
@@ -430,11 +661,15 @@ class AbdRegisterArray {
   std::size_t size() const { return cluster_->registers(); }
 
   Rec read(ProcessId owner, ProcessId reader) const {
-    return cluster_->read(owner, reader);
+    std::optional<Rec> value = cluster_->try_read(owner, reader);
+    if (!value.has_value()) throw QuorumUnavailable("read");
+    return *std::move(value);
   }
 
   void write(ProcessId owner, Rec rec) {
-    cluster_->write(owner, owner, std::move(rec));
+    if (cluster_->try_write(owner, owner, std::move(rec)) != OpStatus::kOk) {
+      throw QuorumUnavailable("write");
+    }
   }
 
  private:

@@ -79,10 +79,13 @@ Network::Network(std::size_t nodes, std::uint64_t seed)
     : nodes_(nodes), seed_(seed), crashed_(nodes), link_down_(nodes * nodes) {
   server_boxes_.reserve(nodes);
   client_boxes_.reserve(nodes);
+  detector_boxes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     server_boxes_.push_back(std::make_unique<Mailbox>(seed * 2654435761ULL + i));
     client_boxes_.push_back(
         std::make_unique<Mailbox>(seed * 40503ULL + i + 7919));
+    detector_boxes_.push_back(
+        std::make_unique<Mailbox>(seed * 2246822519ULL + i + 104729));
     crashed_[i].store(false, std::memory_order_relaxed);
   }
   for (auto& link : link_down_) link.store(false, std::memory_order_relaxed);
@@ -147,7 +150,13 @@ void Network::broadcast(NodeId from, Port port, std::uint64_t type,
 
 Mailbox& Network::mailbox(NodeId node, Port port) {
   ASNAP_ASSERT(node < nodes_);
-  return port == Port::kServer ? *server_boxes_[node] : *client_boxes_[node];
+  switch (port) {
+    case Port::kServer: return *server_boxes_[node];
+    case Port::kClient: return *client_boxes_[node];
+    case Port::kDetector: return *detector_boxes_[node];
+  }
+  ASNAP_ASSERT(false);
+  return *server_boxes_[node];
 }
 
 void Network::crash(NodeId node) {
@@ -155,6 +164,7 @@ void Network::crash(NodeId node) {
   crashed_[node].store(true, std::memory_order_release);
   server_boxes_[node]->close();
   client_boxes_[node]->close();
+  detector_boxes_[node]->close();
 }
 
 bool Network::crashed(NodeId node) const {
@@ -165,6 +175,7 @@ void Network::recover(NodeId node) {
   ASNAP_ASSERT(node < nodes_);
   server_boxes_[node]->reopen();
   client_boxes_[node]->reopen();
+  detector_boxes_[node]->reopen();
   crashed_[node].store(false, std::memory_order_release);
 }
 

@@ -43,10 +43,11 @@ struct Message {
   std::any payload;
 };
 
-/// Which of a node's two mailboxes a message targets.
+/// Which of a node's mailboxes a message targets.
 enum class Port : std::uint8_t {
-  kServer = 0,  ///< replica protocol handler
-  kClient = 1,  ///< quorum replies to an in-flight client operation
+  kServer = 0,    ///< replica protocol handler
+  kClient = 1,    ///< quorum replies to an in-flight client operation
+  kDetector = 2,  ///< failure-detector heartbeats (kept off the data path)
 };
 
 /// Unordered mailbox: receive() returns a random pending message.
@@ -187,6 +188,7 @@ class Network {
   std::uint64_t seed_;
   std::vector<std::unique_ptr<Mailbox>> server_boxes_;
   std::vector<std::unique_ptr<Mailbox>> client_boxes_;
+  std::vector<std::unique_ptr<Mailbox>> detector_boxes_;
   std::vector<std::atomic<bool>> crashed_;
   std::vector<std::atomic<bool>> link_down_;  ///< [from * nodes_ + to]
   std::atomic<std::uint64_t> messages_sent_{0};

@@ -51,6 +51,16 @@ enum class EventKind : std::uint16_t {
   kFaultDup,    ///< a0 = destination node
   kFaultDelay,  ///< a0 = destination node, a1 = delay in microseconds
 
+  // -- self-healing layer (failure detector / breaker / recovery) -----------
+  kSuspect,          ///< pid = observer, a0 = suspected node, a1 = timeout us
+  kTrust,            ///< pid = observer, a0 = re-trusted node (false alarm)
+  kRecoverBegin,     ///< pid = recovering node, a0 = new incarnation epoch
+  kRecoverEnd,       ///< pid = recovering node, a0 = 1 success / 0 failure
+  kBreakerSkip,      ///< pid = client, a0 = suspected replica not transmitted
+  kBreakerFailFast,  ///< pid = client, a0 = rid, a1 = plausibly-live replicas
+  kStaleEpochReply,  ///< pid = client, a0 = responder, a1 = stale epoch
+  kChaosAction,      ///< pid = 0, a0 = chaos::ActionKind, a1 = parameter
+
   kKindCount,
 };
 

@@ -132,6 +132,14 @@ const char* kind_name(EventKind kind) {
     case EventKind::kFaultDrop: return "fault_drop";
     case EventKind::kFaultDup: return "fault_dup";
     case EventKind::kFaultDelay: return "fault_delay";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kTrust: return "trust";
+    case EventKind::kRecoverBegin: return "recover_begin";
+    case EventKind::kRecoverEnd: return "recover_end";
+    case EventKind::kBreakerSkip: return "breaker_skip";
+    case EventKind::kBreakerFailFast: return "breaker_fail_fast";
+    case EventKind::kStaleEpochReply: return "stale_epoch_reply";
+    case EventKind::kChaosAction: return "chaos_action";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -143,6 +151,7 @@ bool is_begin_kind(EventKind kind) {
     case EventKind::kCollectBegin:
     case EventKind::kUpdateBegin:
     case EventKind::kAbdRoundBegin:
+    case EventKind::kRecoverBegin:
       return true;
     default:
       return false;
@@ -156,6 +165,7 @@ bool is_end_kind(EventKind kind) {
     case EventKind::kUpdateEnd:
     case EventKind::kAbdQuorumReached:
     case EventKind::kAbdRoundTimeout:
+    case EventKind::kRecoverEnd:
       return true;
     default:
       return false;
@@ -177,6 +187,9 @@ const char* duration_name(EventKind kind) {
     case EventKind::kAbdQuorumReached:
     case EventKind::kAbdRoundTimeout:
       return "abd_round";
+    case EventKind::kRecoverBegin:
+    case EventKind::kRecoverEnd:
+      return "recover";
     default:
       return nullptr;
   }
@@ -195,7 +208,17 @@ const char* kind_category(EventKind kind) {
     case EventKind::kFaultDrop:
     case EventKind::kFaultDup:
     case EventKind::kFaultDelay:
+    case EventKind::kSuspect:
+    case EventKind::kTrust:
       return "net";
+    case EventKind::kRecoverBegin:
+    case EventKind::kRecoverEnd:
+    case EventKind::kBreakerSkip:
+    case EventKind::kBreakerFailFast:
+    case EventKind::kStaleEpochReply:
+      return "abd";
+    case EventKind::kChaosAction:
+      return "chaos";
     default:
       return "snapshot";
   }

@@ -250,6 +250,111 @@ TEST(AbdFault, RecoverSucceedsOnceResyncQuorumIsReachable) {
   EXPECT_EQ(cluster.try_read(0, 1), std::optional<int>(5));
 }
 
+// A partition that opens up BETWEEN a scanner's two collects (the
+// pigeonhole argument's most delicate moment) must not produce a stale
+// view: the scan's quorum rounds retry until the link heals, survivors on
+// the majority side stay linearizable throughout, and the blocked scan
+// completes once restore_link() reconnects it.
+TEST(AbdFault, PartitionThenHealMidScanStaysLinearizable) {
+  constexpr std::size_t kN = 3;
+  MessagePassingSnapshot<Tag> snap(kN, Tag{}, 0xF1, fault_config());
+  lin::Recorder recorder(kN);
+
+  // Fires on the scanner's own thread at every ABD register read; after the
+  // first collect (kN reads) finishes, sever the scanner from everyone.
+  struct MidScanCut {
+    MessagePassingSnapshot<Tag>* snap;
+    std::atomic<int> reads{0};
+    std::atomic<bool> cut_done{false};
+    static void hook(void* ctx, StepKind kind) {
+      auto* self = static_cast<MidScanCut*>(ctx);
+      if (kind != StepKind::kRegisterRead) return;
+      // Fire on the (kN+1)-th read: the first collect (kN reads) has
+      // completed and the second is about to start.
+      if (self->reads.fetch_add(1, std::memory_order_relaxed) ==
+          static_cast<int>(kN)) {
+        self->snap->cut_link(0, 1);
+        self->snap->cut_link(0, 2);
+        self->cut_done.store(true, std::memory_order_release);
+      }
+    }
+  } cut{&snap, {}, {}};
+
+  std::atomic<bool> scan_returned{false};
+  std::jthread scanner([&] {
+    ScopedStepHook hook(&MidScanCut::hook, &cut);
+    const lin::Time inv = recorder.tick();
+    std::vector<Tag> view = snap.scan(0);  // blocks mid-scan at the cut
+    const lin::Time res = recorder.tick();
+    recorder.add_scan(0, std::move(view), inv, res);
+    scan_returned.store(true, std::memory_order_release);
+  });
+
+  // Survivors (nodes 1 and 2 still see each other: a majority) keep
+  // updating and scanning while node 0's scan is wedged on the partition.
+  {
+    std::vector<std::jthread> survivors;
+    for (ProcessId p = 1; p < kN; ++p) {
+      survivors.emplace_back([&, p] {
+        std::uint64_t seq = 0;
+        for (int op = 0; op < 16; ++op) {
+          if (op % 2 == 0) {
+            const lin::Time inv = recorder.tick();
+            snap.update(p, Tag{p, ++seq});
+            const lin::Time res = recorder.tick();
+            recorder.add_update(p, p, Tag{p, seq}, inv, res);
+          } else {
+            const lin::Time inv = recorder.tick();
+            std::vector<Tag> view = snap.scan(p);
+            const lin::Time res = recorder.tick();
+            recorder.add_scan(p, std::move(view), inv, res);
+          }
+        }
+      });
+    }
+  }
+  // The survivors finished a full workload; the cut scan must still be
+  // parked (no majority for node 0), not returning garbage.
+  ASSERT_TRUE(cut.cut_done.load(std::memory_order_acquire));
+  EXPECT_FALSE(scan_returned.load(std::memory_order_acquire))
+      << "scan must not complete while its node is partitioned away";
+
+  std::this_thread::sleep_for(50ms);
+  snap.restore_link(0, 1);
+  snap.restore_link(0, 2);
+  scanner.join();
+  EXPECT_TRUE(scan_returned.load(std::memory_order_acquire));
+
+  const auto violation = lin::check_single_writer(recorder.take());
+  ASSERT_FALSE(violation.has_value()) << *violation;
+}
+
+// recover() used to assert that its target was crashed, so a supervisor and
+// a fallback schedule racing to restart the same node would abort the
+// process. Now the loser of the race (and any caller on a live node) gets a
+// successful no-op.
+TEST(AbdFault, DoubleRecoverIsASafeNoOp) {
+  AbdCluster<int> cluster(3, 1, 0, 0xF2, fault_config());
+  cluster.write(0, 0, 3);
+
+  EXPECT_TRUE(cluster.recover(1)) << "recover of a live node is a no-op";
+
+  cluster.crash(2);
+  std::atomic<int> successes{0};
+  {
+    std::vector<std::jthread> racers;
+    for (int t = 0; t < 2; ++t) {
+      racers.emplace_back([&] {
+        if (cluster.recover(2)) successes.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(successes.load(), 2)
+      << "both the winner and the no-op loser must report success";
+  EXPECT_EQ(cluster.alive_count(), 3u);
+  EXPECT_EQ(cluster.try_read(0, 2), std::optional<int>(3));
+}
+
 TEST(AbdFault, SnapshotStaysLinearizableAcrossCrashAndRecovery) {
   constexpr std::size_t kN = 5;
   MessagePassingSnapshot<Tag> snap(kN, Tag{}, 0xE1, fault_config());

@@ -1,0 +1,270 @@
+// chaos_run: named self-healing chaos scenarios over the message-passing
+// snapshot (see src/chaos/). Exits nonzero when a run records any safety
+// violation or liveness flag, so CI and scripts/run_experiments.sh can gate
+// on it directly.
+//
+// Scenarios:
+//   mixed           crash/recover + partition/heal + message loss against a
+//                   self-healing cluster (the acceptance scenario).
+//   breaker-ab      the same outage run twice, circuit breaker off then on,
+//                   to measure what the breaker buys (E10).
+//   broken-breaker  NEGATIVE control: the unsafe_shrink_quorum misfeature
+//                   lets an isolated node "commit" without a majority; the
+//                   linearizability checker must catch it, so this scenario
+//                   is expected to FAIL (ctest wraps it in WILL_FAIL).
+//
+// Usage:
+//   chaos_run [--scenario mixed|breaker-ab|broken-breaker]
+//             [--seconds S] [--nodes N] [--seed K]
+//             [--crash-rate HZ] [--partition-rate HZ] [--loss P]
+//             [--breaker on|off] [--trace out.json|out.jsonl]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chaos/orchestrator.hpp"
+#include "chaos/schedule.hpp"
+#include "trace/exporter.hpp"
+
+namespace {
+
+using namespace asnap;
+
+std::chrono::microseconds seconds_us(double s) {
+  return std::chrono::microseconds(static_cast<std::int64_t>(s * 1e6));
+}
+
+double mean_us(const std::vector<std::chrono::nanoseconds>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto x : xs) {
+    total += std::chrono::duration<double, std::micro>(x).count();
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+struct Cli {
+  std::string scenario = "mixed";
+  double seconds = 3.0;
+  std::size_t nodes = 5;
+  std::uint64_t seed = 1;
+  double crash_rate = 2.0;
+  double partition_rate = 0.5;
+  double loss = 0.10;
+  bool breaker = true;
+  std::string trace_path;
+};
+
+void print_report(const std::string& label, const chaos::RunReport& r) {
+  std::printf("== %s ==\n", label.c_str());
+  std::printf(
+      "  workload    : %llu updates, %llu scans ok; %llu failed update "
+      "attempts, %llu failed scans, %llu indeterminate (history %zu ops)\n",
+      (unsigned long long)r.updates_ok, (unsigned long long)r.scans_ok,
+      (unsigned long long)r.failed_update_attempts,
+      (unsigned long long)r.failed_scans,
+      (unsigned long long)r.indeterminate_updates, r.history_ops);
+  std::printf(
+      "  injection   : %llu crashes, %llu partitions\n",
+      (unsigned long long)r.crashes_injected,
+      (unsigned long long)r.partitions_injected);
+  std::printf(
+      "  healing     : %llu suspicions, %llu trusts, %llu recoveries "
+      "(%llu failed attempts); detection mean %.1f us, recovery mean %.1f us\n",
+      (unsigned long long)r.suspicions, (unsigned long long)r.trusts,
+      (unsigned long long)r.recoveries,
+      (unsigned long long)r.failed_recovery_attempts,
+      mean_us(r.detection_latencies), mean_us(r.recovery_latencies));
+  std::printf(
+      "  degradation : %llu breaker skips, %llu fail-fasts, %llu stale-epoch "
+      "replies, %llu round timeouts, %llu retransmits\n",
+      (unsigned long long)r.breaker_skips, (unsigned long long)r.fail_fasts,
+      (unsigned long long)r.stale_epoch_replies,
+      (unsigned long long)r.round_timeouts, (unsigned long long)r.retransmits);
+  std::printf(
+      "  latency     : update p50 %.1f us p99 %.1f us | scan p50 %.1f us "
+      "p99 %.1f us\n",
+      r.update_latency_ns.percentile(0.50) / 1e3,
+      r.update_latency_ns.percentile(0.99) / 1e3,
+      r.scan_latency_ns.percentile(0.50) / 1e3,
+      r.scan_latency_ns.percentile(0.99) / 1e3);
+  if (r.violations.empty()) {
+    std::printf("  verdict     : PASS (no violations)\n");
+  } else {
+    std::printf("  verdict     : FAIL (%zu violation(s))\n",
+                r.violations.size());
+    for (const std::string& v : r.violations) {
+      std::printf("    - %s\n", v.c_str());
+    }
+  }
+}
+
+void print_json(const Cli& cli, const std::string& label, bool breaker,
+                const chaos::RunReport& r) {
+  const std::uint64_t attempts =
+      r.updates_ok + r.scans_ok + r.failed_update_attempts + r.failed_scans;
+  bench::JsonWriter j("E10-chaos");
+  j.field("scenario", label)
+      .field("nodes", (std::uint64_t)cli.nodes)
+      .field("seconds", cli.seconds)
+      .field("seed", (std::uint64_t)cli.seed)
+      .field("crash_rate", cli.crash_rate)
+      .field("loss", cli.loss)
+      .field("breaker", breaker)
+      .field("violations", (std::uint64_t)r.violations.size())
+      .field("updates_ok", r.updates_ok)
+      .field("scans_ok", r.scans_ok)
+      .field("failed_update_attempts", r.failed_update_attempts)
+      .field("failed_scans", r.failed_scans)
+      .field("indeterminate_updates", r.indeterminate_updates)
+      .field("availability",
+             attempts == 0 ? 1.0
+                           : (double)(r.updates_ok + r.scans_ok) /
+                                 (double)attempts)
+      .field("crashes", r.crashes_injected)
+      .field("partitions", r.partitions_injected)
+      .field("suspicions", r.suspicions)
+      .field("recoveries", r.recoveries)
+      .field("detection_mean_us", mean_us(r.detection_latencies))
+      .field("recovery_mean_us", mean_us(r.recovery_latencies))
+      .field("update_p50_us", r.update_latency_ns.percentile(0.50) / 1e3)
+      .field("update_p99_us", r.update_latency_ns.percentile(0.99) / 1e3)
+      .field("scan_p50_us", r.scan_latency_ns.percentile(0.50) / 1e3)
+      .field("scan_p99_us", r.scan_latency_ns.percentile(0.99) / 1e3)
+      .field("breaker_skips", r.breaker_skips)
+      .field("fail_fasts", r.fail_fasts)
+      .field("stale_epoch_replies", r.stale_epoch_replies)
+      .field("round_timeouts", r.round_timeouts);
+  j.print();
+}
+
+chaos::OrchestratorOptions base_options(const Cli& cli) {
+  chaos::OrchestratorOptions opt;
+  opt.nodes = cli.nodes;
+  opt.seed = cli.seed;
+  opt.duration = seconds_us(cli.seconds);
+  opt.abd.breaker.enabled = cli.breaker;
+  return opt;
+}
+
+/// The acceptance scenario: sustained workload under crash/recover,
+/// partition/heal and message loss, self-healing on.
+int run_mixed(const Cli& cli) {
+  chaos::OrchestratorOptions opt = base_options(cli);
+  chaos::ChaosProfile profile;
+  profile.duration = opt.duration;
+  profile.crash_rate_hz = cli.crash_rate;
+  profile.partition_rate_hz = cli.partition_rate;
+  profile.plan.drop_prob = cli.loss;
+  opt.schedule = chaos::random_schedule(cli.nodes, profile, cli.seed);
+  const chaos::RunReport r = chaos::run(opt);
+  print_report("mixed", r);
+  print_json(cli, "mixed", cli.breaker, r);
+  return r.ok() ? 0 : 1;
+}
+
+/// One node down for nearly the whole run (supervisor held off); measure
+/// client latency with the breaker off, then on. The breaker arm should
+/// show a much lower p99: rounds stop waiting out retransmit timers aimed
+/// at the dead replica.
+int run_breaker_ab(const Cli& cli) {
+  int rc = 0;
+  for (const bool breaker : {false, true}) {
+    Cli arm = cli;
+    arm.breaker = breaker;
+    chaos::OrchestratorOptions opt = base_options(arm);
+    // Detector stays on (the breaker needs it); the supervisor is parked
+    // past the end of the run so the outage actually persists.
+    opt.supervisor.restart_delay = opt.duration * 2;
+    const auto victim = static_cast<net::NodeId>(cli.nodes - 1);
+    chaos::Action loss;
+    loss.kind = chaos::ActionKind::kSetFaultPlan;
+    loss.plan.drop_prob = cli.loss;
+    chaos::Action crash;
+    crash.kind = chaos::ActionKind::kCrash;
+    crash.at = std::chrono::milliseconds(10);
+    crash.node = victim;
+    chaos::Action restart;  // let convergence succeed at the very end
+    restart.kind = chaos::ActionKind::kRecover;
+    restart.at = opt.duration;
+    restart.node = victim;
+    opt.schedule.actions = {loss, crash, restart};
+    const chaos::RunReport r = chaos::run(opt);
+    print_report(breaker ? "breaker-ab (breaker on)"
+                         : "breaker-ab (breaker off)",
+                 r);
+    print_json(arm, "breaker-ab", breaker, r);
+    if (!r.ok()) rc = 1;
+  }
+  return rc;
+}
+
+/// NEGATIVE control. unsafe_shrink_quorum lets a partitioned-away node
+/// shrink its quorum below a majority instead of failing fast, which is
+/// exactly the split-brain the breaker must never cause. The isolated
+/// node's updates and scans "succeed" against itself alone, the survivors
+/// never see them, and check_single_writer reports the stale reads. A
+/// passing run here would mean the checkers lost their teeth.
+int run_broken_breaker(const Cli& cli) {
+  Cli fixed = cli;
+  fixed.nodes = 5;
+  fixed.breaker = true;
+  chaos::OrchestratorOptions opt = base_options(fixed);
+  opt.abd.breaker.unsafe_shrink_quorum = true;
+  chaos::Action part;
+  part.kind = chaos::ActionKind::kPartition;
+  part.at = opt.duration / 10;
+  part.groups = {{0}, {1, 2, 3, 4}};
+  chaos::Action heal;
+  heal.kind = chaos::ActionKind::kHeal;
+  heal.at = opt.duration * 9 / 10;
+  opt.schedule.actions = {part, heal};
+  const chaos::RunReport r = chaos::run(opt);
+  print_report("broken-breaker (negative control)", r);
+  print_json(fixed, "broken-breaker", true, r);
+  if (r.ok()) {
+    std::printf(
+        "broken-breaker: expected the checkers to catch the unsafe quorum "
+        "shrink, but the run passed\n");
+  }
+  return r.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.scenario = bench::consume_flag(argc, argv, "--scenario", cli.scenario);
+  cli.seconds =
+      std::atof(bench::consume_flag(argc, argv, "--seconds", "3").c_str());
+  cli.nodes = static_cast<std::size_t>(
+      std::atoi(bench::consume_flag(argc, argv, "--nodes", "5").c_str()));
+  cli.seed = static_cast<std::uint64_t>(
+      std::atoll(bench::consume_flag(argc, argv, "--seed", "1").c_str()));
+  cli.crash_rate = std::atof(
+      bench::consume_flag(argc, argv, "--crash-rate", "2").c_str());
+  cli.partition_rate = std::atof(
+      bench::consume_flag(argc, argv, "--partition-rate", "0.5").c_str());
+  cli.loss =
+      std::atof(bench::consume_flag(argc, argv, "--loss", "0.1").c_str());
+  cli.breaker =
+      bench::consume_flag(argc, argv, "--breaker", "on") != std::string("off");
+  cli.trace_path = bench::consume_flag(argc, argv, "--trace", "");
+  if (cli.seconds <= 0 || cli.nodes < 3) {
+    std::fprintf(stderr, "chaos_run: need --seconds > 0 and --nodes >= 3\n");
+    return 2;
+  }
+
+  trace::Session session(cli.trace_path);
+  if (cli.scenario == "mixed") return run_mixed(cli);
+  if (cli.scenario == "breaker-ab") return run_breaker_ab(cli);
+  if (cli.scenario == "broken-breaker") return run_broken_breaker(cli);
+  std::fprintf(stderr,
+               "chaos_run: unknown --scenario '%s' (mixed, breaker-ab, "
+               "broken-breaker)\n",
+               cli.scenario.c_str());
+  return 2;
+}

@@ -134,6 +134,18 @@ struct Analysis {
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_dups = 0;
   std::uint64_t fault_delays = 0;
+  // Self-healing layer (PR 3): detector verdicts, degraded-mode client
+  // decisions, supervised recoveries, chaos injections.
+  std::uint64_t suspects = 0;
+  std::uint64_t trusts = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t breaker_fail_fasts = 0;
+  std::uint64_t stale_epoch_replies = 0;
+  std::uint64_t chaos_actions = 0;
+  std::uint64_t recoveries_ok = 0;
+  std::uint64_t recoveries_failed = 0;
+  trace::LogHistogram detection_latency_ns;  ///< chaos crash -> 1st suspect
+  trace::LogHistogram recovery_latency_ns;   ///< recover_begin -> _end ok
   std::uint64_t first_ts = ~std::uint64_t{0};
   std::uint64_t last_ts = 0;
 };
@@ -153,6 +165,8 @@ Analysis analyze(std::vector<Row> rows) {
   std::map<std::uint32_t, PendingScan> scan_by_tid;
   std::map<std::uint32_t, std::uint64_t> update_begin_by_tid;
   std::map<std::uint32_t, PendingRound> round_by_tid;
+  std::map<std::uint64_t, std::uint64_t> crash_ts_by_node;   // chaos kCrash
+  std::map<std::uint32_t, std::uint64_t> recover_begin_by_node;
 
   for (const Row& r : rows) {
     if (r.ts_ns < out.first_ts) out.first_ts = r.ts_ns;
@@ -202,6 +216,39 @@ Analysis analyze(std::vector<Row> rows) {
       ++out.fault_dups;
     } else if (r.kind == "fault_delay") {
       ++out.fault_delays;
+    } else if (r.kind == "suspect") {
+      ++out.suspects;
+      // First suspicion (by any observer) after a chaos-injected crash of
+      // that node is the detection latency.
+      const auto it = crash_ts_by_node.find(r.a0);
+      if (it != crash_ts_by_node.end()) {
+        out.detection_latency_ns.record(r.ts_ns - it->second);
+        crash_ts_by_node.erase(it);
+      }
+    } else if (r.kind == "trust") {
+      ++out.trusts;
+    } else if (r.kind == "breaker_skip") {
+      ++out.breaker_skips;
+    } else if (r.kind == "breaker_fail_fast") {
+      ++out.breaker_fail_fasts;
+    } else if (r.kind == "stale_epoch_reply") {
+      ++out.stale_epoch_replies;
+    } else if (r.kind == "recover_begin") {
+      recover_begin_by_node[r.pid] = r.ts_ns;
+    } else if (r.kind == "recover_end") {
+      if (r.a0 != 0) {
+        ++out.recoveries_ok;
+        const auto it = recover_begin_by_node.find(r.pid);
+        if (it != recover_begin_by_node.end()) {
+          out.recovery_latency_ns.record(r.ts_ns - it->second);
+          recover_begin_by_node.erase(it);
+        }
+      } else {
+        ++out.recoveries_failed;
+      }
+    } else if (r.kind == "chaos_action") {
+      ++out.chaos_actions;
+      if (r.a0 == 0) crash_ts_by_node[r.a1] = r.ts_ns;  // ActionKind::kCrash
     }
   }
   return out;
@@ -307,6 +354,44 @@ std::size_t report(const Analysis& a) {
                 static_cast<unsigned long long>(a.fault_drops),
                 static_cast<unsigned long long>(a.fault_dups),
                 static_cast<unsigned long long>(a.fault_delays));
+  }
+  if (a.suspects + a.trusts + a.recoveries_ok + a.recoveries_failed +
+          a.breaker_skips + a.breaker_fail_fasts + a.stale_epoch_replies +
+          a.chaos_actions !=
+      0) {
+    std::printf("\n== self-healing ==\n");
+    std::printf("detector: %llu suspicions, %llu trust restorations\n",
+                static_cast<unsigned long long>(a.suspects),
+                static_cast<unsigned long long>(a.trusts));
+    std::printf("breaker: %llu replica skips, %llu fail-fasts, %llu "
+                "stale-epoch replies discarded\n",
+                static_cast<unsigned long long>(a.breaker_skips),
+                static_cast<unsigned long long>(a.breaker_fail_fasts),
+                static_cast<unsigned long long>(a.stale_epoch_replies));
+    std::printf("recoveries: %llu ok, %llu failed attempts; chaos actions "
+                "injected: %llu\n",
+                static_cast<unsigned long long>(a.recoveries_ok),
+                static_cast<unsigned long long>(a.recoveries_failed),
+                static_cast<unsigned long long>(a.chaos_actions));
+    if (a.detection_latency_ns.count() != 0) {
+      std::printf("detection latency (chaos crash -> first suspicion): "
+                  "p50 %.1fus  p99 %.1fus  (%llu samples)\n",
+                  static_cast<double>(a.detection_latency_ns.percentile(0.50)) /
+                      1e3,
+                  static_cast<double>(a.detection_latency_ns.percentile(0.99)) /
+                      1e3,
+                  static_cast<unsigned long long>(
+                      a.detection_latency_ns.count()));
+    }
+    if (a.recovery_latency_ns.count() != 0) {
+      std::printf("recovery duration (rejoin + replica resync): p50 %.1fus  "
+                  "p99 %.1fus  max %.1fus\n",
+                  static_cast<double>(a.recovery_latency_ns.percentile(0.50)) /
+                      1e3,
+                  static_cast<double>(a.recovery_latency_ns.percentile(0.99)) /
+                      1e3,
+                  static_cast<double>(a.recovery_latency_ns.max()) / 1e3);
+    }
   }
 
   if (violations != 0) {

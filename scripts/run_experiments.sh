@@ -43,14 +43,15 @@ echo "== tests =="
 ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 
 # The lossy-network fault matrix (label `fault`), the tracing rings
-# (`trace`) and the self-healing/chaos layer (`chaos`) re-run under
-# ThreadSanitizer: retry/timeout/backoff paths in abd/, the held-message
-# pump in net/, the SPSC trace rings, and the detector/supervisor/breaker
-# threads are exactly where data races would hide.
-echo "== fault+trace+chaos matrix under TSan =="
+# (`trace`), the self-healing/chaos layer (`chaos`) and the service layer
+# (`svc`) re-run under ThreadSanitizer: retry/timeout/backoff paths in abd/,
+# the held-message pump in net/, the SPSC trace rings, the
+# detector/supervisor/breaker threads, and the lease seal/epoch handover +
+# generation-checked scan cache are exactly where data races would hide.
+echo "== fault+trace+chaos+svc matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L "fault|trace|chaos" --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos|svc" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -91,6 +92,40 @@ fi
 } 2>&1 | tee results/chaos_resilience.txt
 grep '^JSON ' results/chaos_resilience.txt | sed 's/^JSON //' \
   > results/chaos_resilience.jsonl
+
+# E11-svc — service layer under load: M clients (n, 4n, 16n for n = 4 slots)
+# multiplexed over A2 across read ratios, every run --check'ed by the exact
+# single-writer linearizability checker (nonzero exit on violation stops the
+# script). The cache on/off A-B at read ratio 0.99 isolates what the
+# generation-validated scan cache buys; the open-loop run shows latency from
+# scheduled arrival at a fixed rate. JSON lines land in
+# results/svc_loadgen.jsonl.
+echo "== E11-svc: service layer load generator =="
+svc_trace_args=()
+if [ -n "$TRACE_DIR" ]; then
+  svc_trace_args=(--trace "$TRACE_DIR/loadgen.json")
+fi
+{
+  for clients in 4 16 64; do
+    for ratio in 0.5 0.9 0.99; do
+      build/tools/loadgen --backend a2 --slots 4 --clients "$clients" \
+        --seconds 1 --read-ratio "$ratio" --churn 0.02 --seed 42 --check
+    done
+  done
+  # A-B: the scan cache at a read-mostly mix, same seed and duration.
+  build/tools/loadgen --backend a2 --slots 4 --clients 16 --seconds 1 \
+    --read-ratio 0.99 --churn 0.02 --seed 43 --cache off --check
+  build/tools/loadgen --backend a2 --slots 4 --clients 16 --seconds 1 \
+    --read-ratio 0.99 --churn 0.02 --seed 43 --cache on --check
+  # Open loop at a fixed arrival rate over A1 (latency incl. queueing),
+  # traced when --trace-dir is given so trace_analyze's service section
+  # has real loadgen data.
+  build/tools/loadgen --backend a1 --mode open --rate 5000 --slots 4 \
+    --clients 16 --seconds 1 --read-ratio 0.9 --churn 0.02 --seed 42 \
+    --check ${svc_trace_args[@]+"${svc_trace_args[@]}"}
+} 2>&1 | tee results/svc_loadgen.txt
+grep '^JSON ' results/svc_loadgen.txt | sed 's/^JSON //' \
+  > results/svc_loadgen.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

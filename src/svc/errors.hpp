@@ -1,0 +1,38 @@
+// Typed failure vocabulary of the service layer (src/svc/).
+//
+// The front-end multiplexes an unbounded client population onto the paper's
+// n single-writer slots, so unlike the core algorithms (which are wait-free
+// and total) service operations can be *refused*: admission control sheds
+// load, the bounded connect queue fills, and a lease can be reclaimed out
+// from under an idle client. Every refusal is a value, not a blocked thread
+// — the service's answer to "bounded queues and typed overload errors
+// instead of unbounded latency".
+#pragma once
+
+#include <cstdint>
+
+namespace asnap::svc {
+
+enum class SvcError : std::uint8_t {
+  kOk = 0,
+  kOverloaded,      ///< admission gate at capacity; request was shed
+  kLeaseQueueFull,  ///< bounded lease wait queue at capacity
+  kTimeout,         ///< no slot lease granted within the caller's deadline
+  kLeaseExpired,    ///< the session's slot was re-granted under a new epoch
+  kNotConnected,    ///< session holds no live lease (never connected, or
+                    ///< already disconnected / expired)
+};
+
+inline const char* error_name(SvcError e) {
+  switch (e) {
+    case SvcError::kOk: return "ok";
+    case SvcError::kOverloaded: return "overloaded";
+    case SvcError::kLeaseQueueFull: return "lease_queue_full";
+    case SvcError::kTimeout: return "timeout";
+    case SvcError::kLeaseExpired: return "lease_expired";
+    case SvcError::kNotConnected: return "not_connected";
+  }
+  return "unknown";
+}
+
+}  // namespace asnap::svc

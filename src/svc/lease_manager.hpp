@@ -1,0 +1,152 @@
+// Slot-lease manager: leases the paper's n single-writer identities to an
+// unbounded, churning client population.
+//
+// The paper's algorithms assume a fixed set of n processes; the service
+// layer serves M >> n clients by treating the n process identities as
+// *slots* and granting each to at most one client at a time under an
+// epoch-stamped lease:
+//
+//   * every grant of a slot bumps the slot's epoch, and before the grant
+//     becomes visible the manager runs the caller-supplied `seal` hook with
+//     (slot, old_epoch, new_epoch) — the service uses it to flush the slot's
+//     orphaned batch and install the new epoch under the slot's execution
+//     lock, so a stale leaseholder is rejected from the first post-grant
+//     operation onward (DESIGN.md §10 gives the full safety argument);
+//   * leases carry a TTL and are renewed by use (renew() is a lock-free
+//     fast path); an idle client's expired lease is reclaimed ("stolen")
+//     when another client is waiting — idle reclamation;
+//   * waiting clients are served strictly FIFO, so when M > n no client
+//     starves: it waits for at most (queue position) grant turnovers;
+//   * the wait queue is bounded — beyond max_waiters, acquire() refuses
+//     immediately with kQueueFull instead of queueing unbounded latency.
+//
+// There is no background reaper thread: expiry is detected lazily by
+// waiting acquirers (the head waiter re-examines deadlines whenever it
+// wakes, and sleeps no longer than the earliest expiry). With the default
+// steady-clock time source this is fully self-driving; tests may inject a
+// manual clock via LeaseConfig::now_ns, in which case blocking acquires
+// poll (capped at a few ms of real time) so an externally advanced clock
+// is always noticed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace asnap::svc {
+
+/// Client identity in the service layer. Unlike ProcessId this is unbounded:
+/// any number of clients may exist over the life of the service.
+using ClientId = std::uint64_t;
+
+inline constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+/// A granted (slot, epoch) pair. The epoch is what makes a leaked copy
+/// harmless: once the slot is re-granted, every use of the old lease is
+/// rejected by the epoch check.
+struct Lease {
+  std::size_t slot = kNoSlot;
+  std::uint64_t epoch = 0;
+  ClientId client = 0;
+};
+
+struct LeaseStats {
+  std::uint64_t grants = 0;   ///< all grants (fresh + steals)
+  std::uint64_t steals = 0;   ///< grants that reclaimed an expired lease
+  std::uint64_t releases = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t queue_rejections = 0;
+};
+
+struct LeaseConfig {
+  /// Lease lifetime. A lease untouched for ttl becomes eligible for
+  /// reclamation; any successful renew() restarts the clock.
+  std::chrono::nanoseconds ttl = std::chrono::milliseconds(100);
+  /// Bound on concurrently waiting acquirers (admission control).
+  std::size_t max_waiters = 1024;
+  /// Time source in nanoseconds. Defaults to steady_clock; tests inject a
+  /// manual clock for deterministic expiry.
+  std::function<std::uint64_t()> now_ns;
+  /// Invoked for every grant, BEFORE the new lease becomes visible, with
+  /// the retiring and the new epoch. The service flushes the slot's pending
+  /// batch and installs new_epoch here; see the header comment.
+  std::function<void(std::size_t slot, std::uint64_t old_epoch,
+                     std::uint64_t new_epoch)>
+      seal;
+};
+
+enum class AcquireStatus : std::uint8_t { kGranted, kQueueFull, kTimeout };
+
+struct AcquireResult {
+  AcquireStatus status = AcquireStatus::kTimeout;
+  Lease lease;
+};
+
+class SlotLeaseManager {
+ public:
+  explicit SlotLeaseManager(std::size_t slots, LeaseConfig cfg = {});
+
+  /// Acquire any slot, waiting up to `timeout` behind earlier waiters
+  /// (FIFO). timeout zero means a single non-blocking attempt.
+  AcquireResult acquire(ClientId client, std::chrono::nanoseconds timeout);
+
+  /// Voluntarily give the slot back. Returns false if the lease was already
+  /// stale (reclaimed). Does not bump the epoch — the next grant does.
+  bool release(const Lease& lease);
+
+  /// Extend the lease's deadline by ttl from now. Lock-free fast path so
+  /// the service can renew on every operation. False if the lease is stale.
+  bool renew(const Lease& lease);
+
+  /// True while the lease's epoch is still the slot's current epoch.
+  bool valid(const Lease& lease) const;
+
+  /// Current epoch of a slot (the manager's view; the service keeps its own
+  /// copy installed by the seal hook).
+  std::uint64_t epoch(std::size_t slot) const;
+
+  std::size_t slots() const { return slots_.size(); }
+
+  /// Current wait-queue depth (diagnostic).
+  std::size_t waiters() const;
+
+  LeaseStats stats() const;
+
+ private:
+  struct Slot {
+    bool held = false;               // guarded by mu_
+    ClientId holder = 0;             // guarded by mu_
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> deadline_ns{0};
+  };
+
+  std::uint64_t now() const { return cfg_.now_ns(); }
+
+  /// Grant a free or expired slot to `client`, running the seal hook.
+  /// Called with mu_ held; returns nullopt when every slot is held and
+  /// unexpired.
+  std::optional<Lease> try_grant_locked(ClientId client, std::uint64_t now_v);
+
+  /// Earliest deadline among held slots, if any. Called with mu_ held.
+  std::optional<std::uint64_t> earliest_deadline_locked() const;
+
+  LeaseConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::deque<std::uint64_t> fifo_;  ///< waiting acquirers' tickets, FIFO
+  std::uint64_t next_ticket_ = 0;
+  LeaseStats stats_;                         // guarded by mu_ (except below)
+  std::atomic<std::uint64_t> renewals_{0};   // renew() doesn't take mu_
+};
+
+}  // namespace asnap::svc

@@ -1,0 +1,490 @@
+// Snapshot service front-end: M >> n clients multiplexed onto any
+// single-writer snapshot backend (A1/A2/A3 or the ABD-backed snapshot).
+//
+// The paper's objects serve a fixed set of n process identities; the
+// service makes them serve an unbounded client population (the
+// progress-vs-space tension of Imbs–Kuznetsov–Rieutord) while *preserving*
+// the two properties the whole stack is built on:
+//
+//   1. per-slot single-writerness — word s is only ever written under
+//      process id s, never by two clients concurrently;
+//   2. snapshot linearizability of every served history.
+//
+// How (full argument in DESIGN.md §10):
+//
+//   * Slot leases (lease_manager.hpp) admit clients; every backend
+//     operation under pid s additionally runs while holding slot s's
+//     execution mutex and re-validates the lease epoch under that mutex.
+//     The mutex makes two concurrent writers to one slot *impossible*
+//     (defense in depth, independent of lease bugs); the epoch check makes
+//     a stale leaseholder's operations fail typed (kLeaseExpired) instead
+//     of interleaving with the new holder's. Re-grants are "sealed": the
+//     manager flushes the slot's orphaned batch and installs the new epoch
+//     under the slot mutex BEFORE the new lease is visible, so a reclaimed
+//     client's buffered writes can never materialize later, out of order.
+//
+//   * Batching: submit_update() buffers into a per-slot batch and
+//     acknowledges nothing; updates complete (and are reported via
+//     flushed_through) only when their batch flushes. Within a batch the
+//     service coalesces last-writer-wins — sound because unacknowledged
+//     updates' intervals all remain open until the flush, so they
+//     linearize consecutively at the flush point in program order. The
+//     batch is O(1) space (count + last value): the queue is bounded by
+//     construction, and a batch reaching max_batch flushes inline.
+//
+//   * Scan cache: read-mostly traffic is served from the last scan,
+//     validated by a single generation check ("one cheap collect") —
+//     mutations_ is bumped AFTER each backend write, so a cached
+//     {gen, view} with gen == current provably contains every *completed*
+//     update (the completed update's bump happens-before any later
+//     reader's check). Cache fills are single-flight and install
+//     monotonically, which rules out new-old inversions between fresh and
+//     cached scans. Any flush invalidates the cache by advancing the
+//     generation. Cache hits touch no slot and no backend register — this
+//     is why read-mostly load scales past n concurrent identities.
+//
+//   * Admission control: an optional gate on concurrently executing
+//     operations sheds excess load with kOverloaded (traced as kSvcShed);
+//     the lease wait queue is bounded by LeaseConfig::max_waiters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "svc/errors.hpp"
+#include "svc/lease_manager.hpp"
+#include "trace/event.hpp"
+
+namespace asnap::svc {
+
+struct ServiceConfig {
+  LeaseConfig lease;
+  /// Pending (unacknowledged) submits per slot before a forced inline
+  /// flush — bounds both queue memory and acknowledgement latency.
+  std::size_t max_batch = 16;
+  /// Serve scans from the generation-validated cache when possible.
+  bool cache_scans = true;
+  /// Operations allowed to execute concurrently; 0 disables the gate.
+  /// Excess requests are shed with kOverloaded.
+  std::size_t max_concurrent_ops = 0;
+};
+
+/// Monotonic counters, read at quiescence or as a fuzzy live snapshot.
+struct ServiceStats {
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t submits = 0;          ///< accepted submit_update calls
+  std::uint64_t flushes = 0;          ///< batches written to the backend
+  std::uint64_t coalesced = 0;        ///< submits absorbed by a later one
+  std::uint64_t scans = 0;            ///< scans served (hit or backend)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t sheds = 0;            ///< requests refused by the gate
+  std::uint64_t lease_expired_errors = 0;
+};
+
+/// Service front-end over a single-writer snapshot backend.
+///
+/// Backend contract (same shape as core::SingleWriterSnapshot):
+///   std::size_t size();            // n — the number of slots
+///   void update(ProcessId, T);     // word i := v, single writer per i
+///   std::vector<T> scan(ProcessId) // atomic snapshot
+///
+/// All three paper algorithms satisfy it directly (A3 through
+/// core::SingleWriterAdapter), as does abd::MessagePassingSnapshot.
+template <typename Backend, typename T>
+class SnapshotService {
+ public:
+  /// Per-client handle. NOT thread-safe: one session belongs to one client
+  /// thread (mirrors the paper's one-op-per-process well-formedness).
+  class ClientSession {
+   public:
+    ClientSession() = default;
+    bool connected() const { return connected_; }
+    std::size_t slot() const { return lease_.slot; }
+    std::uint64_t epoch() const { return lease_.epoch; }
+    ClientId client() const { return lease_.client; }
+
+   private:
+    friend class SnapshotService;
+    Lease lease_;
+    bool connected_ = false;
+    std::size_t unacked_ = 0;  ///< this client's submits not yet flushed
+  };
+
+  struct ConnectResult {
+    SvcError error = SvcError::kOk;
+    ClientSession session;
+  };
+
+  /// Result of submit/flush/disconnect. `flushed_through` is the highest
+  /// per-slot sequence number durable in the backend at return — clients
+  /// treat every submit with seq <= flushed_through as completed. It is
+  /// meaningful even on kLeaseExpired: the seal that retired the lease
+  /// flushed the batch first, so the session's pending submits are covered.
+  struct OpResult {
+    SvcError error = SvcError::kOk;
+    std::uint64_t seq = 0;  ///< submit only: sequence assigned to the value
+    std::uint64_t flushed_through = 0;
+  };
+
+  struct ScanResult {
+    SvcError error = SvcError::kOk;
+    std::vector<T> view;
+    bool cache_hit = false;
+    std::uint64_t flushed_through = 0;  ///< set when own pending was flushed
+  };
+
+  SnapshotService(Backend& backend, ServiceConfig cfg = {})
+      : backend_(&backend),
+        cfg_(cfg),
+        slots_(backend.size()),
+        leases_(backend.size(), wire_lease_config(cfg.lease)) {
+    ASNAP_ASSERT_MSG(cfg_.max_batch > 0, "max_batch must be >= 1");
+  }
+
+  SnapshotService(const SnapshotService&) = delete;
+  SnapshotService& operator=(const SnapshotService&) = delete;
+
+  std::size_t slots() const { return slots_.size(); }
+
+  /// Lease a slot, waiting FIFO up to `timeout` behind earlier clients.
+  ConnectResult connect(ClientId client, std::chrono::nanoseconds timeout) {
+    const AcquireResult r = leases_.acquire(client, timeout);
+    switch (r.status) {
+      case AcquireStatus::kQueueFull:
+        return {SvcError::kLeaseQueueFull, {}};
+      case AcquireStatus::kTimeout:
+        return {SvcError::kTimeout, {}};
+      case AcquireStatus::kGranted:
+        break;
+    }
+    counters_.connects.fetch_add(1, std::memory_order_relaxed);
+    ConnectResult out;
+    out.session.lease_ = r.lease;
+    out.session.connected_ = true;
+    return out;
+  }
+
+  /// Buffer one update into the session's slot batch. The value is built
+  /// by make(slot, seq) once the per-slot sequence number is assigned (so
+  /// uniquely-tagged histories stay gapless across lease handovers).
+  template <typename MakeValue>
+  OpResult submit_update(ClientSession& sess, MakeValue&& make) {
+    if (!sess.connected_) return {SvcError::kNotConnected, 0, 0};
+    Gate gate(*this, sess.lease_.slot, /*op=*/1);
+    if (!gate.admitted()) return {SvcError::kOverloaded, 0, 0};
+
+    Slot& s = slots_[sess.lease_.slot];
+    std::lock_guard lk(s.mu);
+    if (!epoch_current_locked(s, sess)) {
+      return {SvcError::kLeaseExpired, 0, s.flushed_through};
+    }
+    const std::uint64_t seq = ++s.next_seq;
+    if (s.pending_count == 0) {
+      s.pending_value.emplace(
+          make(static_cast<ProcessId>(sess.lease_.slot), seq));
+    } else {  // last-writer-wins within the batch
+      *s.pending_value = make(static_cast<ProcessId>(sess.lease_.slot), seq);
+    }
+    s.pending_last_seq = seq;
+    ++s.pending_count;
+    ++sess.unacked_;
+    counters_.submits.fetch_add(1, std::memory_order_relaxed);
+    if (s.pending_count >= cfg_.max_batch) {
+      flush_locked(sess.lease_.slot, s);
+      sess.unacked_ = 0;
+    }
+    leases_.renew(sess.lease_);
+    return {SvcError::kOk, seq, s.flushed_through};
+  }
+
+  /// Flush the session's slot batch, completing every buffered submit.
+  OpResult flush(ClientSession& sess) {
+    if (!sess.connected_) return {SvcError::kNotConnected, 0, 0};
+    Gate gate(*this, sess.lease_.slot, /*op=*/3);
+    if (!gate.admitted()) return {SvcError::kOverloaded, 0, 0};
+
+    Slot& s = slots_[sess.lease_.slot];
+    std::lock_guard lk(s.mu);
+    if (!epoch_current_locked(s, sess)) {
+      return {SvcError::kLeaseExpired, 0, s.flushed_through};
+    }
+    flush_locked(sess.lease_.slot, s);
+    sess.unacked_ = 0;
+    leases_.renew(sess.lease_);
+    return {SvcError::kOk, 0, s.flushed_through};
+  }
+
+  /// Atomic snapshot. Flushes the session's own pending batch first
+  /// (read-your-writes), then serves from the scan cache when the
+  /// generation check allows, else performs a backend scan under the
+  /// session's slot identity.
+  ScanResult scan(ClientSession& sess) {
+    if (!sess.connected_) return {SvcError::kNotConnected, {}, false, 0};
+    Gate gate(*this, sess.lease_.slot, /*op=*/2);
+    if (!gate.admitted()) return {SvcError::kOverloaded, {}, false, 0};
+
+    const std::size_t slot_idx = sess.lease_.slot;
+    Slot& s = slots_[slot_idx];
+    std::uint64_t ft = 0;
+    if (sess.unacked_ != 0) {
+      std::lock_guard lk(s.mu);
+      if (!epoch_current_locked(s, sess)) {
+        return {SvcError::kLeaseExpired, {}, false, s.flushed_through};
+      }
+      flush_locked(slot_idx, s);
+      sess.unacked_ = 0;
+      ft = s.flushed_through;
+    }
+    counters_.scans.fetch_add(1, std::memory_order_relaxed);
+
+    if (cfg_.cache_scans) {
+      if (auto view = cache_lookup(slot_idx)) {
+        leases_.renew(sess.lease_);
+        return {SvcError::kOk, std::move(*view), true, ft};
+      }
+      counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      ASNAP_TRACE_EVENT(trace::EventKind::kScanCacheMiss,
+                        static_cast<std::uint32_t>(slot_idx),
+                        mutations_.load(std::memory_order_relaxed));
+      // Single-flight fill: serialized fills install monotonically
+      // increasing views, the property the hit path's safety rests on.
+      std::lock_guard fill(fill_mu_);
+      if (auto view = cache_lookup(slot_idx)) {  // refilled while waiting
+        leases_.renew(sess.lease_);
+        return {SvcError::kOk, std::move(*view), true, ft};
+      }
+      // Generation BEFORE the scan: if g_pre already includes an update's
+      // bump, the bump's backend write happened-before our scan reads, so
+      // the view below contains it — cached gen never overstates the view.
+      const std::uint64_t g_pre = mutations_.load(std::memory_order_seq_cst);
+      std::vector<T> view;
+      {
+        std::lock_guard lk(s.mu);
+        if (!epoch_current_locked(s, sess)) {
+          return {SvcError::kLeaseExpired, {}, false, s.flushed_through};
+        }
+        view = backend_->scan(static_cast<ProcessId>(slot_idx));
+      }
+      {
+        std::unique_lock cl(cache_mu_);
+        if (!cache_valid_ || g_pre >= cache_gen_) {
+          cache_view_ = view;
+          cache_gen_ = g_pre;
+          cache_valid_ = true;
+          cache_gen_hint_.store(g_pre, std::memory_order_relaxed);
+        }
+      }
+      leases_.renew(sess.lease_);
+      return {SvcError::kOk, std::move(view), false, ft};
+    }
+
+    // Cache disabled: direct backend scan under the slot identity.
+    std::vector<T> view;
+    {
+      std::lock_guard lk(s.mu);
+      if (!epoch_current_locked(s, sess)) {
+        return {SvcError::kLeaseExpired, {}, false, s.flushed_through};
+      }
+      view = backend_->scan(static_cast<ProcessId>(slot_idx));
+    }
+    leases_.renew(sess.lease_);
+    return {SvcError::kOk, std::move(view), false, ft};
+  }
+
+  /// Flush pending updates and give the lease back. flushed_through covers
+  /// every submit this session made, even if the lease was reclaimed (the
+  /// seal flushed on our behalf).
+  OpResult disconnect(ClientSession& sess) {
+    if (!sess.connected_) return {SvcError::kNotConnected, 0, 0};
+    Slot& s = slots_[sess.lease_.slot];
+    std::uint64_t ft = 0;
+    {
+      std::lock_guard lk(s.mu);
+      if (epoch_current_locked(s, sess)) flush_locked(sess.lease_.slot, s);
+      ft = s.flushed_through;
+    }
+    leases_.release(sess.lease_);
+    counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    sess.connected_ = false;
+    sess.unacked_ = 0;
+    return {SvcError::kOk, 0, ft};
+  }
+
+  ServiceStats stats() const {
+    ServiceStats out;
+    out.connects = counters_.connects.load(std::memory_order_relaxed);
+    out.disconnects = counters_.disconnects.load(std::memory_order_relaxed);
+    out.submits = counters_.submits.load(std::memory_order_relaxed);
+    out.flushes = counters_.flushes.load(std::memory_order_relaxed);
+    out.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+    out.scans = counters_.scans.load(std::memory_order_relaxed);
+    out.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+    out.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+    out.sheds = counters_.sheds.load(std::memory_order_relaxed);
+    out.lease_expired_errors =
+        counters_.lease_expired_errors.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  SlotLeaseManager& lease_manager() { return leases_; }
+  const Backend& backend() const { return *backend_; }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::mutex mu;  ///< serializes EVERY backend op under this slot's pid
+    std::atomic<std::uint64_t> epoch{0};  ///< installed by seal, read under mu
+    // All below guarded by mu.
+    std::uint64_t next_seq = 0;         ///< per-slot value sequence
+    std::uint64_t flushed_through = 0;  ///< highest seq durable in backend
+    std::size_t pending_count = 0;      ///< submits in the open batch
+    std::uint64_t pending_last_seq = 0;
+    std::optional<T> pending_value;     ///< last-writer-wins survivor
+  };
+
+  /// RAII admission gate (max_concurrent_ops). op: 1 update, 2 scan,
+  /// 3 flush — carried in the kSvcShed trace payload.
+  class Gate {
+   public:
+    Gate(SnapshotService& svc, std::size_t slot, std::uint64_t op)
+        : svc_(svc) {
+      if (svc_.cfg_.max_concurrent_ops == 0) return;
+      counted_ = true;
+      const std::size_t inflight =
+          svc_.inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (inflight > svc_.cfg_.max_concurrent_ops) {
+        svc_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        counted_ = false;
+        admitted_ = false;
+        svc_.counters_.sheds.fetch_add(1, std::memory_order_relaxed);
+        ASNAP_TRACE_EVENT(trace::EventKind::kSvcShed,
+                          static_cast<std::uint32_t>(slot), op);
+      }
+    }
+    ~Gate() {
+      if (counted_) svc_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    Gate(const Gate&) = delete;
+    Gate& operator=(const Gate&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    SnapshotService& svc_;
+    bool counted_ = false;
+    bool admitted_ = true;
+  };
+
+  LeaseConfig wire_lease_config(LeaseConfig cfg) {
+    ASNAP_ASSERT_MSG(!cfg.seal,
+                     "the service owns the lease seal hook; do not set one");
+    cfg.seal = [this](std::size_t slot, std::uint64_t old_epoch,
+                      std::uint64_t new_epoch) {
+      seal_slot(slot, old_epoch, new_epoch);
+    };
+    return cfg;
+  }
+
+  /// Retire old_epoch: flush whatever the outgoing holder left buffered,
+  /// then install the new epoch — all under the slot mutex, so the grant
+  /// only becomes visible once the slot is clean and stale ops bounce.
+  void seal_slot(std::size_t slot_idx, std::uint64_t old_epoch,
+                 std::uint64_t new_epoch) {
+    Slot& s = slots_[slot_idx];
+    std::lock_guard lk(s.mu);
+    ASNAP_ASSERT(s.epoch.load(std::memory_order_relaxed) == old_epoch);
+    flush_locked(slot_idx, s);
+    s.epoch.store(new_epoch, std::memory_order_release);
+  }
+
+  bool epoch_current_locked(Slot& s, const ClientSession& sess) {
+    if (s.epoch.load(std::memory_order_relaxed) == sess.lease_.epoch) {
+      return true;
+    }
+    counters_.lease_expired_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Write the batch's surviving value to the backend and advance the
+  /// mutation generation. Caller holds s.mu.
+  void flush_locked(std::size_t slot_idx, Slot& s) {
+    if (s.pending_count == 0) return;
+    backend_->update(static_cast<ProcessId>(slot_idx),
+                     std::move(*s.pending_value));
+    // Bump AFTER the write: a cached generation >= this bump implies the
+    // cache-filling scan already saw the write (see header comment).
+    const std::uint64_t old_gen =
+        mutations_.fetch_add(1, std::memory_order_seq_cst);
+    counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+    counters_.coalesced.fetch_add(s.pending_count - 1,
+                                  std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kBatchFlush,
+                      static_cast<std::uint32_t>(slot_idx),
+                      static_cast<std::uint64_t>(s.pending_count),
+                      s.pending_last_seq);
+    if (cfg_.cache_scans &&
+        cache_gen_hint_.load(std::memory_order_relaxed) == old_gen) {
+      ASNAP_TRACE_EVENT(trace::EventKind::kScanCacheInvalidate,
+                        static_cast<std::uint32_t>(slot_idx), old_gen);
+    }
+    s.flushed_through = s.pending_last_seq;
+    s.pending_count = 0;
+    s.pending_value.reset();
+  }
+
+  /// Serve the cached view iff its generation is still current. The
+  /// current-generation load happens inside the shared lock, after the
+  /// reader's invocation — any update completed before this scan began has
+  /// bumped the generation by then, so a hit can never miss it.
+  std::optional<std::vector<T>> cache_lookup(std::size_t slot_idx) {
+    std::shared_lock cl(cache_mu_);
+    const std::uint64_t g = mutations_.load(std::memory_order_seq_cst);
+    if (!cache_valid_ || cache_gen_ != g) return std::nullopt;
+    counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kScanCacheHit,
+                      static_cast<std::uint32_t>(slot_idx), g);
+    return cache_view_;
+  }
+
+  struct Counters {
+    std::atomic<std::uint64_t> connects{0};
+    std::atomic<std::uint64_t> disconnects{0};
+    std::atomic<std::uint64_t> submits{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> scans{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> sheds{0};
+    std::atomic<std::uint64_t> lease_expired_errors{0};
+  };
+
+  Backend* backend_;
+  ServiceConfig cfg_;
+  std::vector<Slot> slots_;  // before leases_: the seal hook touches slots_
+  SlotLeaseManager leases_;
+
+  /// Count of backend writes, bumped after each. The scan cache's whole
+  /// validity story is one comparison against this counter.
+  std::atomic<std::uint64_t> mutations_{0};
+
+  std::shared_mutex cache_mu_;
+  bool cache_valid_ = false;               // guarded by cache_mu_
+  std::uint64_t cache_gen_ = 0;            // guarded by cache_mu_
+  std::vector<T> cache_view_;              // guarded by cache_mu_
+  std::atomic<std::uint64_t> cache_gen_hint_{~std::uint64_t{0}};
+  std::mutex fill_mu_;  ///< single-flight cache fills
+
+  std::atomic<std::size_t> inflight_{0};
+  Counters counters_;
+};
+
+}  // namespace asnap::svc

@@ -61,6 +61,16 @@ enum class EventKind : std::uint16_t {
   kStaleEpochReply,  ///< pid = client, a0 = responder, a1 = stale epoch
   kChaosAction,      ///< pid = 0, a0 = chaos::ActionKind, a1 = parameter
 
+  // -- service layer (src/svc/): slot leases, batching, scan cache ----------
+  kLeaseGrant,           ///< pid = slot, a0 = client id, a1 = new epoch
+  kLeaseExpire,          ///< pid = slot, a0 = old holder, a1 = expired epoch
+  kLeaseSteal,           ///< pid = slot, a0 = new holder, a1 = new epoch
+  kBatchFlush,           ///< pid = slot, a0 = submits coalesced, a1 = last seq
+  kScanCacheHit,         ///< pid = slot, a0 = cache generation served
+  kScanCacheMiss,        ///< pid = slot, a0 = generation at miss
+  kScanCacheInvalidate,  ///< pid = flushing slot, a0 = stale generation
+  kSvcShed,              ///< pid = slot, a0 = op kind (1 update, 2 scan, 3 flush)
+
   kKindCount,
 };
 

@@ -140,6 +140,14 @@ const char* kind_name(EventKind kind) {
     case EventKind::kBreakerFailFast: return "breaker_fail_fast";
     case EventKind::kStaleEpochReply: return "stale_epoch_reply";
     case EventKind::kChaosAction: return "chaos_action";
+    case EventKind::kLeaseGrant: return "lease_grant";
+    case EventKind::kLeaseExpire: return "lease_expire";
+    case EventKind::kLeaseSteal: return "lease_steal";
+    case EventKind::kBatchFlush: return "batch_flush";
+    case EventKind::kScanCacheHit: return "scan_cache_hit";
+    case EventKind::kScanCacheMiss: return "scan_cache_miss";
+    case EventKind::kScanCacheInvalidate: return "scan_cache_invalidate";
+    case EventKind::kSvcShed: return "svc_shed";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -219,6 +227,15 @@ const char* kind_category(EventKind kind) {
       return "abd";
     case EventKind::kChaosAction:
       return "chaos";
+    case EventKind::kLeaseGrant:
+    case EventKind::kLeaseExpire:
+    case EventKind::kLeaseSteal:
+    case EventKind::kBatchFlush:
+    case EventKind::kScanCacheHit:
+    case EventKind::kScanCacheMiss:
+    case EventKind::kScanCacheInvalidate:
+    case EventKind::kSvcShed:
+      return "svc";
     default:
       return "snapshot";
   }

@@ -1,0 +1,584 @@
+// Service-layer suite (src/svc/): slot leases, batching + scan cache, and
+// end-to-end linearizability of served histories under client churn.
+//
+// Organization:
+//   * SlotLeaseManager unit tests under an injected manual clock
+//     (deterministic expiry/steal, epoch safety across handovers) and under
+//     the real clock (FIFO fairness, starvation bound when M > n);
+//   * SnapshotService tests over core::UnboundedSwSnapshot (batching
+//     semantics, read-your-writes, cache hit/miss/invalidate accounting,
+//     deterministic load shedding, the seal protocol on lease expiry);
+//   * churn stress typed over A1/A2/A3: M = 4n clients connect, pipeline
+//     updates, scan, disconnect and reconnect, and the complete recorded
+//     history must pass the exact single-writer checker — the acceptance
+//     bar that multiplexing/batching/caching preserved linearizability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/snapshot_types.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+#include "common/instrumentation.hpp"
+#include "common/rng.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "svc/errors.hpp"
+#include "svc/lease_manager.hpp"
+#include "svc/service.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+using svc::AcquireStatus;
+using svc::ClientId;
+using svc::Lease;
+using svc::LeaseConfig;
+using svc::ServiceConfig;
+using svc::SlotLeaseManager;
+using svc::SnapshotService;
+using svc::SvcError;
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// SlotLeaseManager under a manual clock: deterministic expiry.
+// ---------------------------------------------------------------------------
+
+struct ManualClock {
+  std::atomic<std::uint64_t> ns{0};
+  LeaseConfig config(std::chrono::nanoseconds ttl) {
+    LeaseConfig cfg;
+    cfg.ttl = ttl;
+    cfg.now_ns = [this] { return ns.load(std::memory_order_relaxed); };
+    return cfg;
+  }
+};
+
+TEST(SlotLeaseManager, GrantReleaseRegrantBumpsEpoch) {
+  ManualClock clk;
+  SlotLeaseManager mgr(2, clk.config(1ms));
+  const auto a = mgr.acquire(/*client=*/1, 0ns);
+  ASSERT_EQ(a.status, AcquireStatus::kGranted);
+  EXPECT_EQ(a.lease.epoch, 1u);
+  EXPECT_TRUE(mgr.valid(a.lease));
+
+  EXPECT_TRUE(mgr.release(a.lease));
+  EXPECT_FALSE(mgr.release(a.lease));  // double release is rejected
+  // Releasing does not bump the epoch; the *next grant* of the slot does,
+  // so a leaked copy of the old lease dies exactly at re-grant time.
+  EXPECT_TRUE(mgr.valid(a.lease));
+
+  const auto b = mgr.acquire(/*client=*/2, 0ns);
+  ASSERT_EQ(b.status, AcquireStatus::kGranted);
+  if (b.lease.slot == a.lease.slot) {
+    EXPECT_EQ(b.lease.epoch, a.lease.epoch + 1);
+    EXPECT_FALSE(mgr.valid(a.lease));
+  }
+  const auto s = mgr.stats();
+  EXPECT_EQ(s.grants, 2u);
+  EXPECT_EQ(s.releases, 1u);
+  EXPECT_EQ(s.steals, 0u);
+}
+
+TEST(SlotLeaseManager, QueueFullWhenAllSlotsHeldAndNoWaiterBudget) {
+  ManualClock clk;
+  LeaseConfig cfg = clk.config(1h);  // nothing expires during the test
+  cfg.max_waiters = 0;
+  SlotLeaseManager mgr(1, cfg);
+  ASSERT_EQ(mgr.acquire(1, 0ns).status, AcquireStatus::kGranted);
+  const auto r = mgr.acquire(2, 1h);
+  EXPECT_EQ(r.status, AcquireStatus::kQueueFull);  // refused, not queued
+  EXPECT_EQ(mgr.stats().queue_rejections, 1u);
+}
+
+TEST(SlotLeaseManager, ExpiredLeaseIsStolenAndSealRunsBeforeGrant) {
+  ManualClock clk;
+  LeaseConfig cfg = clk.config(std::chrono::nanoseconds(1000));
+  struct SealRecord {
+    std::size_t slot;
+    std::uint64_t old_epoch, new_epoch;
+    bool old_lease_still_current;  // probed inside the hook
+  };
+  std::vector<SealRecord> seals;
+  SlotLeaseManager* mgr_ptr = nullptr;
+  cfg.seal = [&](std::size_t slot, std::uint64_t oe, std::uint64_t ne) {
+    // At seal time the grant must NOT yet be visible: the manager's epoch
+    // still reads old. This is the window in which the service flushes the
+    // outgoing holder's batch.
+    seals.push_back({slot, oe, ne, mgr_ptr->epoch(slot) == oe});
+  };
+  SlotLeaseManager mgr(1, cfg);
+  mgr_ptr = &mgr;
+
+  const auto a = mgr.acquire(1, 0ns);
+  ASSERT_EQ(a.status, AcquireStatus::kGranted);
+  ASSERT_EQ(seals.size(), 1u);
+
+  // Unexpired: no slot available, non-blocking acquire times out.
+  clk.ns = 999;
+  EXPECT_EQ(mgr.acquire(2, 0ns).status, AcquireStatus::kTimeout);
+
+  // Expired: the slot is reclaimed, epoch bumps, old lease is dead.
+  clk.ns = 1001;
+  const auto b = mgr.acquire(2, 0ns);
+  ASSERT_EQ(b.status, AcquireStatus::kGranted);
+  EXPECT_EQ(b.lease.slot, a.lease.slot);
+  EXPECT_EQ(b.lease.epoch, a.lease.epoch + 1);
+  EXPECT_FALSE(mgr.valid(a.lease));
+  EXPECT_TRUE(mgr.valid(b.lease));
+  ASSERT_EQ(seals.size(), 2u);
+  EXPECT_EQ(seals[1].old_epoch, a.lease.epoch);
+  EXPECT_EQ(seals[1].new_epoch, b.lease.epoch);
+  EXPECT_TRUE(seals[1].old_lease_still_current);
+  EXPECT_EQ(mgr.stats().steals, 1u);
+
+  // The evicted holder's lease can never act again: renew and release both
+  // fail, so no sequence of stale-holder moves re-animates the old epoch.
+  EXPECT_FALSE(mgr.renew(a.lease));
+  EXPECT_FALSE(mgr.release(a.lease));
+  EXPECT_TRUE(mgr.valid(b.lease));
+}
+
+TEST(SlotLeaseManager, RenewPostponesExpiry) {
+  ManualClock clk;
+  SlotLeaseManager mgr(1, clk.config(std::chrono::nanoseconds(1000)));
+  const auto a = mgr.acquire(1, 0ns);
+  ASSERT_EQ(a.status, AcquireStatus::kGranted);
+  clk.ns = 900;
+  EXPECT_TRUE(mgr.renew(a.lease));  // deadline is now 1900
+  clk.ns = 1800;
+  EXPECT_EQ(mgr.acquire(2, 0ns).status, AcquireStatus::kTimeout);
+  clk.ns = 1901;
+  EXPECT_EQ(mgr.acquire(2, 0ns).status, AcquireStatus::kGranted);
+  EXPECT_GE(mgr.stats().renewals, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SlotLeaseManager under the real clock: FIFO order and starvation bound.
+// ---------------------------------------------------------------------------
+
+TEST(SlotLeaseManager, WaitersAreServedFifo) {
+  LeaseConfig cfg;
+  cfg.ttl = 10s;  // releases, not expiry, drive turnover here
+  SlotLeaseManager mgr(1, cfg);
+  const auto held = mgr.acquire(/*client=*/0, 0ns);
+  ASSERT_EQ(held.status, AcquireStatus::kGranted);
+
+  constexpr int kWaiters = 4;
+  std::mutex order_mu;
+  std::vector<ClientId> grant_order;
+  std::atomic<int> queued{0};
+  std::vector<std::jthread> threads;
+  for (int i = 1; i <= kWaiters; ++i) {
+    threads.emplace_back([&, i] {
+      // Stagger arrivals so queue order is deterministic.
+      while (queued.load() != i - 1) std::this_thread::yield();
+      std::thread t([&] {
+        const auto r = mgr.acquire(static_cast<ClientId>(i), 10s);
+        ASSERT_EQ(r.status, AcquireStatus::kGranted);
+        {
+          std::lock_guard lk(order_mu);
+          grant_order.push_back(r.lease.client);
+        }
+        mgr.release(r.lease);
+      });
+      while (mgr.waiters() < static_cast<std::size_t>(i)) {
+        std::this_thread::yield();
+      }
+      queued.store(i);
+      t.join();
+    });
+  }
+  while (queued.load() != kWaiters) std::this_thread::yield();
+  mgr.release(held.lease);  // unleash the queue
+  threads.clear();          // join
+  ASSERT_EQ(grant_order.size(), static_cast<std::size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(grant_order[i], static_cast<ClientId>(i + 1))
+        << "FIFO violated at position " << i;
+  }
+}
+
+TEST(SlotLeaseManager, NoStarvationWhenClientsOutnumberSlots) {
+  LeaseConfig cfg;
+  cfg.ttl = 5s;  // turnover by release; expiry is a non-factor
+  SlotLeaseManager mgr(2, cfg);
+  constexpr int kClients = 8;
+  constexpr int kRoundsEach = 20;
+  std::atomic<std::uint64_t> timeouts{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < kRoundsEach; ++r) {
+          const auto a = mgr.acquire(static_cast<ClientId>(c), 30s);
+          if (a.status != AcquireStatus::kGranted) {
+            timeouts.fetch_add(1);
+            continue;
+          }
+          std::this_thread::yield();  // "use" the slot briefly
+          mgr.release(a.lease);
+        }
+      });
+    }
+  }
+  // FIFO hand-off bounds every waiter's delay by (queue length) turnovers,
+  // so with a 30 s budget and microsecond turnovers nobody times out.
+  EXPECT_EQ(timeouts.load(), 0u);
+  EXPECT_EQ(mgr.stats().grants, static_cast<std::uint64_t>(kClients) *
+                                    static_cast<std::uint64_t>(kRoundsEach));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotService semantics over A1 (core::UnboundedSwSnapshot<Tag>).
+// ---------------------------------------------------------------------------
+
+using A1 = core::UnboundedSwSnapshot<Tag>;
+using Service = SnapshotService<A1, Tag>;
+
+Tag make_tag(ProcessId slot, std::uint64_t seq) {
+  return Tag{slot, seq};
+}
+
+TEST(SnapshotService, BatchingCoalescesAndAcksAtFlush) {
+  A1 snap(3, Tag{});
+  ServiceConfig cfg;
+  cfg.max_batch = 16;
+  Service svc(snap, cfg);
+  auto conn = svc.connect(/*client=*/7, 1s);
+  ASSERT_EQ(conn.error, SvcError::kOk);
+  auto& sess = conn.session;
+  const auto slot = static_cast<ProcessId>(sess.slot());
+
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto r = svc.submit_update(sess, make_tag);
+    ASSERT_EQ(r.error, SvcError::kOk);
+    EXPECT_EQ(r.seq, i);
+    EXPECT_EQ(r.flushed_through, 0u);  // nothing durable before the flush
+  }
+  const auto f = svc.flush(sess);
+  ASSERT_EQ(f.error, SvcError::kOk);
+  EXPECT_EQ(f.flushed_through, 3u);  // all three completed at once
+
+  // Last-writer-wins coalescing: exactly one backend write, carrying seq 3.
+  EXPECT_EQ(snap.scan(slot)[sess.slot()], (Tag{slot, 3}));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.submits, 3u);
+  EXPECT_EQ(st.flushes, 1u);
+  EXPECT_EQ(st.coalesced, 2u);
+}
+
+TEST(SnapshotService, FullBatchFlushesInline) {
+  A1 snap(2, Tag{});
+  ServiceConfig cfg;
+  cfg.max_batch = 2;
+  Service svc(snap, cfg);
+  auto conn = svc.connect(1, 1s);
+  ASSERT_EQ(conn.error, SvcError::kOk);
+  EXPECT_EQ(svc.submit_update(conn.session, make_tag).flushed_through, 0u);
+  EXPECT_EQ(svc.submit_update(conn.session, make_tag).flushed_through, 2u);
+  EXPECT_EQ(svc.stats().flushes, 1u);
+}
+
+TEST(SnapshotService, ScanReadsYourOwnBufferedWrites) {
+  A1 snap(2, Tag{});
+  Service svc(snap, {});
+  auto conn = svc.connect(1, 1s);
+  ASSERT_EQ(conn.error, SvcError::kOk);
+  ASSERT_EQ(svc.submit_update(conn.session, make_tag).error, SvcError::kOk);
+  const auto s = svc.scan(conn.session);
+  ASSERT_EQ(s.error, SvcError::kOk);
+  EXPECT_EQ(s.flushed_through, 1u);  // the scan flushed our batch first
+  const auto slot = static_cast<ProcessId>(conn.session.slot());
+  EXPECT_EQ(s.view[conn.session.slot()], (Tag{slot, 1}));
+}
+
+TEST(SnapshotService, ScanCacheHitMissInvalidateAccounting) {
+  A1 snap(2, Tag{});
+  ServiceConfig cfg;
+  cfg.cache_scans = true;
+  Service svc(snap, cfg);
+  auto c1 = svc.connect(1, 1s);
+  auto c2 = svc.connect(2, 1s);
+  ASSERT_EQ(c1.error, SvcError::kOk);
+  ASSERT_EQ(c2.error, SvcError::kOk);
+
+  EXPECT_FALSE(svc.scan(c1.session).cache_hit);  // cold: fill
+  EXPECT_TRUE(svc.scan(c2.session).cache_hit);   // same generation: hit
+  EXPECT_TRUE(svc.scan(c1.session).cache_hit);
+
+  // A flush advances the generation, invalidating the cached view...
+  ASSERT_EQ(svc.submit_update(c1.session, make_tag).error, SvcError::kOk);
+  ASSERT_EQ(svc.flush(c1.session).error, SvcError::kOk);
+  const auto s = svc.scan(c2.session);
+  EXPECT_FALSE(s.cache_hit);  // ...so the next scan refills
+  EXPECT_EQ(s.view[c1.session.slot()].seq, 1u);  // and sees the write
+  EXPECT_TRUE(svc.scan(c2.session).cache_hit);
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.cache_hits, 3u);
+  EXPECT_EQ(st.cache_misses, 2u);
+  EXPECT_EQ(st.scans, 5u);
+}
+
+TEST(SnapshotService, AdmissionGateShedsConcurrentExcess) {
+  A1 snap(2, Tag{});
+  ServiceConfig cfg;
+  cfg.cache_scans = false;  // force every scan through the backend
+  cfg.max_concurrent_ops = 1;
+  Service svc(snap, cfg);
+  auto c1 = svc.connect(1, 1s);
+  auto c2 = svc.connect(2, 1s);
+  ASSERT_EQ(c1.error, SvcError::kOk);
+  ASSERT_EQ(c2.error, SvcError::kOk);
+
+  // Park client 1 inside a backend scan via the step hook: the admission
+  // gauge is held at 1 for as long as we like, deterministically.
+  std::atomic<bool> inside{false};
+  std::atomic<bool> release{false};
+  struct Park {
+    std::atomic<bool>* inside;
+    std::atomic<bool>* release;
+    static void hook(void* ctx, StepKind) {
+      auto* p = static_cast<Park*>(ctx);
+      p->inside->store(true);
+      while (!p->release->load()) std::this_thread::yield();
+    }
+  } park{&inside, &release};
+
+  std::jthread t([&] {
+    ScopedStepHook hook(&Park::hook, &park);
+    EXPECT_EQ(svc.scan(c1.session).error, SvcError::kOk);
+  });
+  while (!inside.load()) std::this_thread::yield();
+
+  const auto r = svc.submit_update(c2.session, make_tag);
+  EXPECT_EQ(r.error, SvcError::kOverloaded);
+  EXPECT_EQ(svc.scan(c2.session).error, SvcError::kOverloaded);
+  EXPECT_EQ(svc.stats().sheds, 2u);
+
+  release.store(true);
+  t.join();
+  // Capacity freed: the same client is admitted again.
+  EXPECT_EQ(svc.submit_update(c2.session, make_tag).error, SvcError::kOk);
+}
+
+TEST(SnapshotService, LeaseExpirySealFlushesOrphanedBatch) {
+  A1 snap(1, Tag{});  // single slot: the steal is forced
+  ManualClock clk;
+  ServiceConfig cfg;
+  cfg.lease = clk.config(std::chrono::nanoseconds(1000));
+  Service svc(snap, cfg);
+
+  auto c1 = svc.connect(1, 0ns);
+  ASSERT_EQ(c1.error, SvcError::kOk);
+  ASSERT_EQ(svc.submit_update(c1.session, make_tag).error, SvcError::kOk);
+
+  clk.ns = 5000;  // c1's lease expires
+  auto c2 = svc.connect(2, 0ns);
+  ASSERT_EQ(c2.error, SvcError::kOk);  // stole slot 0
+  EXPECT_EQ(c2.session.slot(), c1.session.slot());
+  EXPECT_EQ(svc.lease_manager().stats().steals, 1u);
+
+  // The seal flushed c1's orphaned submit before c2's grant became visible:
+  // c2 observes it, and with nothing pending the generation is stable.
+  const auto s2 = svc.scan(c2.session);
+  ASSERT_EQ(s2.error, SvcError::kOk);
+  EXPECT_EQ(s2.view[0], (Tag{0, 1}));
+
+  // c1 is fenced from the first post-steal operation onward, and the
+  // reported flushed_through tells it its buffered submit did complete.
+  const auto r1 = svc.submit_update(c1.session, make_tag);
+  EXPECT_EQ(r1.error, SvcError::kLeaseExpired);
+  EXPECT_EQ(r1.flushed_through, 1u);
+  EXPECT_EQ(svc.scan(c1.session).error, SvcError::kLeaseExpired);
+  EXPECT_GE(svc.stats().lease_expired_errors, 2u);
+
+  // c2's slot sequence continues after c1's: tags stay gapless per word.
+  ASSERT_EQ(svc.submit_update(c2.session, make_tag).seq, 2u);
+}
+
+TEST(SnapshotService, DisconnectFlushesAndFreesTheSlot) {
+  A1 snap(1, Tag{});
+  Service svc(snap, {});
+  auto c1 = svc.connect(1, 1s);
+  ASSERT_EQ(c1.error, SvcError::kOk);
+  ASSERT_EQ(svc.submit_update(c1.session, make_tag).error, SvcError::kOk);
+  const auto d = svc.disconnect(c1.session);
+  EXPECT_EQ(d.error, SvcError::kOk);
+  EXPECT_EQ(d.flushed_through, 1u);
+  EXPECT_FALSE(c1.session.connected());
+  EXPECT_EQ(svc.submit_update(c1.session, make_tag).error,
+            SvcError::kNotConnected);
+
+  auto c2 = svc.connect(2, 1s);  // slot is immediately re-grantable
+  ASSERT_EQ(c2.error, SvcError::kOk);
+  EXPECT_EQ(svc.scan(c2.session).view[0], (Tag{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Churn linearizability: M = 4n clients over A1/A2/A3, full history checked.
+// ---------------------------------------------------------------------------
+
+/// A3 behind the single-writer adapter (m == n), as in snapshot_sw_test.cpp.
+class MwAsSw {
+ public:
+  MwAsSw(std::size_t n, const Tag& init) : snap_(n, n, init), adapter_(snap_) {}
+  std::size_t size() const { return adapter_.size(); }
+  void update(ProcessId i, Tag v) { adapter_.update(i, v); }
+  std::vector<Tag> scan(ProcessId i) { return adapter_.scan(i); }
+
+ private:
+  core::BoundedMwSnapshot<Tag> snap_;
+  core::SingleWriterAdapter<core::BoundedMwSnapshot<Tag>> adapter_;
+};
+
+template <typename S>
+struct SvcChurnTest : public ::testing::Test {};
+
+using SvcBackends = ::testing::Types<core::UnboundedSwSnapshot<Tag>,
+                                     core::BoundedSwSnapshot<Tag>, MwAsSw>;
+TYPED_TEST_SUITE(SvcChurnTest, SvcBackends);
+
+/// One client's pending (submitted, unflushed) updates. Completion is
+/// learned from OpResult::flushed_through; a completed update is recorded
+/// with res = a tick taken after the covering call returned, so its
+/// interval contains the actual flush instant.
+struct PendingUpdate {
+  std::uint64_t seq;
+  Tag tag;
+  lin::Time inv;
+};
+
+void complete_through(lin::Recorder& rec, std::vector<PendingUpdate>& pending,
+                      std::size_t slot, std::uint64_t flushed_through) {
+  if (pending.empty() || pending.front().seq > flushed_through) return;
+  const lin::Time res = rec.tick();
+  std::size_t i = 0;
+  for (; i < pending.size() && pending[i].seq <= flushed_through; ++i) {
+    rec.add_update(static_cast<ProcessId>(slot), slot, pending[i].tag,
+                   pending[i].inv, res);
+  }
+  pending.erase(pending.begin(), pending.begin() + i);
+}
+
+template <typename Backend>
+void run_churn_workload(bool cache_scans, std::uint64_t seed) {
+  constexpr std::size_t kSlots = 3;
+  constexpr std::size_t kClients = 4 * kSlots;  // M = 4n
+  constexpr int kOpsPerClient = 120;
+
+  Backend snap(kSlots, Tag{});
+  ServiceConfig cfg;
+  cfg.cache_scans = cache_scans;
+  cfg.max_batch = 4;
+  cfg.lease.ttl = 50ms;  // short enough that steals genuinely happen
+  ServiceConfig scfg = cfg;
+  SnapshotService<Backend, Tag> service(snap, scfg);
+  lin::Recorder recorder(kSlots);
+  std::atomic<bool> go{false};
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(seed * 0x9E3779B9ULL + c);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        typename SnapshotService<Backend, Tag>::ClientSession sess;
+        std::vector<PendingUpdate> pending;
+        auto connect = [&]() -> bool {
+          for (int attempt = 0; attempt < 200; ++attempt) {
+            auto conn = service.connect(static_cast<ClientId>(c), 500ms);
+            if (conn.error == SvcError::kOk) {
+              sess = conn.session;
+              return true;
+            }
+          }
+          return false;
+        };
+        ASSERT_TRUE(connect()) << "client " << c << " never got a lease";
+        for (int op = 0; op < kOpsPerClient; ++op) {
+          if (!sess.connected() && !connect()) break;
+          const std::size_t slot = sess.slot();
+          const double dice = rng.uniform01();
+          if (dice < 0.05) {  // churn: flush, give the lease back, re-join
+            const auto d = service.disconnect(sess);
+            ASSERT_EQ(d.error, SvcError::kOk);
+            complete_through(recorder, pending, slot, d.flushed_through);
+            ASSERT_TRUE(pending.empty());
+            continue;
+          }
+          if (dice < 0.45) {  // scan
+            const lin::Time inv = recorder.tick();
+            auto s = service.scan(sess);
+            if (s.error == SvcError::kLeaseExpired) {
+              // The seal flushed everything we had buffered.
+              complete_through(recorder, pending, slot, s.flushed_through);
+              ASSERT_TRUE(pending.empty());
+              sess = {};
+              continue;
+            }
+            ASSERT_EQ(s.error, SvcError::kOk);
+            const lin::Time res = recorder.tick();
+            complete_through(recorder, pending, slot, s.flushed_through);
+            recorder.add_scan(static_cast<ProcessId>(slot), std::move(s.view),
+                              inv, res);
+          } else {  // update (often pipelined: ack arrives at a later flush)
+            const lin::Time inv = recorder.tick();
+            const auto r = service.submit_update(sess, make_tag);
+            if (r.error == SvcError::kLeaseExpired) {
+              complete_through(recorder, pending, slot, r.flushed_through);
+              ASSERT_TRUE(pending.empty());
+              sess = {};
+              continue;
+            }
+            ASSERT_EQ(r.error, SvcError::kOk);
+            pending.push_back(
+                {r.seq, Tag{static_cast<ProcessId>(slot), r.seq}, inv});
+            complete_through(recorder, pending, slot, r.flushed_through);
+          }
+          if (rng.chance(0.01)) std::this_thread::yield();
+        }
+        if (sess.connected()) {
+          const std::size_t slot = sess.slot();
+          const auto d = service.disconnect(sess);
+          complete_through(recorder, pending, slot, d.flushed_through);
+        }
+        ASSERT_TRUE(pending.empty());
+      });
+    }
+    go.store(true, std::memory_order_release);
+  }  // join
+
+  lin::History history = recorder.take();
+  EXPECT_GT(history.updates.size(), 0u);
+  EXPECT_GT(history.scans.size(), 0u);
+  const lin::CheckResult violation = lin::check_single_writer(history);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+
+  const auto st = service.stats();
+  EXPECT_GT(st.flushes, 0u);
+  if (cache_scans) {
+    EXPECT_GT(st.cache_hits + st.cache_misses, 0u);
+  }
+}
+
+TYPED_TEST(SvcChurnTest, ChurningClientsStayLinearizableCacheOn) {
+  run_churn_workload<TypeParam>(/*cache_scans=*/true, /*seed=*/42);
+}
+
+TYPED_TEST(SvcChurnTest, ChurningClientsStayLinearizableCacheOff) {
+  run_churn_workload<TypeParam>(/*cache_scans=*/false, /*seed=*/1337);
+}
+
+}  // namespace
+}  // namespace asnap

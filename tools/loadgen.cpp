@@ -1,0 +1,485 @@
+// loadgen — open/closed-loop load generator for the snapshot service layer
+// (experiment E11-svc).
+//
+// Drives M concurrent clients through svc::SnapshotService over any of the
+// paper's snapshot backends (a1 = Figure 2 unbounded, a2 = Figure 3 bounded,
+// a3 = Figure 4 via the single-writer adapter) or the ABD message-passing
+// snapshot, with client churn (disconnect/reconnect), pipelined updates and
+// a seeded read/write mix. Reports throughput and p50/p99/p999 latency per
+// op type, plus service/lease counters, as a human table and a
+// machine-readable "JSON {...}" line (bench::JsonWriter format consumed by
+// scripts/run_experiments.sh).
+//
+// Modes:
+//   closed : each client issues its next op as soon as the previous one
+//            completes — fixed concurrency M, latency = call duration
+//            (updates: submit-to-ack, i.e. until a flush covers the seq).
+//   open   : ops arrive on a Poisson schedule at --rate ops/s split across
+//            the clients; latency is measured from the *scheduled* arrival,
+//            so queueing delay under overload is visible (coordinated
+//            omission avoided).
+//
+// --check records every completed operation in a lin::Recorder and runs the
+// exact single-writer linearizability checker over the full history at the
+// end: nonzero exit iff a violation is found. This is the acceptance gate
+// that multiplexing, batching, lease handover and the scan cache preserved
+// the paper's correctness notion end to end.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abd/abd_snapshot.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/bounded_mw_snapshot.hpp"
+#include "core/bounded_sw_snapshot.hpp"
+#include "core/snapshot_types.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "svc/service.hpp"
+#include "trace/exporter.hpp"
+#include "trace/histogram.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+using namespace std::chrono_literals;
+
+struct Options {
+  std::string backend = "a1";
+  std::string mode = "closed";
+  std::size_t slots = 3;
+  std::size_t clients = 12;
+  double seconds = 1.0;
+  double rate = 2000.0;  // open loop: total arrivals/s across all clients
+  double read_ratio = 0.9;
+  double churn = 0.02;  // per-op probability of disconnect + reconnect
+  std::size_t pipeline = 4;  // outstanding submits before a forced flush
+  std::size_t batch = 8;     // service max_batch
+  bool cache = true;
+  std::size_t max_concurrent = 0;
+  double ttl_ms = 100.0;
+  std::uint64_t seed = 1;
+  bool check = false;
+  std::string trace_path;
+  std::string experiment = "E11-svc";
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One client's not-yet-acknowledged submits.
+struct PendingUpdate {
+  std::uint64_t seq;
+  Tag tag;
+  lin::Time inv;      // recorder tick (check mode only)
+  std::uint64_t t0;   // latency start, ns
+};
+
+/// Per-thread results, merged after the run.
+struct ThreadResult {
+  trace::LogHistogram update_ns;  // submit-to-ack
+  trace::LogHistogram scan_ns;
+  std::uint64_t updates = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t connect_failures = 0;
+};
+
+template <typename Backend>
+struct RunOutput {
+  ThreadResult merged;
+  svc::ServiceStats svc;
+  svc::LeaseStats lease;
+  std::uint64_t violations = 0;
+  double elapsed_s = 0;
+};
+
+template <typename Backend>
+RunOutput<Backend> run_workload(Backend& snap, const Options& opt) {
+  svc::ServiceConfig cfg;
+  cfg.max_batch = opt.batch;
+  cfg.cache_scans = opt.cache;
+  cfg.max_concurrent_ops = opt.max_concurrent;
+  cfg.lease.ttl = std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(opt.ttl_ms * 1e6));
+  svc::SnapshotService<Backend, Tag> service(snap, cfg);
+
+  std::unique_ptr<lin::Recorder> recorder;
+  if (opt.check) recorder = std::make_unique<lin::Recorder>(opt.slots);
+
+  std::vector<ThreadResult> results(opt.clients);
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(opt.clients);
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      threads.emplace_back([&, c] {
+        ThreadResult& out = results[c];
+        Rng rng(opt.seed * 0x9E3779B9ULL + c);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+        typename svc::SnapshotService<Backend, Tag>::ClientSession sess;
+        std::vector<PendingUpdate> pending;
+
+        // Ack every pending submit with seq <= flushed_through: record its
+        // latency and, in check mode, its history interval (one shared res
+        // tick — the covering flush lies inside every such interval).
+        auto ack_through = [&](std::size_t slot, std::uint64_t ft) {
+          if (pending.empty() || pending.front().seq > ft) return;
+          const std::uint64_t t = now_ns();
+          const lin::Time res = recorder ? recorder->tick() : 0;
+          std::size_t i = 0;
+          for (; i < pending.size() && pending[i].seq <= ft; ++i) {
+            out.update_ns.record(t - pending[i].t0);
+            ++out.updates;
+            if (recorder) {
+              recorder->add_update(static_cast<ProcessId>(slot), slot,
+                                   pending[i].tag, pending[i].inv, res);
+            }
+          }
+          pending.erase(pending.begin(), pending.begin() + i);
+        };
+
+        auto connect = [&]() -> bool {
+          while (!stop.load(std::memory_order_acquire)) {
+            auto conn =
+                service.connect(static_cast<svc::ClientId>(c), 200ms);
+            if (conn.error == svc::SvcError::kOk) {
+              sess = conn.session;
+              ++out.reconnects;
+              return true;
+            }
+            ++out.connect_failures;
+          }
+          return false;
+        };
+        if (!connect()) return;
+
+        // Open loop: this client's share of the Poisson arrival process.
+        const double client_rate = opt.rate / static_cast<double>(opt.clients);
+        const bool open_loop = opt.mode == "open";
+        std::uint64_t next_arrival = now_ns();
+        auto exp_gap_ns = [&]() -> std::uint64_t {
+          const double u = std::max(rng.uniform01(), 1e-12);
+          return static_cast<std::uint64_t>(-std::log(u) / client_rate * 1e9);
+        };
+
+        while (!stop.load(std::memory_order_acquire)) {
+          if (!sess.connected() && !connect()) break;
+          const std::size_t slot = sess.slot();
+
+          std::uint64_t t0 = now_ns();
+          if (open_loop) {
+            next_arrival += exp_gap_ns();
+            while (now_ns() < next_arrival &&
+                   !stop.load(std::memory_order_acquire)) {
+              std::this_thread::yield();
+            }
+            // The run ended before this arrival was due: don't issue it
+            // (its scheduled origin lies in the future).
+            if (now_ns() < next_arrival) break;
+            t0 = next_arrival;  // latency includes queueing behind schedule
+          }
+
+          if (rng.chance(opt.churn)) {
+            const auto d = service.disconnect(sess);
+            ack_through(slot, d.flushed_through);
+            continue;  // reconnect at the top of the loop
+          }
+
+          if (rng.uniform01() < opt.read_ratio) {  // ---- scan
+            const lin::Time inv = recorder ? recorder->tick() : 0;
+            auto s = service.scan(sess);
+            if (s.error == svc::SvcError::kLeaseExpired) {
+              ack_through(slot, s.flushed_through);  // seal flushed for us
+              ++out.expirations;
+              sess = {};
+              continue;
+            }
+            if (s.error == svc::SvcError::kOverloaded) {
+              ++out.sheds;
+              continue;
+            }
+            const lin::Time res = recorder ? recorder->tick() : 0;
+            ack_through(slot, s.flushed_through);
+            out.scan_ns.record(now_ns() - t0);
+            ++out.scans;
+            if (recorder) {
+              recorder->add_scan(static_cast<ProcessId>(slot),
+                                 std::move(s.view), inv, res);
+            }
+          } else {  // ---- update (pipelined; acked at a covering flush)
+            const lin::Time inv = recorder ? recorder->tick() : 0;
+            const auto r = service.submit_update(
+                sess, [](ProcessId s, std::uint64_t q) { return Tag{s, q}; });
+            if (r.error == svc::SvcError::kLeaseExpired) {
+              ack_through(slot, r.flushed_through);
+              ++out.expirations;
+              sess = {};
+              continue;
+            }
+            if (r.error == svc::SvcError::kOverloaded) {
+              ++out.sheds;
+              continue;
+            }
+            pending.push_back({r.seq, Tag{static_cast<ProcessId>(slot), r.seq},
+                               inv, t0});
+            ack_through(slot, r.flushed_through);
+            if (pending.size() >= opt.pipeline) {
+              const auto f = service.flush(sess);
+              if (f.error == svc::SvcError::kLeaseExpired) {
+                ack_through(slot, f.flushed_through);
+                ++out.expirations;
+                sess = {};
+                continue;
+              }
+              if (f.error == svc::SvcError::kOk) {
+                ack_through(slot, f.flushed_through);
+              }
+            }
+          }
+        }
+        if (sess.connected()) {
+          const std::size_t slot = sess.slot();
+          const auto d = service.disconnect(sess);
+          ack_through(slot, d.flushed_through);
+        }
+      });
+    }
+
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+    stop.store(true, std::memory_order_release);
+    threads.clear();  // join
+  }
+
+  RunOutput<Backend> out;
+  for (const ThreadResult& r : results) {
+    out.merged.update_ns.merge(r.update_ns);
+    out.merged.scan_ns.merge(r.scan_ns);
+    out.merged.updates += r.updates;
+    out.merged.scans += r.scans;
+    out.merged.reconnects += r.reconnects;
+    out.merged.expirations += r.expirations;
+    out.merged.sheds += r.sheds;
+    out.merged.connect_failures += r.connect_failures;
+  }
+  out.svc = service.stats();
+  out.lease = service.lease_manager().stats();
+  out.elapsed_s = opt.seconds;
+
+  if (recorder) {
+    lin::History history = recorder->take();
+    const lin::CheckResult violation = lin::check_single_writer(history);
+    if (violation.has_value()) {
+      out.violations = 1;
+      std::fprintf(stderr, "loadgen: LINEARIZABILITY VIOLATION: %s\n",
+                   violation->c_str());
+    } else {
+      std::fprintf(stderr,
+                   "loadgen: history linearizable (%zu updates, %zu scans)\n",
+                   history.updates.size(), history.scans.size());
+    }
+  }
+  return out;
+}
+
+template <typename Backend>
+int report(Backend& snap, const Options& opt) {
+  const RunOutput<Backend> out = run_workload(snap, opt);
+  const ThreadResult& m = out.merged;
+  const double ops = static_cast<double>(m.updates + m.scans);
+  const double thr = ops / out.elapsed_s;
+  const double scan_thr = static_cast<double>(m.scans) / out.elapsed_s;
+  const double upd_thr = static_cast<double>(m.updates) / out.elapsed_s;
+  const std::uint64_t cache_lookups = out.svc.cache_hits + out.svc.cache_misses;
+  const double hit_ratio =
+      cache_lookups ? static_cast<double>(out.svc.cache_hits) /
+                          static_cast<double>(cache_lookups)
+                    : 0.0;
+  const double coalesce =
+      out.svc.submits ? static_cast<double>(out.svc.coalesced) /
+                            static_cast<double>(out.svc.submits)
+                      : 0.0;
+
+  std::printf("loadgen %s backend=%s mode=%s slots=%zu clients=%zu "
+              "read=%.2f cache=%s %.2fs\n",
+              opt.experiment.c_str(), opt.backend.c_str(), opt.mode.c_str(),
+              opt.slots, opt.clients, opt.read_ratio, opt.cache ? "on" : "off",
+              out.elapsed_s);
+  std::printf("  throughput  %10.0f ops/s (%0.0f scans/s, %0.0f updates/s)\n",
+              thr, scan_thr, upd_thr);
+  std::printf("  scan   p50 %8.1f us  p99 %8.1f us  p999 %8.1f us  (n=%llu)\n",
+              m.scan_ns.percentile(0.50) / 1e3, m.scan_ns.percentile(0.99) / 1e3,
+              m.scan_ns.percentile(0.999) / 1e3,
+              static_cast<unsigned long long>(m.scan_ns.count()));
+  std::printf("  update p50 %8.1f us  p99 %8.1f us  p999 %8.1f us  (n=%llu)\n",
+              m.update_ns.percentile(0.50) / 1e3,
+              m.update_ns.percentile(0.99) / 1e3,
+              m.update_ns.percentile(0.999) / 1e3,
+              static_cast<unsigned long long>(m.update_ns.count()));
+  std::printf("  batching    %llu flushes, %.2f coalesced/submit\n",
+              static_cast<unsigned long long>(out.svc.flushes), coalesce);
+  std::printf("  scan cache  %.1f%% hit (%llu/%llu)\n", 100.0 * hit_ratio,
+              static_cast<unsigned long long>(out.svc.cache_hits),
+              static_cast<unsigned long long>(cache_lookups));
+  std::printf("  leases      %llu grants, %llu steals, %llu timeouts, "
+              "%llu queue-full; %llu reconnects, %llu expirations\n",
+              static_cast<unsigned long long>(out.lease.grants),
+              static_cast<unsigned long long>(out.lease.steals),
+              static_cast<unsigned long long>(out.lease.timeouts),
+              static_cast<unsigned long long>(out.lease.queue_rejections),
+              static_cast<unsigned long long>(m.reconnects),
+              static_cast<unsigned long long>(m.expirations));
+  std::printf("  shed        %llu (client-observed %llu)\n",
+              static_cast<unsigned long long>(out.svc.sheds),
+              static_cast<unsigned long long>(m.sheds));
+  if (opt.check) {
+    std::printf("  check       %s\n",
+                out.violations == 0 ? "LINEARIZABLE" : "VIOLATION");
+  }
+
+  bench::JsonWriter json(opt.experiment);
+  json.field("backend", opt.backend)
+      .field("mode", opt.mode)
+      .field("slots", static_cast<std::uint64_t>(opt.slots))
+      .field("clients", static_cast<std::uint64_t>(opt.clients))
+      .field("seconds", out.elapsed_s)
+      .field("rate", opt.rate)
+      .field("read_ratio", opt.read_ratio)
+      .field("churn", opt.churn)
+      .field("cache", opt.cache)
+      .field("checked", opt.check)
+      .field("throughput", thr)
+      .field("scan_throughput", scan_thr)
+      .field("update_throughput", upd_thr)
+      .field("scan_p50_us", m.scan_ns.percentile(0.50) / 1e3)
+      .field("scan_p99_us", m.scan_ns.percentile(0.99) / 1e3)
+      .field("scan_p999_us", m.scan_ns.percentile(0.999) / 1e3)
+      .field("update_p50_us", m.update_ns.percentile(0.50) / 1e3)
+      .field("update_p99_us", m.update_ns.percentile(0.99) / 1e3)
+      .field("update_p999_us", m.update_ns.percentile(0.999) / 1e3)
+      .field("cache_hit_ratio", hit_ratio)
+      .field("coalesced_per_submit", coalesce)
+      .field("flushes", out.svc.flushes)
+      .field("lease_grants", out.lease.grants)
+      .field("lease_steals", out.lease.steals)
+      .field("lease_timeouts", out.lease.timeouts)
+      .field("sheds", out.svc.sheds)
+      .field("violations", out.violations);
+  json.print();
+  return out.violations == 0 ? 0 : 1;
+}
+
+/// A3 behind the single-writer adapter (m == n words).
+class MwAsSw {
+ public:
+  MwAsSw(std::size_t n, const Tag& init) : snap_(n, n, init), adapter_(snap_) {}
+  std::size_t size() const { return adapter_.size(); }
+  void update(ProcessId i, Tag v) { adapter_.update(i, v); }
+  std::vector<Tag> scan(ProcessId i) { return adapter_.scan(i); }
+
+ private:
+  core::BoundedMwSnapshot<Tag> snap_;
+  core::SingleWriterAdapter<core::BoundedMwSnapshot<Tag>> adapter_;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen [--backend a1|a2|a3|abd] [--mode closed|open]\n"
+      "               [--slots N] [--clients M] [--seconds S] [--rate R]\n"
+      "               [--read-ratio r] [--churn p] [--pipeline k] [--batch b]\n"
+      "               [--cache on|off] [--max-concurrent C] [--ttl-ms T]\n"
+      "               [--seed s] [--check] [--trace out.json|out.jsonl]\n"
+      "               [--experiment name]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace asnap
+
+int main(int argc, char** argv) {
+  using namespace asnap;
+  using bench::consume_flag;
+
+  Options opt;
+  opt.backend = consume_flag(argc, argv, "--backend", opt.backend);
+  opt.mode = consume_flag(argc, argv, "--mode", opt.mode);
+  opt.slots = std::strtoull(
+      consume_flag(argc, argv, "--slots", "3").c_str(), nullptr, 10);
+  opt.clients = std::strtoull(
+      consume_flag(argc, argv, "--clients", "12").c_str(), nullptr, 10);
+  opt.seconds = std::atof(consume_flag(argc, argv, "--seconds", "1").c_str());
+  opt.rate = std::atof(consume_flag(argc, argv, "--rate", "2000").c_str());
+  opt.read_ratio =
+      std::atof(consume_flag(argc, argv, "--read-ratio", "0.9").c_str());
+  opt.churn = std::atof(consume_flag(argc, argv, "--churn", "0.02").c_str());
+  opt.pipeline = std::strtoull(
+      consume_flag(argc, argv, "--pipeline", "4").c_str(), nullptr, 10);
+  opt.batch = std::strtoull(
+      consume_flag(argc, argv, "--batch", "8").c_str(), nullptr, 10);
+  opt.cache = consume_flag(argc, argv, "--cache", "on") != "off";
+  opt.max_concurrent = std::strtoull(
+      consume_flag(argc, argv, "--max-concurrent", "0").c_str(), nullptr, 10);
+  opt.ttl_ms = std::atof(consume_flag(argc, argv, "--ttl-ms", "100").c_str());
+  opt.seed = std::strtoull(consume_flag(argc, argv, "--seed", "1").c_str(),
+                           nullptr, 10);
+  opt.trace_path = consume_flag(argc, argv, "--trace", "");
+  opt.experiment = consume_flag(argc, argv, "--experiment", opt.experiment);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      opt.check = true;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+  if (opt.slots == 0 || opt.clients == 0 ||
+      (opt.mode != "closed" && opt.mode != "open")) {
+    return usage();
+  }
+
+  trace::Session trace_session(opt.trace_path);
+
+  if (opt.backend == "a1") {
+    core::UnboundedSwSnapshot<lin::Tag> snap(opt.slots, lin::Tag{});
+    return report(snap, opt);
+  }
+  if (opt.backend == "a2") {
+    core::BoundedSwSnapshot<lin::Tag> snap(opt.slots, lin::Tag{});
+    return report(snap, opt);
+  }
+  if (opt.backend == "a3") {
+    MwAsSw snap(opt.slots, lin::Tag{});
+    return report(snap, opt);
+  }
+  if (opt.backend == "abd") {
+    abd::MessagePassingSnapshot<lin::Tag> snap(opt.slots, lin::Tag{},
+                                               opt.seed);
+    return report(snap, opt);
+  }
+  std::fprintf(stderr, "loadgen: unknown backend '%s'\n", opt.backend.c_str());
+  return usage();
+}

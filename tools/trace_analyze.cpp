@@ -33,6 +33,7 @@
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
+#include "svc/service.hpp"
 #include "trace/event.hpp"
 #include "trace/exporter.hpp"
 #include "trace/histogram.hpp"
@@ -146,6 +147,16 @@ struct Analysis {
   std::uint64_t recoveries_failed = 0;
   trace::LogHistogram detection_latency_ns;  ///< chaos crash -> 1st suspect
   trace::LogHistogram recovery_latency_ns;   ///< recover_begin -> _end ok
+  // Service layer (PR 4): slot-lease churn, batching, scan cache, shedding.
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_steals = 0;
+  std::uint64_t lease_expires = 0;
+  trace::LogHistogram batch_sizes;  ///< submits coalesced per flush
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidates = 0;
+  std::uint64_t sheds = 0;
   std::uint64_t first_ts = ~std::uint64_t{0};
   std::uint64_t last_ts = 0;
 };
@@ -249,6 +260,24 @@ Analysis analyze(std::vector<Row> rows) {
     } else if (r.kind == "chaos_action") {
       ++out.chaos_actions;
       if (r.a0 == 0) crash_ts_by_node[r.a1] = r.ts_ns;  // ActionKind::kCrash
+    } else if (r.kind == "lease_grant") {
+      ++out.lease_grants;
+    } else if (r.kind == "lease_steal") {
+      ++out.lease_grants;  // a steal IS a grant, of a reclaimed slot
+      ++out.lease_steals;
+    } else if (r.kind == "lease_expire") {
+      ++out.lease_expires;
+    } else if (r.kind == "batch_flush") {
+      ++out.batch_flushes;
+      out.batch_sizes.record(r.a0);
+    } else if (r.kind == "scan_cache_hit") {
+      ++out.cache_hits;
+    } else if (r.kind == "scan_cache_miss") {
+      ++out.cache_misses;
+    } else if (r.kind == "scan_cache_invalidate") {
+      ++out.cache_invalidates;
+    } else if (r.kind == "svc_shed") {
+      ++out.sheds;
     }
   }
   return out;
@@ -394,6 +423,42 @@ std::size_t report(const Analysis& a) {
     }
   }
 
+  if (a.lease_grants + a.batch_flushes + a.cache_hits + a.cache_misses +
+          a.sheds !=
+      0) {
+    std::printf("\n== service layer ==\n");
+    std::printf("leases: %llu grants (%llu steals, %llu expiries) — churn "
+                "%.1f grants/s\n",
+                static_cast<unsigned long long>(a.lease_grants),
+                static_cast<unsigned long long>(a.lease_steals),
+                static_cast<unsigned long long>(a.lease_expires),
+                span_s > 0 ? static_cast<double>(a.lease_grants) / span_s
+                           : 0.0);
+    if (a.batch_flushes != 0) {
+      std::printf("batching: %llu flushes, size p50 %llu p99 %llu max %llu "
+                  "(mean %.2f submits/flush)\n",
+                  static_cast<unsigned long long>(a.batch_flushes),
+                  static_cast<unsigned long long>(
+                      a.batch_sizes.percentile(0.50)),
+                  static_cast<unsigned long long>(
+                      a.batch_sizes.percentile(0.99)),
+                  static_cast<unsigned long long>(a.batch_sizes.max()),
+                  a.batch_sizes.mean());
+    }
+    const std::uint64_t lookups = a.cache_hits + a.cache_misses;
+    if (lookups != 0) {
+      std::printf("scan cache: %.1f%% hit (%llu/%llu), %llu invalidations "
+                  "observed\n",
+                  100.0 * static_cast<double>(a.cache_hits) /
+                      static_cast<double>(lookups),
+                  static_cast<unsigned long long>(a.cache_hits),
+                  static_cast<unsigned long long>(lookups),
+                  static_cast<unsigned long long>(a.cache_invalidates));
+    }
+    std::printf("admission: %llu requests shed\n",
+                static_cast<unsigned long long>(a.sheds));
+  }
+
   if (violations != 0) {
     std::printf("\nPROTOCOL VIOLATION: %zu scan(s) exceeded the pigeonhole "
                 "bound\n",
@@ -427,6 +492,22 @@ int run_demo() {
       (void)a2.scan(0);
       (void)a3.scan(0);
     }
+    // Service layer on top of A1: a couple of clients batching updates and
+    // hitting the scan cache, so the "== service layer ==" section has data.
+    core::UnboundedSwSnapshot<std::uint64_t> backing(kN, 0);
+    svc::ServiceConfig scfg;
+    scfg.max_batch = 4;
+    svc::SnapshotService<decltype(backing), std::uint64_t> service(backing,
+                                                                   scfg);
+    auto c1 = service.connect(1, std::chrono::seconds(1));
+    auto c2 = service.connect(2, std::chrono::seconds(1));
+    for (std::uint64_t it = 1; it <= 100; ++it) {
+      (void)service.submit_update(c1.session,
+                                  [it](ProcessId, std::uint64_t) { return it; });
+      (void)service.scan(c2.session);
+    }
+    (void)service.disconnect(c1.session);
+    (void)service.disconnect(c2.session);
   }
   std::vector<Row> rows;
   if (!load_trace(path, rows)) return 2;

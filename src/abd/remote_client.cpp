@@ -1,0 +1,161 @@
+#include "abd/remote_client.hpp"
+
+#include <algorithm>
+#include <any>
+#include <chrono>
+#include <utility>
+
+#include "common/backoff.hpp"
+
+namespace asnap::abd {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+RemoteRegisterClient::RemoteRegisterClient(std::vector<net::Endpoint> replicas,
+                                           std::uint64_t client_id,
+                                           AbdConfig config)
+    : client_id_(client_id),
+      config_(config),
+      bus_(std::move(replicas), /*seed=*/client_id * 0x9E3779B97F4A7C15ull + 1),
+      max_epoch_(bus_.size(), 0) {}
+
+OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
+                                         std::uint8_t expect_type,
+                                         std::size_t needed,
+                                         ReadResult* collect) {
+  const std::size_t n = bus_.size();
+  if (needed == 0) return OpStatus::kOk;
+  request.version = net::wire::kWireVersion;
+  request.from = client_id_;
+
+  std::vector<char> seen(n, 0);
+  std::size_t count = 0;
+  bool adopted = false;
+  RetryBackoff backoff(config_.initial_rto, config_.max_rto);
+  const auto deadline = Clock::now() + config_.op_deadline;
+
+  const auto transmit_wave = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!seen[i]) bus_.send(i, request);
+    }
+  };
+  transmit_wave();
+  auto next_retransmit = Clock::now() + backoff.current();
+
+  while (count < needed) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.round_timeouts;
+      return OpStatus::kTimeout;
+    }
+    if (now >= next_retransmit) {
+      backoff.grow();
+      transmit_wave();
+      next_retransmit = now + backoff.current();
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.retransmit_waves;
+      continue;
+    }
+    auto msg = bus_.inbox().receive_until(std::min(deadline, next_retransmit));
+    if (!msg.has_value()) {
+      if (bus_.inbox().closed()) return OpStatus::kClosed;
+      continue;  // timeout slice: loop re-checks deadline / retransmit
+    }
+    if (msg->rid != request.rid) continue;  // reply to an older round
+    const auto* frame = std::any_cast<net::wire::Frame>(&msg->payload);
+    if (frame == nullptr) continue;
+    const std::size_t from = static_cast<std::size_t>(msg->from);
+    if (from >= n) continue;
+    // Incarnation filter: a reply stamped by an epoch older than the
+    // highest this client has seen from that replica was produced by a
+    // pre-crash incarnation — its state may predate acked writes.
+    if (frame->epoch < max_epoch_[from]) {
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.stale_epoch_replies;
+      continue;
+    }
+    max_epoch_[from] = std::max(max_epoch_[from], frame->epoch);
+    if (frame->type != expect_type) continue;
+    if (seen[from]) {
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.dup_replies;
+      continue;
+    }
+    seen[from] = 1;
+    ++count;
+    if (collect != nullptr) {
+      if (!adopted || frame->ts > collect->ts) {
+        collect->ts = frame->ts;
+        collect->value = frame->value;
+        adopted = true;
+      }
+    }
+  }
+  return OpStatus::kOk;
+}
+
+OpStatus RemoteRegisterClient::try_write(std::uint64_t reg, std::uint64_t ts,
+                                         const net::wire::Bytes& value) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  net::wire::Frame req;
+  req.type = net::wire::kWriteReq;
+  req.rid = next_rid_++;
+  req.reg = reg;
+  req.ts = ts;
+  req.value = value;
+  return run_round(std::move(req), net::wire::kWriteAck, majority(), nullptr);
+}
+
+std::optional<RemoteRegisterClient::ReadResult>
+RemoteRegisterClient::try_read(std::uint64_t reg) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ReadResult best;
+  {
+    net::wire::Frame req;
+    req.type = net::wire::kReadReq;
+    req.rid = next_rid_++;
+    req.reg = reg;
+    if (run_round(std::move(req), net::wire::kReadReply, majority(), &best) !=
+        OpStatus::kOk) {
+      return std::nullopt;
+    }
+  }
+  // Write-back round: re-install the adopted pair on a majority before
+  // returning, so no later read can observe an older value (atomicity).
+  net::wire::Frame wb;
+  wb.type = net::wire::kWriteReq;
+  wb.rid = next_rid_++;
+  wb.reg = reg;
+  wb.ts = best.ts;
+  wb.value = best.value;
+  if (run_round(std::move(wb), net::wire::kWriteAck, majority(), nullptr) !=
+      OpStatus::kOk) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<RemoteRegisterClient::ReadResult>
+RemoteRegisterClient::try_query(std::uint64_t reg) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ReadResult best;
+  net::wire::Frame req;
+  req.type = net::wire::kReadReq;
+  req.rid = next_rid_++;
+  req.reg = reg;
+  if (run_round(std::move(req), net::wire::kReadReply, majority(), &best) !=
+      OpStatus::kOk) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+RemoteRegisterClient::Stats RemoteRegisterClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace asnap::abd

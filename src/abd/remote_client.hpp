@@ -1,0 +1,86 @@
+// ABD quorum client for a real socket cluster of tools/abd_replicad daemons.
+//
+// Mirrors the client machinery of abd_register.hpp over net::TcpBus instead
+// of net::SimNetwork — the same algorithm, the same failure discipline:
+//   write(reg, ts, v): broadcast WRITE(ts, v), wait for a majority of
+//     distinct acks. The CALLER owns the timestamp and must keep it
+//     monotone per register (the single-writer regime of the paper); this
+//     also makes a timed-out write idempotently retryable with the same
+//     (ts, v) — replicas ignore stale timestamps and re-ack.
+//   read(reg): query round (majority of READ replies, adopt the max
+//     timestamp), then a write-back round of the adopted pair — the
+//     write-back upgrades regularity to atomicity exactly as in [ABD].
+//
+// Loss/crash handling is the retransmission loop of AbdCluster::run_round:
+// rebroadcast with the SAME rid on a RetryBackoff schedule, deduplicate
+// replies by responder id, and give up with OpStatus::kTimeout at
+// AbdConfig::op_deadline. Incarnation epochs ride in every reply frame: the
+// client tracks the highest epoch seen per replica and discards replies
+// stamped by an earlier incarnation (a SIGSTOPped pre-crash replica
+// resumed after its successor restarted cannot confuse a round).
+//
+// One operation at a time per client (op_mu_): concurrent load comes from
+// many clients, matching one-mailbox-per-client SimNetwork usage.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "abd/abd_register.hpp"
+#include "net/tcp_bus.hpp"
+
+namespace asnap::abd {
+
+class RemoteRegisterClient {
+ public:
+  struct ReadResult {
+    std::uint64_t ts = 0;
+    net::wire::Bytes value;  ///< empty with ts == 0: never written
+  };
+
+  struct Stats {
+    std::uint64_t retransmit_waves = 0;
+    std::uint64_t dup_replies = 0;
+    std::uint64_t stale_epoch_replies = 0;
+    std::uint64_t round_timeouts = 0;
+  };
+
+  RemoteRegisterClient(std::vector<net::Endpoint> replicas,
+                       std::uint64_t client_id, AbdConfig config = {});
+
+  std::size_t replicas() const { return bus_.size(); }
+  std::size_t majority() const { return bus_.size() / 2 + 1; }
+
+  /// Majority write. ts must be monotone per register from this writer;
+  /// retrying a timed-out write with the same (ts, value) is sound.
+  OpStatus try_write(std::uint64_t reg, std::uint64_t ts,
+                     const net::wire::Bytes& value);
+
+  /// Atomic read: query round + write-back round. nullopt on timeout.
+  std::optional<ReadResult> try_read(std::uint64_t reg);
+
+  /// Query round only — NO write-back, so not atomic on its own. Used by a
+  /// recovering replica's resync (which installs the result locally rather
+  /// than serving it to an application).
+  std::optional<ReadResult> try_query(std::uint64_t reg);
+
+  Stats stats() const;
+  std::uint64_t reconnects() const { return bus_.reconnects(); }
+
+ private:
+  OpStatus run_round(net::wire::Frame request, std::uint8_t expect_type,
+                     std::size_t needed, ReadResult* collect);
+
+  const std::uint64_t client_id_;
+  const AbdConfig config_;
+  net::TcpBus bus_;
+  std::mutex op_mu_;
+  std::uint64_t next_rid_ = 1;
+  std::vector<std::uint64_t> max_epoch_;  ///< highest epoch seen per replica
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace asnap::abd

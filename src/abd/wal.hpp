@@ -1,0 +1,87 @@
+// Replica write-ahead log: the durability half of the crash-recovery story.
+//
+// A tools/abd_replicad daemon appends one record per accepted WRITE and one
+// per incarnation bump, fsync()ing BEFORE the network ack leaves the
+// process. Combined with majority quorums this yields the durability
+// argument of DESIGN.md §11: an acknowledged write is fsynced on a majority
+// of replicas, every read quorum intersects that majority, so the write
+// survives kill -9 of any subset of replicas — including, unlike the
+// in-memory simulation, all of them at once.
+//
+// Record format (little-endian, after wire.hpp's conventions):
+//   record := u32 magic 'WAL1' | u16 type | u16 reserved
+//           | u64 reg | u64 ts | u32 value_len | value bytes | u32 crc32
+// type 1 = register write (reg, ts, value), type 2 = epoch bump (the new
+// incarnation in `reg`, ts/value unused). The CRC covers everything from
+// magic through the last value byte. Replay stops at the first torn or
+// corrupt record and truncates the file there: a record torn by kill -9
+// mid-append was by construction never acked (the fsync hadn't returned),
+// so dropping it loses nothing acknowledged.
+//
+// The log is compacted (one write record per register + the epoch, written
+// to a temp file and atomically rename()d) at daemon startup and whenever
+// it outgrows a size threshold, so repeated crash/restart cycles don't grow
+// it without bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace asnap::abd {
+
+/// Everything a replica must remember across kill -9.
+struct WalState {
+  std::uint64_t epoch = 0;
+  /// reg -> (ts, value); absent regs have never been written.
+  std::map<std::uint64_t, std::pair<std::uint64_t, net::wire::Bytes>> regs;
+};
+
+class ReplicaWal {
+ public:
+  /// Open (creating if needed) `path` and replay it into *state. Torn or
+  /// corrupt tail records are truncated away. nullptr + error message on
+  /// I/O failure. With fsync=false appends skip the fsync — measurement
+  /// mode only; it forfeits the durability argument.
+  static std::unique_ptr<ReplicaWal> open(const std::string& path,
+                                          WalState* state, bool fsync,
+                                          std::string* error);
+  ~ReplicaWal();
+
+  ReplicaWal(const ReplicaWal&) = delete;
+  ReplicaWal& operator=(const ReplicaWal&) = delete;
+
+  /// Durably record a write. Must return true before the WRITE is acked.
+  bool append_write(std::uint64_t reg, std::uint64_t ts,
+                    const net::wire::Bytes& value);
+
+  /// Durably record a new incarnation. Must return true before the daemon
+  /// starts serving under that epoch.
+  bool append_epoch(std::uint64_t epoch);
+
+  /// Rewrite the log as `state` (epoch record + one write per register),
+  /// via temp file + atomic rename. Caller must pass a state consistent
+  /// with everything appended so far (hold its store lock).
+  bool compact(const WalState& state);
+
+  /// Current log size; callers compact when this outgrows their threshold.
+  std::uint64_t bytes() const;
+
+ private:
+  ReplicaWal(std::string path, int fd, bool fsync, std::uint64_t bytes);
+
+  bool append_record(std::uint16_t type, std::uint64_t reg, std::uint64_t ts,
+                     const net::wire::Bytes& value);
+
+  const std::string path_;
+  const bool fsync_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace asnap::abd

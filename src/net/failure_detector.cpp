@@ -13,8 +13,16 @@ FailureDetector::FailureDetector(Network& net, DetectorConfig cfg, Callback cb)
       cfg_(cfg),
       nodes_(net.size()),
       cb_(std::move(cb)),
-      suspected_(nodes_ * nodes_) {
+      suspected_(nodes_ * nodes_),
+      timeout_us_(nodes_ * nodes_) {
   for (auto& flag : suspected_) flag.store(false, std::memory_order_relaxed);
+  // A config with min > max (or an initial value outside the band) would
+  // make the clamp oscillate; normalize once here.
+  cfg_.max_timeout = std::max(cfg_.max_timeout, cfg_.min_timeout);
+  cfg_.initial_timeout =
+      std::clamp(cfg_.initial_timeout, cfg_.min_timeout, cfg_.max_timeout);
+  for (auto& t : timeout_us_)
+    t.store(cfg_.initial_timeout.count(), std::memory_order_relaxed);
   monitors_.reserve(nodes_);
   for (NodeId self = 0; self < nodes_; ++self) {
     monitors_.emplace_back(
@@ -31,7 +39,13 @@ FailureDetector::~FailureDetector() {
 void FailureDetector::run_node(std::stop_token st, NodeId self) {
   const std::size_t n = nodes_;
   std::vector<Clock::time_point> last_heard(n, Clock::now());
-  std::vector<std::chrono::microseconds> timeout(n, cfg_.initial_timeout);
+  // gap_ewma tracks each target's observed heartbeat cadence; penalty is the
+  // multiplicative floor grown on false alarms (◇P convergence). The applied
+  // threshold is max(cadence × multiplier, penalty) clamped to the
+  // configured [min_timeout, max_timeout] band — min_timeout keeps a burst
+  // of fast heartbeats from adapting the threshold below one RTT.
+  std::vector<double> gap_ewma(n, 0.0);
+  std::vector<std::chrono::microseconds> penalty(n, cfg_.min_timeout);
   std::vector<std::uint64_t> known_inc(n, 0);
   std::uint64_t my_inc = 0;
   bool was_crashed = false;
@@ -39,6 +53,23 @@ void FailureDetector::run_node(std::stop_token st, NodeId self) {
 
   const auto flag_index = [&](NodeId target) {
     return static_cast<std::size_t>(self) * n + target;
+  };
+  const auto timeout = [&](NodeId target) {
+    return std::chrono::microseconds(
+        timeout_us_[flag_index(target)].load(std::memory_order_relaxed));
+  };
+  const auto retune = [&](NodeId target) {
+    // Before the first gap sample the grace period applies; after that the
+    // learned cadence takes over and may shrink the threshold — but never
+    // below the penalty floor or min_timeout.
+    auto want = gap_ewma[target] > 0.0
+                    ? std::chrono::microseconds(static_cast<std::int64_t>(
+                          gap_ewma[target] * cfg_.timeout_multiplier))
+                    : cfg_.initial_timeout;
+    want = std::max(want, penalty[target]);
+    want = std::clamp(want, cfg_.min_timeout, cfg_.max_timeout);
+    timeout_us_[flag_index(target)].store(want.count(),
+                                          std::memory_order_relaxed);
   };
 
   while (!st.stop_requested()) {
@@ -74,11 +105,11 @@ void FailureDetector::run_node(std::stop_token st, NodeId self) {
         if (j == self) continue;
         auto& flag = suspected_[flag_index(j)];
         if (flag.load(std::memory_order_relaxed)) continue;
-        if (now - last_heard[j] <= timeout[j]) continue;
+        if (now - last_heard[j] <= timeout(j)) continue;
         flag.store(true, std::memory_order_relaxed);
         suspicions_.fetch_add(1, std::memory_order_relaxed);
         ASNAP_TRACE_EVENT(trace::EventKind::kSuspect, self, j,
-                          static_cast<std::uint64_t>(timeout[j].count()));
+                          static_cast<std::uint64_t>(timeout(j).count()));
         if (cb_) cb_(self, j, /*suspected=*/true);
       }
       next_beat = now + cfg_.heartbeat_interval;
@@ -90,21 +121,35 @@ void FailureDetector::run_node(std::stop_token st, NodeId self) {
     const NodeId j = msg->from;
     if (j >= n || j == self) continue;
     const std::uint64_t inc = msg->rid;
-    last_heard[j] = Clock::now();
+    const auto heard_at = Clock::now();
+    const auto gap = std::chrono::duration_cast<std::chrono::microseconds>(
+        heard_at - last_heard[j]);
+    last_heard[j] = heard_at;
     auto& flag = suspected_[flag_index(j)];
     if (flag.load(std::memory_order_relaxed)) {
       flag.store(false, std::memory_order_relaxed);
       trusts_.fetch_add(1, std::memory_order_relaxed);
       ASNAP_TRACE_EVENT(trace::EventKind::kTrust, self, j);
       if (inc == known_inc[j]) {
-        // Same incarnation resurfaced: we suspected a live node. Adapt so
-        // this message-delay pattern stops fooling us (◇P convergence).
+        // Same incarnation resurfaced: we suspected a live node. Grow the
+        // penalty floor so this message-delay pattern stops fooling us
+        // (◇P convergence).
         const auto grown = std::chrono::microseconds(static_cast<std::int64_t>(
-            static_cast<double>(timeout[j].count()) * cfg_.timeout_growth));
-        timeout[j] = std::min(cfg_.max_timeout, grown);
+            static_cast<double>(timeout(j).count()) * cfg_.timeout_growth));
+        penalty[j] = std::min(cfg_.max_timeout, grown);
       }
       if (cb_) cb_(self, j, /*suspected=*/false);
+    } else {
+      // Feed the cadence estimator only with gaps between heartbeats from a
+      // trusted target — a gap spanning a suspicion is a crash or network
+      // hole, not cadence.
+      constexpr double kAlpha = 0.125;  // TCP RTT-style smoothing
+      const auto sample = static_cast<double>(gap.count());
+      gap_ewma[j] = gap_ewma[j] > 0.0
+                        ? gap_ewma[j] + kAlpha * (sample - gap_ewma[j])
+                        : sample;
     }
+    retune(j);
     known_inc[j] = std::max(known_inc[j], inc);
   }
 }

@@ -45,10 +45,21 @@ struct DetectorConfig {
   std::chrono::microseconds heartbeat_interval{1'000};
   /// Initial silence threshold before suspecting a node.
   std::chrono::microseconds initial_timeout{8'000};
+  /// Floor for the adaptive timeout. The observed-gap EWMA tracks heartbeat
+  /// arrival cadence, so a burst of fast heartbeats (e.g. a sender catching
+  /// up after a stall, or a very chatty interval) would otherwise drive the
+  /// suspect threshold toward zero — below one network RTT, where every
+  /// in-flight heartbeat looks like silence. The floor caps how aggressive
+  /// adaptation may get; set it to at least one RTT of the deployment.
+  std::chrono::microseconds min_timeout{2'000};
   /// Ceiling for the adaptive timeout.
   std::chrono::microseconds max_timeout{64'000};
   /// Multiplier applied to a target's timeout after a false suspicion.
   double timeout_growth = 1.5;
+  /// Adaptive timeout = EWMA of observed heartbeat gaps × this multiplier,
+  /// clamped to [min_timeout, max_timeout] and never below the false-alarm
+  /// penalty floor.
+  double timeout_multiplier = 4.0;
 };
 
 class FailureDetector {
@@ -85,6 +96,15 @@ class FailureDetector {
     return heartbeats_sent_.load(std::memory_order_relaxed);
   }
 
+  /// The silence threshold `observer` currently applies to `target`.
+  /// Always within [cfg.min_timeout, cfg.max_timeout].
+  std::chrono::microseconds current_timeout(NodeId observer,
+                                            NodeId target) const {
+    return std::chrono::microseconds(
+        timeout_us_[static_cast<std::size_t>(observer) * nodes_ + target].load(
+            std::memory_order_relaxed));
+  }
+
  private:
   void run_node(std::stop_token st, NodeId self);
 
@@ -93,6 +113,8 @@ class FailureDetector {
   std::size_t nodes_;
   Callback cb_;
   std::vector<std::atomic<bool>> suspected_;  ///< [observer * nodes_ + target]
+  /// Current per-pair silence threshold in µs, same layout as suspected_.
+  std::vector<std::atomic<std::int64_t>> timeout_us_;
   std::atomic<std::uint64_t> suspicions_{0};
   std::atomic<std::uint64_t> trusts_{0};
   std::atomic<std::uint64_t> heartbeats_sent_{0};

@@ -1,0 +1,281 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace asnap::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+/// poll() one fd for `events`, bounded by `deadline`. Returns true when the
+/// fd is ready, false on timeout or poll error. EINTR retries.
+bool poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) return false;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout_ms = static_cast<int>(left.count()) + 1;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) continue;  // re-check deadline
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool make_addr(const Endpoint& at, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(at.port);
+  return ::inet_pton(AF_INET, at.host.c_str(), &out->sin_addr) == 1;
+}
+
+}  // namespace
+
+std::optional<std::vector<Endpoint>> parse_endpoints(const std::string& list) {
+  std::vector<Endpoint> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) return std::nullopt;
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      return std::nullopt;
+    }
+    Endpoint ep;
+    ep.host = item.substr(0, colon);
+    unsigned long port = 0;
+    try {
+      std::size_t used = 0;
+      port = std::stoul(item.substr(colon + 1), &used);
+      if (used != item.size() - colon - 1) return std::nullopt;
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (port == 0 || port > 65535) return std::nullopt;
+    ep.port = static_cast<std::uint16_t>(port);
+    out.push_back(std::move(ep));
+    if (comma == list.size()) break;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::open(const Endpoint& at, std::string* error) {
+  Listener lst;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return lst;
+  }
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!make_addr(at, &addr)) {
+    if (error != nullptr) *error = "bad listen address: " + at.host;
+    return lst;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind " + at.host + ":" + std::to_string(at.port));
+    return lst;
+  }
+  if (::listen(fd, 64) != 0) {
+    set_error(error, "listen");
+    return lst;
+  }
+  sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+    set_error(error, "getsockname");
+    return lst;
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  lst.sock_ = std::move(sock);
+  return lst;
+}
+
+std::optional<Socket> Listener::accept(std::chrono::milliseconds timeout) {
+  if (!sock_.valid()) return std::nullopt;
+  if (!poll_until(sock_.fd(), POLLIN, Clock::now() + timeout)) {
+    return std::nullopt;
+  }
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  Socket conn(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Socket tcp_connect(const Endpoint& to, std::chrono::milliseconds timeout,
+                   std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return Socket();
+  }
+  Socket sock(fd);
+  sockaddr_in addr;
+  if (!make_addr(to, &addr)) {
+    if (error != nullptr) *error = "bad address: " + to.host;
+    return Socket();
+  }
+  if (!set_nonblocking(fd, true)) {
+    set_error(error, "fcntl");
+    return Socket();
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      set_error(error, "connect " + to.host + ":" + std::to_string(to.port));
+      return Socket();
+    }
+    if (!poll_until(fd, POLLOUT, Clock::now() + timeout)) {
+      if (error != nullptr) {
+        *error = "connect timeout to " + to.host + ":" + std::to_string(to.port);
+      }
+      return Socket();
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0 ||
+        soerr != 0) {
+      if (error != nullptr) {
+        *error = "connect " + to.host + ":" + std::to_string(to.port) + ": " +
+                 std::strerror(soerr != 0 ? soerr : errno);
+      }
+      return Socket();
+    }
+  }
+  if (!set_nonblocking(fd, false)) {
+    set_error(error, "fcntl");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+bool send_frame(const Socket& sock, const wire::Frame& frame) {
+  if (!sock.valid()) return false;
+  const wire::Bytes buf = wire::encode(frame);
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n = ::send(sock.fd(), buf.data() + sent, buf.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Read exactly `want` bytes into `dst`, honoring the deadline. A timeout
+/// after some bytes already arrived desynchronizes the framing, so it is
+/// reported as kMalformed (caller must drop the connection); a timeout with
+/// zero bytes read is a clean kTimeout the caller may retry.
+RecvStatus recv_exact(const Socket& sock, std::uint8_t* dst, std::size_t want,
+                      Clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < want) {
+    if (!poll_until(sock.fd(), POLLIN, deadline)) {
+      return got == 0 ? RecvStatus::kTimeout : RecvStatus::kMalformed;
+    }
+    const ssize_t n = ::recv(sock.fd(), dst + got, want - got, MSG_DONTWAIT);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return RecvStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return RecvStatus::kClosed;
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace
+
+RecvStatus recv_frame(const Socket& sock, Clock::time_point deadline,
+                      wire::Frame* out) {
+  if (!sock.valid()) return RecvStatus::kClosed;
+  std::uint8_t len_buf[4];
+  RecvStatus st = recv_exact(sock, len_buf, sizeof(len_buf), deadline);
+  if (st != RecvStatus::kOk) return st;
+  const std::uint32_t body_len = static_cast<std::uint32_t>(len_buf[0]) |
+                                 (static_cast<std::uint32_t>(len_buf[1]) << 8) |
+                                 (static_cast<std::uint32_t>(len_buf[2]) << 16) |
+                                 (static_cast<std::uint32_t>(len_buf[3]) << 24);
+  if (body_len < wire::kHeaderBytes || body_len > wire::kMaxBody) {
+    return RecvStatus::kMalformed;
+  }
+  wire::Bytes body(body_len);
+  st = recv_exact(sock, body.data(), body.size(), deadline);
+  // The length prefix is already consumed: timing out on the body also
+  // desynchronizes the stream.
+  if (st == RecvStatus::kTimeout) return RecvStatus::kMalformed;
+  if (st != RecvStatus::kOk) return st;
+  auto frame = wire::decode(body.data(), body.size());
+  if (!frame.has_value()) return RecvStatus::kMalformed;
+  *out = std::move(*frame);
+  return RecvStatus::kOk;
+}
+
+}  // namespace asnap::net

@@ -1,0 +1,98 @@
+// Thin POSIX TCP helpers for the real multi-process cluster: RAII file
+// descriptors, deadline-aware connect/accept, and whole-frame send/receive
+// in the wire.hpp format.
+//
+// Design choices, all in service of the crash model:
+//   * every receive is poll()-bounded so server loops and client rounds can
+//     honor stop requests and operation deadlines instead of blocking in
+//     the kernel forever (a SIGSTOPped peer looks exactly like a dead one);
+//   * sends use MSG_NOSIGNAL — a peer killed with `kill -9` turns into
+//     EPIPE, not process death;
+//   * a frame that fails to parse marks the connection broken; peers never
+//     try to resynchronize a byte stream (wire.hpp's framing rule).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace asnap::net {
+
+/// One TCP endpoint, e.g. {"127.0.0.1", 7001}.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port,host:port,..." (the --peers / --cluster flag syntax).
+/// Returns nullopt on any malformed element.
+std::optional<std::vector<Endpoint>> parse_endpoints(const std::string& list);
+
+/// RAII socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port (port 0 picks an ephemeral port; bound_port()
+/// reports the result). Invalid socket + errno message on failure.
+class Listener {
+ public:
+  Listener() = default;
+  static Listener open(const Endpoint& at, std::string* error = nullptr);
+
+  bool valid() const { return sock_.valid(); }
+  std::uint16_t bound_port() const { return port_; }
+
+  /// Wait up to `timeout` for one connection. nullopt on timeout/error.
+  std::optional<Socket> accept(std::chrono::milliseconds timeout);
+
+  /// Close the listening socket (wakes nobody; accept() polls).
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect with a bounded wait (non-blocking connect + poll). The returned
+/// socket is blocking with TCP_NODELAY set — quorum rounds are latency-bound
+/// request/reply exchanges, Nagle only hurts.
+Socket tcp_connect(const Endpoint& to, std::chrono::milliseconds timeout,
+                   std::string* error = nullptr);
+
+/// Write an encoded frame in full. False on any error (connection broken).
+bool send_frame(const Socket& sock, const wire::Frame& frame);
+
+enum class RecvStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,  ///< deadline passed with no complete frame
+  kClosed = 2,   ///< orderly EOF or connection error
+  kMalformed = 3,  ///< framing/decode violation: treat peer as broken
+};
+
+/// Read one complete frame, waiting until `deadline`. Partial reads are
+/// resumed internally (the socket is only read from one thread).
+RecvStatus recv_frame(const Socket& sock,
+                      std::chrono::steady_clock::time_point deadline,
+                      wire::Frame* out);
+
+}  // namespace asnap::net

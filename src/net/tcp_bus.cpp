@@ -1,0 +1,93 @@
+#include "net/tcp_bus.hpp"
+
+#include <utility>
+
+namespace asnap::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+/// Reader threads poll in short slices so stop requests and dead sockets
+/// are noticed promptly without busy-waiting.
+constexpr std::chrono::milliseconds kReadSlice{100};
+}  // namespace
+
+TcpBus::TcpBus(std::vector<Endpoint> replicas, std::uint64_t seed,
+               TcpBusOptions options)
+    : replicas_(std::move(replicas)), options_(options), inbox_(seed) {
+  links_.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    links_.push_back(std::make_unique<Link>());
+  }
+}
+
+TcpBus::~TcpBus() {
+  for (auto& link : links_) {
+    if (link->reader.joinable()) link->reader.request_stop();
+  }
+  for (auto& link : links_) {
+    if (link->reader.joinable()) link->reader.join();
+    link->sock.close();
+  }
+  inbox_.close();
+}
+
+void TcpBus::read_loop(std::stop_token st, std::size_t idx, int fd) {
+  // Borrow the fd: the send side owns the Socket and only closes it after
+  // joining this thread, so the fd stays valid for our whole lifetime.
+  Socket borrowed(fd);
+  wire::Frame frame;
+  while (!st.stop_requested()) {
+    const RecvStatus status =
+        recv_frame(borrowed, Clock::now() + kReadSlice, &frame);
+    if (status == RecvStatus::kTimeout) continue;
+    if (status != RecvStatus::kOk) break;  // EOF, error, or bad frame
+    Message msg;
+    msg.from = static_cast<NodeId>(idx);
+    msg.type = frame.type;
+    msg.rid = frame.rid;
+    msg.payload = frame;
+    inbox_.push(std::move(msg));
+  }
+  links_[idx]->broken.store(true, std::memory_order_release);
+  borrowed.release();  // fd ownership stays with the send side's Socket
+}
+
+bool TcpBus::ensure_connected(Link& link, std::size_t idx) {
+  if (link.sock.valid() && !link.broken.load(std::memory_order_acquire)) {
+    return true;
+  }
+  // Tear down the previous connection, if any, before redialing.
+  if (link.reader.joinable()) {
+    link.reader.request_stop();
+    link.reader.join();
+  }
+  link.sock.close();
+  link.broken.store(false, std::memory_order_release);
+  const auto now = Clock::now();
+  if (now < link.next_attempt) return false;
+  Socket sock = tcp_connect(replicas_[idx], options_.connect_timeout);
+  if (!sock.valid()) {
+    link.next_attempt = Clock::now() + options_.reconnect_cooldown;
+    return false;
+  }
+  link.sock = std::move(sock);
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  const int fd = link.sock.fd();
+  link.reader = std::jthread(
+      [this, idx, fd](std::stop_token st) { read_loop(st, idx, fd); });
+  return true;
+}
+
+bool TcpBus::send(std::size_t to, const wire::Frame& frame) {
+  if (to >= links_.size()) return false;
+  Link& link = *links_[to];
+  std::lock_guard<std::mutex> lock(link.mu);
+  if (!ensure_connected(link, to)) return false;
+  if (send_frame(link.sock, frame)) return true;
+  // Broken pipe: mark it so the next send redials instead of retrying a
+  // dead fd.
+  link.broken.store(true, std::memory_order_release);
+  return false;
+}
+
+}  // namespace asnap::net

@@ -1,0 +1,156 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace asnap::net::wire {
+
+namespace {
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Bytes encode(const Frame& frame) {
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(kHeaderBytes + frame.value.size());
+  Bytes out;
+  out.reserve(4 + body_len);
+  put_u32(out, body_len);
+  put_u32(out, kMagic);
+  out.push_back(frame.version);
+  out.push_back(frame.type);
+  put_u16(out, 0);  // reserved
+  put_u64(out, frame.from);
+  put_u64(out, frame.rid);
+  put_u64(out, frame.epoch);
+  put_u64(out, frame.reg);
+  put_u64(out, frame.ts);
+  put_u32(out, static_cast<std::uint32_t>(frame.value.size()));
+  out.insert(out.end(), frame.value.begin(), frame.value.end());
+  return out;
+}
+
+std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
+                            std::string* error) {
+  if (len < kHeaderBytes) {
+    fail(error, "frame shorter than the fixed header");
+    return std::nullopt;
+  }
+  if (len > kMaxBody) {
+    fail(error, "frame exceeds kMaxBody");
+    return std::nullopt;
+  }
+  if (get_u32(body) != kMagic) {
+    fail(error, "bad magic");
+    return std::nullopt;
+  }
+  Frame f;
+  f.version = body[4];
+  if (f.version != kWireVersion) {
+    fail(error, "unknown wire version");
+    return std::nullopt;
+  }
+  f.type = body[5];
+  // body[6..7]: reserved, ignored for forward compatibility.
+  f.from = get_u64(body + 8);
+  f.rid = get_u64(body + 16);
+  f.epoch = get_u64(body + 24);
+  f.reg = get_u64(body + 32);
+  f.ts = get_u64(body + 40);
+  const std::uint32_t value_len = get_u32(body + 48);
+  if (kHeaderBytes + static_cast<std::size_t>(value_len) != len) {
+    fail(error, "value length disagrees with frame length");
+    return std::nullopt;
+  }
+  f.value.assign(body + kHeaderBytes, body + kHeaderBytes + value_len);
+  return f;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes encode_tag(const lin::Tag& tag) {
+  Bytes out;
+  out.reserve(12);
+  put_u32(out, tag.writer);
+  put_u64(out, tag.seq);
+  return out;
+}
+
+std::optional<lin::Tag> decode_tag(const Bytes& bytes) {
+  if (bytes.size() != 12) return std::nullopt;
+  lin::Tag tag;
+  tag.writer = static_cast<ProcessId>(get_u32(bytes.data()));
+  tag.seq = get_u64(bytes.data() + 4);
+  return tag;
+}
+
+Bytes encode_u64(std::uint64_t v) {
+  Bytes out;
+  out.reserve(8);
+  put_u64(out, v);
+  return out;
+}
+
+std::optional<std::uint64_t> decode_u64(const Bytes& bytes) {
+  if (bytes.size() != 8) return std::nullopt;
+  return get_u64(bytes.data());
+}
+
+}  // namespace asnap::net::wire

@@ -1,0 +1,100 @@
+// Versioned, length-prefixed wire format for the ABD replica protocol over
+// real sockets.
+//
+// Everything the simulated cluster exchanges through net::SimNetwork-style
+// mailboxes (abd::MsgType requests/replies, failure-detector heartbeats) has
+// a fixed binary encoding here, so independent OS processes — the
+// tools/abd_replicad replica daemons and any client built on
+// abd::RemoteRegisterClient — interoperate across restarts and versions:
+//
+//   frame  := u32 body_len | body                  (body_len <= kMaxBody)
+//   body   := u32 magic 'SNAP' | u8 version | u8 type | u16 reserved
+//           | u64 from | u64 rid | u64 epoch | u64 reg | u64 ts
+//           | u32 value_len | value bytes
+//
+// All integers little-endian. `from` is the sender's node id (replica) or
+// client id (requests); `rid` matches replies to in-flight quorum rounds
+// (retransmissions reuse the rid — replica handlers are idempotent);
+// `epoch` is the replying replica's incarnation, bumped durably on every
+// daemon (re)start so clients can discard replies stamped by a pre-crash
+// incarnation (the socket analog of AbdCluster's epoch check); `ts`/`reg`
+// carry the ABD timestamp and register index. Values are opaque byte
+// strings — the daemon replicates them without interpretation; typed
+// clients encode through the codecs at the bottom (lin::Tag, u64).
+//
+// Versioning: a decoder rejects frames whose magic or version it does not
+// know, and a reader must treat a malformed frame as a broken peer (close
+// the connection) — never resynchronize mid-stream. Adding fields means
+// bumping kWireVersion; the u16 reserved field is zero today and gives v2 a
+// place for flags without growing the header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lin/history.hpp"
+
+namespace asnap::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x50414E53;  // "SNAP" little-endian
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Header bytes after the length prefix, excluding the value payload.
+inline constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 2 + 8 * 5 + 4;
+/// Upper bound on one frame body: rejects corrupt length prefixes before
+/// they become allocation bombs.
+inline constexpr std::uint32_t kMaxBody = 1u << 20;
+
+/// Protocol message discriminators. 1..4 mirror abd::MsgType so a trace of
+/// either cluster reads the same; 5/6 are the socket transport's liveness
+/// probes (the real-network stand-in for Port::kDetector heartbeats).
+enum Type : std::uint8_t {
+  kReadReq = 1,
+  kReadReply = 2,
+  kWriteReq = 3,
+  kWriteAck = 4,
+  kPing = 5,
+  kPong = 6,
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct Frame {
+  std::uint8_t version = kWireVersion;
+  std::uint8_t type = 0;
+  std::uint64_t from = 0;   ///< sender node/client id
+  std::uint64_t rid = 0;    ///< request id for RPC matching
+  std::uint64_t epoch = 0;  ///< responder incarnation (replies)
+  std::uint64_t reg = 0;    ///< register index
+  std::uint64_t ts = 0;     ///< ABD timestamp
+  Bytes value;
+};
+
+/// Serialize including the u32 length prefix, ready for send().
+Bytes encode(const Frame& frame);
+
+/// Parse one frame BODY (the bytes after the length prefix). On failure
+/// returns nullopt and, when `error` is non-null, a human-readable reason.
+std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
+                            std::string* error = nullptr);
+
+/// CRC-32 (IEEE, reflected) — used by the replica write-ahead log to detect
+/// torn tail records after a kill -9. Software table implementation: no
+/// external dependency.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+// --- value codecs -----------------------------------------------------------
+
+/// lin::Tag <-> 12 bytes (u32 writer | u64 seq), the value type every
+/// checked workload writes (unique tags make the reads-from relation of a
+/// history unambiguous).
+Bytes encode_tag(const lin::Tag& tag);
+std::optional<lin::Tag> decode_tag(const Bytes& bytes);
+
+Bytes encode_u64(std::uint64_t v);
+std::optional<std::uint64_t> decode_u64(const Bytes& bytes);
+
+}  // namespace asnap::net::wire

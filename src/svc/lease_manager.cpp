@@ -119,7 +119,20 @@ AcquireResult SlotLeaseManager::acquire(ClientId client,
   fifo_.push_back(ticket);
   for (;;) {
     if (!fifo_.empty() && fifo_.front() == ticket) {
-      if (auto lease = try_grant_locked(client, now())) {
+      std::optional<Lease> lease;
+      try {
+        lease = try_grant_locked(client, now());
+      } catch (...) {
+        // The seal hook threw (e.g. QuorumUnavailable flushing the retiring
+        // holder's batch). The grant never became visible — seal runs before
+        // the epoch/held stores — but our ticket is at the head of the
+        // queue, and leaving it there would wedge every later waiter. Drop
+        // it, wake the next head, and let the caller see the error.
+        fifo_.pop_front();
+        cv_.notify_all();
+        throw;
+      }
+      if (lease) {
         fifo_.pop_front();
         cv_.notify_all();  // next waiter becomes head
         return {AcquireStatus::kGranted, *lease};

@@ -1,0 +1,427 @@
+// Real socket-cluster suite: wire format, WAL crash-recovery replay, and
+// end-to-end quorum operations against actual abd_replicad OS processes
+// that get kill -9ed mid-test.
+//
+// The end-to-end tests are the CI face of ISSUE 6's acceptance criterion:
+// a 3-process cluster must survive kill -9 + restart of any minority with
+// every acknowledged write still readable. They spawn the real daemon
+// binary (path injected by CMake as ASNAP_REPLICAD_PATH) on ephemeral
+// 127.0.0.1 ports and are bounded by a ctest TIMEOUT so a hung socket
+// fails fast instead of wedging CI.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abd/remote_client.hpp"
+#include "abd/wal.hpp"
+#include "chaos/process_orchestrator.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_bus.hpp"
+#include "net/wire.hpp"
+
+namespace asnap {
+namespace {
+
+using namespace std::chrono_literals;
+namespace fs = std::filesystem;
+using net::wire::Bytes;
+using net::wire::Frame;
+
+bool eventually(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return pred();
+}
+
+// --- wire format ------------------------------------------------------------
+
+TEST(Wire, RoundTripPreservesEveryField) {
+  Frame in;
+  in.type = net::wire::kWriteReq;
+  in.from = 42;
+  in.rid = 0xDEADBEEFCAFEull;
+  in.epoch = 7;
+  in.reg = 3;
+  in.ts = 99;
+  in.value = {1, 2, 3, 4, 5};
+  const Bytes buf = net::wire::encode(in);
+  ASSERT_GE(buf.size(), 4u + net::wire::kHeaderBytes);
+  // Strip the length prefix, as a transport would.
+  const auto out = net::wire::decode(buf.data() + 4, buf.size() - 4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->version, net::wire::kWireVersion);
+  EXPECT_EQ(out->type, in.type);
+  EXPECT_EQ(out->from, in.from);
+  EXPECT_EQ(out->rid, in.rid);
+  EXPECT_EQ(out->epoch, in.epoch);
+  EXPECT_EQ(out->reg, in.reg);
+  EXPECT_EQ(out->ts, in.ts);
+  EXPECT_EQ(out->value, in.value);
+}
+
+TEST(Wire, DecodeRejectsCorruptFrames) {
+  Frame in;
+  in.type = net::wire::kReadReq;
+  Bytes buf = net::wire::encode(in);
+  std::string error;
+
+  Bytes bad_magic(buf.begin() + 4, buf.end());
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(net::wire::decode(bad_magic.data(), bad_magic.size(), &error));
+  EXPECT_EQ(error, "bad magic");
+
+  Bytes bad_version(buf.begin() + 4, buf.end());
+  bad_version[4] = net::wire::kWireVersion + 1;
+  EXPECT_FALSE(
+      net::wire::decode(bad_version.data(), bad_version.size(), &error));
+  EXPECT_EQ(error, "unknown wire version");
+
+  Bytes truncated(buf.begin() + 4, buf.end() - 1);
+  // A frame whose declared value length disagrees with its size is torn.
+  in.value = {9};
+  Bytes with_value = net::wire::encode(in);
+  Bytes torn(with_value.begin() + 4, with_value.end() - 1);
+  EXPECT_FALSE(net::wire::decode(torn.data(), torn.size(), &error));
+
+  Bytes short_frame(8, 0);
+  EXPECT_FALSE(
+      net::wire::decode(short_frame.data(), short_frame.size(), &error));
+}
+
+TEST(Wire, Crc32MatchesIeeeReference) {
+  const char* s = "123456789";
+  EXPECT_EQ(net::wire::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+            0xCBF43926u);
+}
+
+TEST(Wire, TagAndU64CodecsRoundTrip) {
+  const lin::Tag tag{3, 12345678901ull};
+  const auto back = net::wire::decode_tag(net::wire::encode_tag(tag));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->writer, tag.writer);
+  EXPECT_EQ(back->seq, tag.seq);
+  EXPECT_FALSE(net::wire::decode_tag(Bytes{1, 2, 3}));
+
+  const auto u = net::wire::decode_u64(net::wire::encode_u64(0x1122334455ull));
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, 0x1122334455ull);
+}
+
+TEST(Wire, ParseEndpoints) {
+  const auto eps = net::parse_endpoints("127.0.0.1:7001,10.0.0.2:80");
+  ASSERT_TRUE(eps.has_value());
+  ASSERT_EQ(eps->size(), 2u);
+  EXPECT_EQ((*eps)[0].host, "127.0.0.1");
+  EXPECT_EQ((*eps)[0].port, 7001);
+  EXPECT_EQ((*eps)[1].port, 80);
+  EXPECT_FALSE(net::parse_endpoints(""));
+  EXPECT_FALSE(net::parse_endpoints("127.0.0.1"));
+  EXPECT_FALSE(net::parse_endpoints("127.0.0.1:0"));
+  EXPECT_FALSE(net::parse_endpoints("127.0.0.1:99999"));
+  EXPECT_FALSE(net::parse_endpoints("a:1,,b:2"));
+}
+
+// --- write-ahead log --------------------------------------------------------
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/asnap_wal_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/wal.log";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, ReplayRestoresWritesAndEpoch) {
+  {
+    abd::WalState state;
+    std::string error;
+    auto wal = abd::ReplicaWal::open(path_, &state, true, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    EXPECT_EQ(state.epoch, 0u);
+    ASSERT_TRUE(wal->append_epoch(1));
+    ASSERT_TRUE(wal->append_write(0, 5, {10, 11}));
+    ASSERT_TRUE(wal->append_write(1, 7, {20}));
+    ASSERT_TRUE(wal->append_write(0, 9, {30, 31, 32}));
+  }
+  abd::WalState state;
+  std::string error;
+  auto wal = abd::ReplicaWal::open(path_, &state, true, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  EXPECT_EQ(state.epoch, 1u);
+  ASSERT_EQ(state.regs.count(0), 1u);
+  EXPECT_EQ(state.regs[0].first, 9u);
+  EXPECT_EQ(state.regs[0].second, (Bytes{30, 31, 32}));
+  EXPECT_EQ(state.regs[1].first, 7u);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedNotFatal) {
+  {
+    abd::WalState state;
+    std::string error;
+    auto wal = abd::ReplicaWal::open(path_, &state, true, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    ASSERT_TRUE(wal->append_write(0, 3, {1}));
+  }
+  // Simulate a kill -9 mid-append: garbage half-record at the tail.
+  {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out.write("WAL1\x01\x00", 6);  // looks like a record start, then torn
+  }
+  const auto dirty_size = fs::file_size(path_);
+  abd::WalState state;
+  std::string error;
+  auto wal = abd::ReplicaWal::open(path_, &state, true, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  EXPECT_EQ(state.regs[0].first, 3u);  // intact prefix survived
+  EXPECT_LT(fs::file_size(path_), dirty_size);  // tail gone
+  // And the log is appendable again at the clean boundary.
+  ASSERT_TRUE(wal->append_write(0, 4, {2}));
+  wal.reset();
+  abd::WalState again;
+  ASSERT_NE(abd::ReplicaWal::open(path_, &again, true, &error), nullptr);
+  EXPECT_EQ(again.regs[0].first, 4u);
+}
+
+TEST_F(WalTest, CompactionShrinksLogAndPreservesState) {
+  abd::WalState state;
+  std::string error;
+  auto wal = abd::ReplicaWal::open(path_, &state, true, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_TRUE(wal->append_epoch(3));
+  state.epoch = 3;
+  for (std::uint64_t ts = 1; ts <= 50; ++ts) {
+    ASSERT_TRUE(wal->append_write(0, ts, {static_cast<std::uint8_t>(ts)}));
+    state.regs[0] = {ts, {static_cast<std::uint8_t>(ts)}};
+  }
+  const auto before = wal->bytes();
+  ASSERT_TRUE(wal->compact(state));
+  EXPECT_LT(wal->bytes(), before);
+  // Appends after compaction extend the compacted image.
+  ASSERT_TRUE(wal->append_write(0, 51, {51}));
+  wal.reset();
+  abd::WalState replayed;
+  ASSERT_NE(abd::ReplicaWal::open(path_, &replayed, true, &error), nullptr);
+  EXPECT_EQ(replayed.epoch, 3u);
+  EXPECT_EQ(replayed.regs[0].first, 51u);
+}
+
+// --- end-to-end: real processes --------------------------------------------
+
+std::vector<net::Endpoint> free_endpoints(std::size_t n) {
+  // Bind port 0 to let the kernel pick, record, release. The tiny window
+  // before the daemon rebinds is acceptable for a local test.
+  std::vector<net::Endpoint> eps;
+  std::vector<net::Listener> held;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto lst = net::Listener::open({"127.0.0.1", 0});
+    EXPECT_TRUE(lst.valid());
+    eps.push_back({"127.0.0.1", lst.bound_port()});
+    held.push_back(std::move(lst));
+  }
+  return eps;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/asnap_cluster_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    chaos::ProcessClusterConfig config;
+    config.replicad_path = ASNAP_REPLICAD_PATH;
+    config.state_dir = dir_;
+    config.endpoints = free_endpoints(3);
+    config.regs = 4;
+    config.restart_delay = 100ms;
+    cluster_ = std::make_unique<chaos::ProcessCluster>(config);
+    ASSERT_TRUE(cluster_->start());
+    ASSERT_TRUE(cluster_->wait_ready(10s));
+  }
+
+  void TearDown() override {
+    cluster_->stop();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  abd::AbdConfig client_config() {
+    abd::AbdConfig config;
+    config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::seconds(5));
+    return config;
+  }
+
+  /// Count READY lines in replica i's daemon log (one per incarnation).
+  std::size_t incarnations(std::size_t i) {
+    std::ifstream in(dir_ + "/replica-" + std::to_string(i) + "/daemon.log");
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+      if (line.rfind("READY", 0) == 0) ++n;
+    }
+    return n;
+  }
+
+  std::string dir_;
+  std::unique_ptr<chaos::ProcessCluster> cluster_;
+};
+
+TEST_F(ClusterTest, WriteThenReadOverRealSockets) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 1, client_config());
+  EXPECT_EQ(client.try_write(0, 1, net::wire::encode_u64(111)),
+            abd::OpStatus::kOk);
+  const auto got = client.try_read(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ts, 1u);
+  EXPECT_EQ(net::wire::decode_u64(got->value), 111u);
+  // An unwritten register reads as (0, empty) — the initial value.
+  const auto empty = client.try_read(3);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->ts, 0u);
+  EXPECT_TRUE(empty->value.empty());
+}
+
+TEST_F(ClusterTest, SurvivesKillMinusNineOfAnyMinority) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 2, client_config());
+  ASSERT_EQ(client.try_write(1, 1, net::wire::encode_u64(1)),
+            abd::OpStatus::kOk);
+
+  // Kill each replica in turn; with the other two alive every op must
+  // still complete, and the victim must come back (supervisor + WAL).
+  for (std::size_t victim = 0; victim < 3; ++victim) {
+    ASSERT_TRUE(cluster_->kill9(victim));
+    const std::uint64_t ts = 2 + victim;
+    EXPECT_EQ(client.try_write(1, ts, net::wire::encode_u64(100 + victim)),
+              abd::OpStatus::kOk);
+    const auto got = client.try_read(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->ts, ts);
+    // Wait for the victim's new incarnation before the next kill, so the
+    // set of dead replicas never reaches a majority.
+    ASSERT_TRUE(eventually([&] { return incarnations(victim) >= 2; }, 15s))
+        << "replica " << victim << " was not restarted";
+    ASSERT_TRUE(eventually([&] { return cluster_->unavailable() == 0; }, 5s));
+  }
+  const auto final = client.try_read(1);
+  ASSERT_TRUE(final.has_value());
+  EXPECT_EQ(final->ts, 4u);
+  EXPECT_EQ(net::wire::decode_u64(final->value), 102u);
+}
+
+TEST_F(ClusterTest, AckedWritesSurviveFullClusterCrash) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 3, client_config());
+  ASSERT_EQ(client.try_write(2, 41, net::wire::encode_u64(424242)),
+            abd::OpStatus::kOk);
+  // kill -9 ALL replicas at once: no majority holds the value in memory
+  // any more — only the fsynced WALs do.
+  for (std::size_t i = 0; i < 3; ++i) ASSERT_TRUE(cluster_->kill9(i));
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(eventually([&] { return incarnations(i) >= 2; }, 15s));
+  }
+  const auto got = client.try_read(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ts, 41u);
+  EXPECT_EQ(net::wire::decode_u64(got->value), 424242u);
+}
+
+TEST_F(ClusterTest, ToleratesStalledReplicaAndStaleEpochReplies) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 4, client_config());
+  ASSERT_EQ(client.try_write(0, 1, net::wire::encode_u64(7)),
+            abd::OpStatus::kOk);
+  // Freeze one replica: its peers see silence (no EOF), ops proceed on the
+  // remaining majority.
+  ASSERT_TRUE(cluster_->stall(1));
+  EXPECT_EQ(client.try_write(0, 2, net::wire::encode_u64(8)),
+            abd::OpStatus::kOk);
+  const auto got = client.try_read(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ts, 2u);
+  ASSERT_TRUE(cluster_->resume(1));
+  EXPECT_TRUE(eventually([&] { return cluster_->unavailable() == 0; }));
+}
+
+TEST_F(ClusterTest, EpochAdvancesAcrossRestarts) {
+  // Two kills => three incarnations; the epoch in the READY line must be
+  // strictly increasing (durable incarnation counter).
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t want = 2 + static_cast<std::size_t>(round);
+    ASSERT_TRUE(cluster_->kill9(0));
+    ASSERT_TRUE(eventually([&] { return incarnations(0) >= want; }, 15s));
+  }
+  std::ifstream in(dir_ + "/replica-0/daemon.log");
+  std::string line;
+  std::uint64_t last_epoch = 0;
+  std::size_t seen = 0;
+  while (std::getline(in, line)) {
+    unsigned port = 0;
+    unsigned long long epoch = 0;
+    if (std::sscanf(line.c_str(), "READY port=%u epoch=%llu", &port,
+                    &epoch) == 2) {
+      EXPECT_GT(epoch, last_epoch);
+      last_epoch = epoch;
+      ++seen;
+    }
+  }
+  EXPECT_GE(seen, 3u);
+}
+
+TEST_F(ClusterTest, RecoveredReplicaResyncsWritesItMissed) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 5, client_config());
+  ASSERT_TRUE(cluster_->kill9(2));
+  // Write while replica 2 is down: it never sees ts=10.
+  ASSERT_EQ(client.try_write(0, 10, net::wire::encode_u64(1000)),
+            abd::OpStatus::kOk);
+  ASSERT_TRUE(eventually([&] { return incarnations(2) >= 2; }, 15s));
+  // After resync, replica 2's log records completion; the write must now
+  // be on all three replicas — kill a DIFFERENT majority-complement and
+  // the value must still be readable even if the surviving majority
+  // includes the once-dead replica 2.
+  // Wait for a RESYNC logged *after* the second READY: the first
+  // incarnation's resync may have been killed mid-flight (it races the
+  // kill9 above, and loses under sanitizers), so counting two resync lines
+  // would hang forever.
+  ASSERT_TRUE(eventually(
+      [&] {
+        std::ifstream in(dir_ + "/replica-2/daemon.log");
+        std::string line;
+        std::size_t readys = 0;
+        bool resynced_after_restart = false;
+        while (std::getline(in, line)) {
+          if (line.rfind("READY", 0) == 0) {
+            ++readys;
+          } else if (line.rfind("RESYNC done", 0) == 0 && readys >= 2) {
+            resynced_after_restart = true;
+          }
+        }
+        return resynced_after_restart;
+      },
+      15s));
+  ASSERT_TRUE(cluster_->kill9(0));
+  const auto got = client.try_read(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ts, 10u);
+  EXPECT_EQ(net::wire::decode_u64(got->value), 1000u);
+}
+
+}  // namespace
+}  // namespace asnap

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "abd/abd_register.hpp"
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
 #include "core/snapshot_types.hpp"
@@ -145,6 +146,83 @@ TEST(SlotLeaseManager, ExpiredLeaseIsStolenAndSealRunsBeforeGrant) {
   EXPECT_FALSE(mgr.renew(a.lease));
   EXPECT_FALSE(mgr.release(a.lease));
   EXPECT_TRUE(mgr.valid(b.lease));
+}
+
+TEST(SlotLeaseManager, SealThrowingQuorumUnavailableKeepsGrantInvisible) {
+  // The service's seal hook flushes the retiring holder's batch with real
+  // backend writes; under partition those throw QuorumUnavailable. A grant
+  // whose seal failed must never become visible — otherwise the re-grant
+  // would race the unflushed batch the seal was supposed to retire.
+  ManualClock clk;
+  LeaseConfig cfg = clk.config(std::chrono::nanoseconds(1000));
+  bool quorum_down = false;
+  cfg.seal = [&](std::size_t, std::uint64_t, std::uint64_t) {
+    if (quorum_down) throw abd::QuorumUnavailable("seal write");
+  };
+  SlotLeaseManager mgr(1, cfg);
+
+  const auto a = mgr.acquire(1, 0ns);
+  ASSERT_EQ(a.status, AcquireStatus::kGranted);
+
+  // Lease expires; the reclaiming grant's seal times out on the backend.
+  clk.ns = 1001;
+  quorum_down = true;
+  EXPECT_THROW(mgr.acquire(2, 0ns), abd::QuorumUnavailable);
+
+  // Nothing of the failed grant is visible: the epoch never moved and the
+  // original lease is still the slot's current one.
+  EXPECT_EQ(mgr.epoch(a.lease.slot), a.lease.epoch);
+  EXPECT_TRUE(mgr.valid(a.lease));
+  EXPECT_EQ(mgr.stats().grants, 1u);
+
+  // Once the quorum heals, the reclaim goes through with the usual epoch
+  // bump and the stale lease dies exactly then.
+  quorum_down = false;
+  const auto b = mgr.acquire(3, 0ns);
+  ASSERT_EQ(b.status, AcquireStatus::kGranted);
+  EXPECT_EQ(b.lease.epoch, a.lease.epoch + 1);
+  EXPECT_FALSE(mgr.valid(a.lease));
+}
+
+TEST(SlotLeaseManager, SealThrowInWaitPathDoesNotWedgeTheQueue) {
+  // Same failure, but hitting a *queued* acquirer: the waiter at the head of
+  // the FIFO must drop its ticket when the seal throws, or every later
+  // acquirer queues behind a ghost forever.
+  ManualClock clk;
+  LeaseConfig cfg = clk.config(1h);  // no expiry; handover via release()
+  std::atomic<bool> quorum_down{false};
+  cfg.seal = [&](std::size_t, std::uint64_t, std::uint64_t) {
+    if (quorum_down.load()) throw abd::QuorumUnavailable("seal write");
+  };
+  SlotLeaseManager mgr(1, cfg);
+
+  const auto a = mgr.acquire(1, 0ns);
+  ASSERT_EQ(a.status, AcquireStatus::kGranted);
+
+  std::atomic<bool> waiter_threw{false};
+  std::thread waiter([&] {
+    try {
+      (void)mgr.acquire(2, 1h);  // manual clock: blocks until we act
+    } catch (const abd::QuorumUnavailable&) {
+      waiter_threw.store(true);
+    }
+  });
+  while (mgr.waiters() == 0) std::this_thread::sleep_for(100us);
+
+  // Free the slot while the backend is down: the waiter becomes head, its
+  // grant's seal throws, and the exception surfaces from its acquire().
+  quorum_down.store(true);
+  ASSERT_TRUE(mgr.release(a.lease));
+  waiter.join();
+  EXPECT_TRUE(waiter_threw.load());
+
+  // The failed waiter's ticket is gone — a fresh acquirer is NOT stuck
+  // behind it and can take the (still free, still same-epoch) slot.
+  EXPECT_EQ(mgr.waiters(), 0u);
+  quorum_down.store(false);
+  const auto c = mgr.acquire(3, 0ns);
+  ASSERT_EQ(c.status, AcquireStatus::kGranted);
+  EXPECT_EQ(c.lease.epoch, a.lease.epoch + 1);
 }
 
 TEST(SlotLeaseManager, RenewPostponesExpiry) {

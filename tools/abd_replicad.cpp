@@ -1,0 +1,287 @@
+// abd_replicad — one ABD register replica as a real OS process.
+//
+// The daemon is the socket-cluster counterpart of a single AbdCluster
+// replica thread: it keeps a timestamped copy of every register, answers
+// READ with its (ts, value, epoch) and applies WRITE iff the timestamp is
+// newer — always acking, so client retransmissions and duplicate delivery
+// are harmless (idempotence). Two things the in-process replica never
+// needed, because its "crashes" were simulated:
+//
+//   * DURABILITY: every accepted write and every incarnation bump is
+//     appended + fsync()ed to a write-ahead log BEFORE the ack leaves the
+//     process (abd/wal.hpp). A kill -9 can therefore lose only unacked
+//     work; the torn tail of the log is truncated on replay.
+//   * INCARNATIONS: on every start the daemon replays its WAL, durably
+//     bumps its epoch, and stamps all replies with it, so clients discard
+//     replies produced by a pre-crash incarnation.
+//
+// Recovery order matters and is deliberate: the daemon serves immediately
+// after replaying its WAL — a replica restored from its log is merely
+// stale, which ABD tolerates by construction (read quorums intersect the
+// majority that acked any write) — and then a background resync thread
+// quorum-reads registers 0..regs-1 through the normal client machinery and
+// adopts anything newer, restoring full f-tolerance. Serving first avoids
+// the bootstrap deadlock where all replicas of a cold cluster wait on each
+// other's majority.
+//
+// Usage:
+//   abd_replicad --id I --peers host:port,... --state-dir DIR
+//                [--regs N] [--no-fsync] [--no-resync]
+// `--peers` lists ALL replica endpoints in id order; the daemon listens on
+// entry I. State lives in DIR/replica-I/ (derived from --id, so replicas of
+// one cluster may share a --state-dir without sharing a WAL). Prints
+// "READY port=<p> epoch=<e>" on stdout once accepting.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abd/remote_client.hpp"
+#include "abd/wal.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace asnap {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+struct Args {
+  std::size_t id = 0;
+  std::vector<net::Endpoint> peers;
+  std::string state_dir;
+  std::uint64_t regs = 16;
+  bool fsync = true;
+  bool resync = true;
+};
+
+const char* flag_value(int& argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      const char* v = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return v;
+    }
+  }
+  return nullptr;
+}
+
+bool consume_bool(int& argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Replica state shared by connection handlers and the resync thread.
+/// One mutex covers memory + WAL so compaction can't race appends.
+struct Store {
+  std::mutex mu;
+  abd::WalState state;
+  std::unique_ptr<abd::ReplicaWal> wal;
+  std::uint64_t epoch = 0;
+  static constexpr std::uint64_t kCompactBytes = 8ull << 20;
+
+  /// Apply WRITE(reg, ts, value): durably log iff it advances the replica.
+  /// Returns false only on an I/O failure (the caller must NOT ack then —
+  /// an acked write has to be on disk).
+  bool apply_write(std::uint64_t reg, std::uint64_t ts,
+                   const net::wire::Bytes& value) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = state.regs.find(reg);
+    if (it != state.regs.end() && ts <= it->second.first) return true;
+    if (!wal->append_write(reg, ts, value)) return false;
+    state.regs[reg] = {ts, value};
+    if (wal->bytes() > kCompactBytes) wal->compact(state);
+    return true;
+  }
+
+  /// READ(reg) -> (ts, value); (0, empty) when never written.
+  std::pair<std::uint64_t, net::wire::Bytes> read(std::uint64_t reg) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = state.regs.find(reg);
+    if (it == state.regs.end()) return {0, {}};
+    return it->second;
+  }
+};
+
+void serve_connection(std::size_t id, Store& store, net::Socket conn) {
+  net::wire::Frame req;
+  while (!g_stop.load(std::memory_order_acquire)) {
+    const auto status = net::recv_frame(
+        conn, std::chrono::steady_clock::now() + 250ms, &req);
+    if (status == net::RecvStatus::kTimeout) continue;  // idle, re-check stop
+    if (status != net::RecvStatus::kOk) return;  // EOF / error / bad frame
+    net::wire::Frame reply;
+    reply.from = id;
+    reply.rid = req.rid;
+    reply.epoch = store.epoch;
+    reply.reg = req.reg;
+    switch (req.type) {
+      case net::wire::kReadReq: {
+        const auto [ts, value] = store.read(req.reg);
+        reply.type = net::wire::kReadReply;
+        reply.ts = ts;
+        reply.value = value;
+        break;
+      }
+      case net::wire::kWriteReq: {
+        if (!store.apply_write(req.reg, req.ts, req.value)) {
+          std::fprintf(stderr, "replica %zu: WAL append failed, dropping\n",
+                       id);
+          return;  // cannot ack what we couldn't persist
+        }
+        reply.type = net::wire::kWriteAck;
+        reply.ts = req.ts;
+        break;
+      }
+      case net::wire::kPing:
+        reply.type = net::wire::kPong;
+        break;
+      default:
+        continue;  // unknown type: ignore (forward compatibility)
+    }
+    if (!net::send_frame(conn, reply)) return;
+  }
+}
+
+/// Background resync: quorum-read each register through the ordinary client
+/// rounds (including this daemon's own listener — the self reply counts
+/// toward the majority, as in AbdCluster::recover) and adopt anything
+/// newer. Restores full f-tolerance after a restart; correctness never
+/// depended on it (see file header).
+void resync(std::size_t id, const Args& args, Store& store) {
+  abd::AbdConfig config;
+  config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::seconds(2));
+  abd::RemoteRegisterClient client(args.peers, /*client_id=*/1000 + id,
+                                   config);
+  std::size_t synced = 0;
+  for (std::uint64_t reg = 0; reg < args.regs; ++reg) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (g_stop.load(std::memory_order_acquire)) return;
+      const auto got = client.try_query(reg);
+      if (!got.has_value()) {
+        std::this_thread::sleep_for(100ms);
+        continue;
+      }
+      if (got->ts > 0) store.apply_write(reg, got->ts, got->value);
+      ++synced;
+      break;
+    }
+  }
+  std::printf("RESYNC done regs=%zu/%llu\n", synced,
+              static_cast<unsigned long long>(args.regs));
+  std::fflush(stdout);
+}
+
+int run(const Args& args) {
+  Store store;
+  std::string error;
+  // Per-id subdirectory: replicas sharing one --state-dir must never share
+  // a WAL (merged state would fake quorum durability).
+  const std::string dir =
+      args.state_dir + "/replica-" + std::to_string(args.id);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "abd_replicad: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  store.wal =
+      abd::ReplicaWal::open(dir + "/wal.log", &store.state, args.fsync, &error);
+  if (store.wal == nullptr) {
+    std::fprintf(stderr, "abd_replicad: %s\n", error.c_str());
+    return 1;
+  }
+  // New incarnation, made durable BEFORE any reply can carry it.
+  store.epoch = store.state.epoch + 1;
+  store.state.epoch = store.epoch;
+  if (!store.wal->append_epoch(store.epoch)) {
+    std::fprintf(stderr, "abd_replicad: cannot persist epoch\n");
+    return 1;
+  }
+  // Bound log growth across crash/restart cycles.
+  store.wal->compact(store.state);
+
+  net::Listener listener = net::Listener::open(args.peers[args.id], &error);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "abd_replicad: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("READY port=%u epoch=%llu\n",
+              static_cast<unsigned>(listener.bound_port()),
+              static_cast<unsigned long long>(store.epoch));
+  std::fflush(stdout);
+
+  std::vector<std::thread> handlers;
+  std::thread resyncer;
+  if (args.resync) {
+    resyncer = std::thread([&] { resync(args.id, args, store); });
+  }
+  while (!g_stop.load(std::memory_order_acquire)) {
+    auto conn = listener.accept(250ms);
+    if (!conn.has_value()) continue;
+    handlers.emplace_back([&store, id = args.id,
+                           sock = std::move(*conn)]() mutable {
+      serve_connection(id, store, std::move(sock));
+    });
+  }
+  listener.close();
+  for (auto& t : handlers) t.join();
+  if (resyncer.joinable()) resyncer.join();
+  return 0;
+}
+
+}  // namespace
+}  // namespace asnap
+
+int main(int argc, char** argv) {
+  using asnap::Args;
+  Args args;
+  const char* id = asnap::flag_value(argc, argv, "--id");
+  const char* peers = asnap::flag_value(argc, argv, "--peers");
+  const char* state_dir = asnap::flag_value(argc, argv, "--state-dir");
+  const char* regs = asnap::flag_value(argc, argv, "--regs");
+  args.fsync = !asnap::consume_bool(argc, argv, "--no-fsync");
+  args.resync = !asnap::consume_bool(argc, argv, "--no-resync");
+  if (id == nullptr || peers == nullptr || state_dir == nullptr) {
+    std::fprintf(stderr,
+                 "usage: abd_replicad --id I --peers host:port,... "
+                 "--state-dir DIR [--regs N] [--no-fsync] [--no-resync]\n");
+    return 2;
+  }
+  args.id = std::strtoull(id, nullptr, 10);
+  args.state_dir = state_dir;
+  if (regs != nullptr) args.regs = std::strtoull(regs, nullptr, 10);
+  const auto parsed = asnap::net::parse_endpoints(peers);
+  if (!parsed.has_value() || args.id >= parsed->size()) {
+    std::fprintf(stderr, "abd_replicad: bad --peers/--id\n");
+    return 2;
+  }
+  args.peers = *parsed;
+
+  signal(SIGTERM, asnap::on_signal);
+  signal(SIGINT, asnap::on_signal);
+  signal(SIGPIPE, SIG_IGN);
+  return asnap::run(args);
+}

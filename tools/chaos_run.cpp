@@ -12,22 +12,51 @@
 //                   lets an isolated node "commit" without a majority; the
 //                   linearizability checker must catch it, so this scenario
 //                   is expected to FAIL (ctest wraps it in WILL_FAIL).
+//   real            REAL PROCESSES: spawn --nodes abd_replicad daemons on
+//                   127.0.0.1 sockets, run a checked workload through
+//                   abd::RemoteRegisterClient while injecting kill -9 and
+//                   SIGSTOP faults on the live PIDs (majority-safe, seeded),
+//                   restart victims via the process supervisor, then audit
+//                   durability (every acked write still readable) and run
+//                   the exact linearizability checker. ISSUE 6's acceptance
+//                   scenario; also aliased as `--real`.
 //
 // Usage:
-//   chaos_run [--scenario mixed|breaker-ab|broken-breaker]
+//   chaos_run [--scenario mixed|breaker-ab|broken-breaker|real]
 //             [--seconds S] [--nodes N] [--seed K]
 //             [--crash-rate HZ] [--partition-rate HZ] [--loss P]
 //             [--breaker on|off] [--trace out.json|out.jsonl]
+//   real-scenario extras:
+//             [--writers W] [--think-ms T] [--stall-ms T]
+//             [--replicad PATH] [--keep-state]
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "abd/remote_client.hpp"
 #include "bench_util.hpp"
 #include "chaos/orchestrator.hpp"
+#include "chaos/process_orchestrator.hpp"
 #include "chaos/schedule.hpp"
+#include "common/rng.hpp"
+#include "lin/history.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "net/socket.hpp"
 #include "trace/exporter.hpp"
+#include "trace/histogram.hpp"
+
+#ifndef ASNAP_REPLICAD_PATH
+#define ASNAP_REPLICAD_PATH ""
+#endif
 
 namespace {
 
@@ -56,6 +85,12 @@ struct Cli {
   double loss = 0.10;
   bool breaker = true;
   std::string trace_path;
+  // --scenario real extras:
+  std::size_t writers = 3;
+  double think_ms = 2.0;
+  double stall_ms = 200.0;
+  std::string replicad = ASNAP_REPLICAD_PATH;
+  bool keep_state = false;
 };
 
 void print_report(const std::string& label, const chaos::RunReport& r) {
@@ -233,6 +268,422 @@ int run_broken_breaker(const Cli& cli) {
   return r.ok() ? 0 : 1;
 }
 
+// --- --scenario real: kill -9 chaos against live abd_replicad processes ----
+
+/// Aggregate outcome of one real-cluster run (the process analog of
+/// chaos::RunReport, minus the SimNetwork-only counters).
+struct RealReport {
+  std::uint64_t updates_ok = 0;
+  std::uint64_t scans_ok = 0;
+  std::uint64_t failed_update_attempts = 0;
+  std::uint64_t failed_scans = 0;
+  std::uint64_t indeterminate_updates = 0;
+  std::size_t history_ops = 0;
+  trace::LogHistogram update_hist;
+  trace::LogHistogram scan_hist;
+  abd::RemoteRegisterClient::Stats client;
+  std::uint64_t reconnects = 0;
+  chaos::ProcessCluster::Report proc;
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Per-worker mutable state for the real scenario. Mirrors the orchestrator
+/// worker convention exactly (see chaos/orchestrator.cpp): same-tag retry
+/// with one spanning interval, indeterminate-at-shutdown, dropped failed
+/// scans.
+struct RealWorker {
+  std::uint64_t updates_ok = 0;
+  std::uint64_t scans_ok = 0;
+  std::uint64_t failed_update_attempts = 0;
+  std::uint64_t failed_scans = 0;
+  std::atomic<std::uint64_t> last_acked_seq{0};  ///< durability audit input
+  bool has_pending = false;
+  lin::Tag pending_tag{};
+  lin::Time pending_inv = 0;
+  trace::LogHistogram update_hist;
+  trace::LogHistogram scan_hist;
+  abd::RemoteRegisterClient::Stats stats;
+  std::uint64_t reconnects = 0;
+};
+
+std::vector<net::Endpoint> probe_free_endpoints(std::size_t n) {
+  // Bind port 0, record the kernel's pick, release. The small window before
+  // the daemons rebind is acceptable on a loopback test host.
+  std::vector<net::Endpoint> eps;
+  std::vector<net::Listener> held;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto lst = net::Listener::open({"127.0.0.1", 0});
+    if (!lst.valid()) return {};
+    eps.push_back({"127.0.0.1", lst.bound_port()});
+    held.push_back(std::move(lst));
+  }
+  return eps;
+}
+
+/// One collect: atomically read registers 0..W-1. nullopt if any read
+/// times out (no majority right now).
+std::optional<std::vector<std::pair<std::uint64_t, lin::Tag>>> real_collect(
+    abd::RemoteRegisterClient& client, std::size_t writers) {
+  std::vector<std::pair<std::uint64_t, lin::Tag>> out;
+  out.reserve(writers);
+  for (std::size_t w = 0; w < writers; ++w) {
+    const auto got = client.try_read(w);
+    if (!got.has_value()) return std::nullopt;
+    lin::Tag tag{static_cast<ProcessId>(w), 0};  // unwritten: initial tag
+    if (got->ts != 0) {
+      const auto decoded = net::wire::decode_tag(got->value);
+      if (!decoded.has_value()) return std::nullopt;  // corrupt value
+      tag = *decoded;
+    }
+    out.emplace_back(got->ts, tag);
+  }
+  return out;
+}
+
+/// Double collect over the socket cluster: two identical consecutive
+/// collects of atomic (write-back) reads form a linearizable snapshot —
+/// Afek et al.'s Observation 1, unchanged by the transport. Caps attempts:
+/// under sustained writes a clean double collect may not happen, and a
+/// failed scan observed nothing, so it is simply dropped.
+std::optional<std::vector<lin::Tag>> real_scan(
+    abd::RemoteRegisterClient& client, std::size_t writers) {
+  constexpr int kMaxCollects = 16;
+  auto prev = real_collect(client, writers);
+  if (!prev.has_value()) return std::nullopt;
+  for (int i = 1; i < kMaxCollects; ++i) {
+    auto cur = real_collect(client, writers);
+    if (!cur.has_value()) return std::nullopt;
+    bool equal = true;
+    for (std::size_t w = 0; w < writers; ++w) {
+      if ((*cur)[w].first != (*prev)[w].first) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      std::vector<lin::Tag> view;
+      view.reserve(writers);
+      for (const auto& [ts, tag] : *cur) view.push_back(tag);
+      return view;
+    }
+    prev = std::move(cur);
+  }
+  return std::nullopt;
+}
+
+void real_worker_loop(const std::vector<net::Endpoint>& eps, ProcessId p,
+                      std::size_t writers, const Cli& cli,
+                      lin::Recorder& recorder, RealWorker& ws,
+                      const std::atomic<bool>& stop) {
+  using SClock = std::chrono::steady_clock;
+  const auto to_ns = [](SClock::duration d) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  };
+  abd::AbdConfig config;
+  config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::seconds(3));
+  abd::RemoteRegisterClient client(eps, /*client_id=*/100 + p, config);
+  const auto think =
+      std::chrono::microseconds(static_cast<std::int64_t>(cli.think_ms * 1e3));
+  const auto retry_pause = std::chrono::milliseconds(1);
+
+  std::uint64_t seq = 0;
+  std::uint64_t op_count = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (op_count++ % 2 == 0) {
+      // Update: retry the SAME (ts, value) until acked — idempotent at the
+      // replicas, so the retries are one logical operation whose interval
+      // spans every attempt.
+      const lin::Tag tag{p, ++seq};
+      const auto value = net::wire::encode_tag(tag);
+      const lin::Time inv = recorder.tick();
+      const auto started = SClock::now();
+      for (;;) {
+        if (client.try_write(p, seq, value) == abd::OpStatus::kOk) break;
+        ++ws.failed_update_attempts;
+        if (stop.load(std::memory_order_relaxed)) {
+          ws.has_pending = true;  // shutdown mid-retry: possibly applied
+          ws.pending_tag = tag;
+          ws.pending_inv = inv;
+          ws.stats = client.stats();
+          ws.reconnects = client.reconnects();
+          return;
+        }
+        std::this_thread::sleep_for(retry_pause);
+      }
+      const lin::Time res = recorder.tick();
+      recorder.add_update(p, p, tag, inv, res);
+      ws.update_hist.record(to_ns(SClock::now() - started));
+      ++ws.updates_ok;
+      ws.last_acked_seq.store(seq, std::memory_order_relaxed);
+    } else {
+      const lin::Time inv = recorder.tick();
+      const auto started = SClock::now();
+      auto view = real_scan(client, writers);
+      if (view.has_value()) {
+        const lin::Time res = recorder.tick();
+        recorder.add_scan(p, std::move(*view), inv, res);
+        ws.scan_hist.record(to_ns(SClock::now() - started));
+        ++ws.scans_ok;
+      } else {
+        ++ws.failed_scans;  // observed nothing: dropped
+        std::this_thread::sleep_for(retry_pause);
+      }
+    }
+    std::this_thread::sleep_for(think);
+  }
+  ws.stats = client.stats();
+  ws.reconnects = client.reconnects();
+}
+
+void print_real_report(const RealReport& r) {
+  std::printf("== real (kill -9 chaos over sockets) ==\n");
+  std::printf(
+      "  workload    : %llu updates, %llu scans ok; %llu failed update "
+      "attempts, %llu failed scans, %llu indeterminate (history %zu ops)\n",
+      (unsigned long long)r.updates_ok, (unsigned long long)r.scans_ok,
+      (unsigned long long)r.failed_update_attempts,
+      (unsigned long long)r.failed_scans,
+      (unsigned long long)r.indeterminate_updates, r.history_ops);
+  std::printf("  injection   : %llu kill -9, %llu SIGSTOP stalls\n",
+              (unsigned long long)r.proc.kills,
+              (unsigned long long)r.proc.stalls);
+  double restart_mean = 0.0;
+  for (const double x : r.proc.restart_latencies_ms) restart_mean += x;
+  if (!r.proc.restart_latencies_ms.empty()) {
+    restart_mean /= (double)r.proc.restart_latencies_ms.size();
+  }
+  std::printf("  supervisor  : %llu restarts, mean respawn %.1f ms\n",
+              (unsigned long long)r.proc.restarts, restart_mean);
+  std::printf(
+      "  degradation : %llu retransmit waves, %llu dup replies, %llu "
+      "stale-epoch replies, %llu round timeouts, %llu reconnects\n",
+      (unsigned long long)r.client.retransmit_waves,
+      (unsigned long long)r.client.dup_replies,
+      (unsigned long long)r.client.stale_epoch_replies,
+      (unsigned long long)r.client.round_timeouts,
+      (unsigned long long)r.reconnects);
+  std::printf(
+      "  latency     : update p50 %.1f us p99 %.1f us | scan p50 %.1f us "
+      "p99 %.1f us\n",
+      r.update_hist.percentile(0.50) / 1e3,
+      r.update_hist.percentile(0.99) / 1e3,
+      r.scan_hist.percentile(0.50) / 1e3, r.scan_hist.percentile(0.99) / 1e3);
+  if (r.ok()) {
+    std::printf("  verdict     : PASS (no violations)\n");
+  } else {
+    std::printf("  verdict     : FAIL (%zu violation(s))\n",
+                r.violations.size());
+    for (const std::string& v : r.violations) {
+      std::printf("    - %s\n", v.c_str());
+    }
+  }
+}
+
+void print_real_json(const Cli& cli, const RealReport& r) {
+  double restart_mean = 0.0;
+  for (const double x : r.proc.restart_latencies_ms) restart_mean += x;
+  if (!r.proc.restart_latencies_ms.empty()) {
+    restart_mean /= (double)r.proc.restart_latencies_ms.size();
+  }
+  bench::JsonWriter j("E12-cluster");
+  j.field("scenario", std::string("real"))
+      .field("nodes", (std::uint64_t)cli.nodes)
+      .field("writers", (std::uint64_t)cli.writers)
+      .field("seconds", cli.seconds)
+      .field("seed", (std::uint64_t)cli.seed)
+      .field("crash_rate", cli.crash_rate)
+      .field("violations", (std::uint64_t)r.violations.size())
+      .field("updates_ok", r.updates_ok)
+      .field("scans_ok", r.scans_ok)
+      .field("failed_update_attempts", r.failed_update_attempts)
+      .field("failed_scans", r.failed_scans)
+      .field("indeterminate_updates", r.indeterminate_updates)
+      .field("kills", r.proc.kills)
+      .field("stalls", r.proc.stalls)
+      .field("restarts", r.proc.restarts)
+      .field("restart_mean_ms", restart_mean)
+      .field("update_p50_us", r.update_hist.percentile(0.50) / 1e3)
+      .field("update_p99_us", r.update_hist.percentile(0.99) / 1e3)
+      .field("scan_p50_us", r.scan_hist.percentile(0.50) / 1e3)
+      .field("scan_p99_us", r.scan_hist.percentile(0.99) / 1e3)
+      .field("retransmit_waves", r.client.retransmit_waves)
+      .field("stale_epoch_replies", r.client.stale_epoch_replies)
+      .field("round_timeouts", r.client.round_timeouts)
+      .field("reconnects", r.reconnects);
+  j.print();
+}
+
+int run_real(const Cli& cli) {
+  using SClock = std::chrono::steady_clock;
+  namespace fs = std::filesystem;
+  RealReport report;
+  const auto fail = [&](const std::string& why) {
+    report.violations.push_back(why);
+    print_real_report(report);
+    print_real_json(cli, report);
+    return 1;
+  };
+
+  if (cli.replicad.empty() || !fs::exists(cli.replicad)) {
+    return fail("setup: abd_replicad binary not found (pass --replicad)");
+  }
+  const std::size_t n = cli.nodes;
+  const std::size_t writers = cli.writers;
+  const auto endpoints = probe_free_endpoints(n);
+  if (endpoints.size() != n) return fail("setup: could not probe free ports");
+
+  char tmpl[] = "/tmp/asnap_real_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    return fail("setup: mkdtemp failed");
+  }
+  const std::string state_dir = tmpl;
+
+  chaos::ProcessClusterConfig cluster_config;
+  cluster_config.replicad_path = cli.replicad;
+  cluster_config.state_dir = state_dir;
+  cluster_config.endpoints = endpoints;
+  cluster_config.regs = writers;
+  cluster_config.restart_delay = std::chrono::milliseconds(150);
+  chaos::ProcessCluster cluster(cluster_config);
+  if (!cluster.start() || !cluster.wait_ready(std::chrono::seconds(10))) {
+    return fail("setup: cluster did not come up");
+  }
+
+  lin::Recorder recorder(writers);
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<RealWorker>> workers;
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < writers; ++w) {
+    workers.push_back(std::make_unique<RealWorker>());
+  }
+  for (std::size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      real_worker_loop(endpoints, static_cast<ProcessId>(w), writers, cli,
+                       recorder, *workers[w], stop);
+    });
+  }
+
+  // Seeded majority-safe fault injection on real PIDs. One fault at a time;
+  // never let down + stalled replicas reach a majority (ABD's liveness
+  // precondition — chaos/schedule.hpp's rail, enforced at runtime here
+  // because restart timing is the kernel's, not ours).
+  Rng rng(cli.seed ^ 0x9EA1C4A0ull);
+  const std::size_t max_down = (n - 1) / 2;
+  const auto run_end = SClock::now() + std::chrono::microseconds(
+                                           seconds_us(cli.seconds).count());
+  while (SClock::now() < run_end) {
+    const double base_ms = 1000.0 / (cli.crash_rate > 0 ? cli.crash_rate : 1);
+    const auto wait = std::chrono::microseconds(static_cast<std::int64_t>(
+        base_ms * (0.5 + rng.uniform01()) * 1e3));
+    std::this_thread::sleep_for(std::min(
+        std::chrono::duration_cast<std::chrono::microseconds>(wait),
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            run_end - SClock::now() + std::chrono::microseconds(1))));
+    if (SClock::now() >= run_end) break;
+    if (cluster.unavailable() >= max_down) continue;  // majority guard
+    const std::size_t victim = rng.below(n);
+    if (!cluster.running(victim)) continue;
+    if (rng.chance(0.3)) {
+      // Freeze, hold, thaw: the peers see silence, not EOF.
+      if (cluster.stall(victim)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(cli.stall_ms * 1e3)));
+        cluster.resume(victim);
+      }
+    } else {
+      cluster.kill9(victim);  // supervisor restarts it
+    }
+  }
+
+  // Convergence: every replica back up (supervisor + WAL + resync)...
+  const auto converge_by = SClock::now() + std::chrono::seconds(10);
+  while (cluster.unavailable() > 0 && SClock::now() < converge_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (cluster.unavailable() > 0) {
+    report.violations.push_back(
+        "liveness: " + std::to_string(cluster.unavailable()) +
+        " replica(s) still down after the convergence timeout");
+  }
+  // ...then a healthy tail so pending same-tag retries resolve.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  // Updates unfinished at shutdown are indeterminate: possibly applied any
+  // time up to now, so their interval extends to a final tick.
+  const lin::Time final_tick = recorder.tick();
+  for (std::size_t w = 0; w < writers; ++w) {
+    RealWorker& ws = *workers[w];
+    if (!ws.has_pending) continue;
+    recorder.add_update(static_cast<ProcessId>(w), w, ws.pending_tag,
+                        ws.pending_inv, final_tick);
+    ++report.indeterminate_updates;
+  }
+
+  // Durability audit: with the cluster healthy again, every acknowledged
+  // write must be readable — the WAL + majority-resync acceptance check.
+  {
+    abd::AbdConfig config;
+    config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::seconds(5));
+    abd::RemoteRegisterClient auditor(endpoints, /*client_id=*/999, config);
+    for (std::size_t w = 0; w < writers; ++w) {
+      const std::uint64_t acked =
+          workers[w]->last_acked_seq.load(std::memory_order_relaxed);
+      const auto got = auditor.try_read(w);
+      if (!got.has_value()) {
+        report.violations.push_back(
+            "durability: reg " + std::to_string(w) +
+            " unreadable after recovery (quorum timeout)");
+        continue;
+      }
+      if (got->ts < acked) {
+        report.violations.push_back(
+            "durability: reg " + std::to_string(w) + " lost acked write (ts " +
+            std::to_string(got->ts) + " < acked seq " + std::to_string(acked) +
+            ")");
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < writers; ++w) {
+    RealWorker& ws = *workers[w];
+    report.updates_ok += ws.updates_ok;
+    report.scans_ok += ws.scans_ok;
+    report.failed_update_attempts += ws.failed_update_attempts;
+    report.failed_scans += ws.failed_scans;
+    report.client.retransmit_waves += ws.stats.retransmit_waves;
+    report.client.dup_replies += ws.stats.dup_replies;
+    report.client.stale_epoch_replies += ws.stats.stale_epoch_replies;
+    report.client.round_timeouts += ws.stats.round_timeouts;
+    report.reconnects += ws.reconnects;
+    report.update_hist.merge(ws.update_hist);
+    report.scan_hist.merge(ws.scan_hist);
+  }
+  report.proc = cluster.report();
+
+  const lin::History history = recorder.take();
+  report.history_ops = history.total_ops();
+  if (const auto violation = lin::check_single_writer(history)) {
+    report.violations.push_back("linearizability: " + *violation);
+  }
+
+  cluster.stop();
+  if (!cli.keep_state) {
+    std::error_code ec;
+    fs::remove_all(state_dir, ec);
+  } else {
+    std::printf("  state kept  : %s\n", state_dir.c_str());
+  }
+  print_real_report(report);
+  print_real_json(cli, report);
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,8 +704,24 @@ int main(int argc, char** argv) {
   cli.breaker =
       bench::consume_flag(argc, argv, "--breaker", "on") != std::string("off");
   cli.trace_path = bench::consume_flag(argc, argv, "--trace", "");
+  cli.writers = static_cast<std::size_t>(
+      std::atoi(bench::consume_flag(argc, argv, "--writers", "3").c_str()));
+  cli.think_ms = std::atof(
+      bench::consume_flag(argc, argv, "--think-ms", "2").c_str());
+  cli.stall_ms = std::atof(
+      bench::consume_flag(argc, argv, "--stall-ms", "200").c_str());
+  cli.replicad =
+      bench::consume_flag(argc, argv, "--replicad", cli.replicad);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--keep-state") cli.keep_state = true;
+    if (std::string(argv[i]) == "--real") cli.scenario = "real";
+  }
   if (cli.seconds <= 0 || cli.nodes < 3) {
     std::fprintf(stderr, "chaos_run: need --seconds > 0 and --nodes >= 3\n");
+    return 2;
+  }
+  if (cli.scenario == "real" && cli.writers == 0) {
+    std::fprintf(stderr, "chaos_run: need --writers >= 1\n");
     return 2;
   }
 
@@ -262,9 +729,10 @@ int main(int argc, char** argv) {
   if (cli.scenario == "mixed") return run_mixed(cli);
   if (cli.scenario == "breaker-ab") return run_breaker_ab(cli);
   if (cli.scenario == "broken-breaker") return run_broken_breaker(cli);
+  if (cli.scenario == "real") return run_real(cli);
   std::fprintf(stderr,
                "chaos_run: unknown --scenario '%s' (mixed, breaker-ab, "
-               "broken-breaker)\n",
+               "broken-breaker, real)\n",
                cli.scenario.c_str());
   return 2;
 }

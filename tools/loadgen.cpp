@@ -39,7 +39,10 @@
 #include <vector>
 
 #include "abd/abd_snapshot.hpp"
+#include "abd/remote_client.hpp"
 #include "bench_util.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
 #include "common/rng.hpp"
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
@@ -75,6 +78,7 @@ struct Options {
   bool check = false;
   std::string trace_path;
   std::string experiment = "E11-svc";
+  std::string cluster;  ///< backend=cluster: "host:port,..." endpoints
 };
 
 std::uint64_t now_ns() {
@@ -392,6 +396,75 @@ int report(Backend& snap, const Options& opt) {
   return out.violations == 0 ? 0 : 1;
 }
 
+/// Snapshot backend over a REAL socket cluster of abd_replicad daemons
+/// (--cluster host:port,...): per-slot RemoteRegisterClients — writers use
+/// ts = tag.seq, which the service keeps monotone per slot across lease
+/// handovers, so retransmitted writes stay idempotent — and scan is a
+/// bounded double collect of atomic (write-back) reads: two identical
+/// consecutive collects form a linearizable snapshot (Afek et al.
+/// Observation 1). Quorum loss surfaces as QuorumUnavailable, same as the
+/// in-process ABD backend.
+class ClusterSnapshot {
+ public:
+  ClusterSnapshot(const std::vector<net::Endpoint>& endpoints,
+                  std::size_t slots, std::uint64_t seed)
+      : slots_(slots) {
+    abd::AbdConfig config;
+    config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::seconds(5));
+    for (std::size_t i = 0; i < slots; ++i) {
+      writers_.push_back(std::make_unique<abd::RemoteRegisterClient>(
+          endpoints, seed * 10000 + 2000 + i, config));
+      scanners_.push_back(std::make_unique<abd::RemoteRegisterClient>(
+          endpoints, seed * 10000 + 3000 + i, config));
+    }
+  }
+
+  std::size_t size() const { return slots_; }
+
+  void update(ProcessId i, Tag v) {
+    if (writers_[i]->try_write(i, v.seq, net::wire::encode_tag(v)) !=
+        abd::OpStatus::kOk) {
+      throw abd::QuorumUnavailable("write");
+    }
+  }
+
+  std::vector<Tag> scan(ProcessId i) {
+    auto& client = *scanners_[i % slots_];
+    constexpr int kMaxCollects = 64;
+    auto prev = collect(client);
+    for (int attempt = 1; attempt < kMaxCollects; ++attempt) {
+      auto cur = collect(client);
+      if (cur.first == prev.first) return cur.second;
+      prev = std::move(cur);
+    }
+    throw abd::QuorumUnavailable("scan (no clean double collect)");
+  }
+
+ private:
+  /// (ts vector, tag vector) of one collect; throws on quorum timeout.
+  std::pair<std::vector<std::uint64_t>, std::vector<Tag>> collect(
+      abd::RemoteRegisterClient& client) {
+    std::vector<std::uint64_t> ts(slots_);
+    std::vector<Tag> tags(slots_);
+    for (std::size_t w = 0; w < slots_; ++w) {
+      const auto got = client.try_read(w);
+      if (!got.has_value()) throw abd::QuorumUnavailable("scan read");
+      ts[w] = got->ts;
+      if (got->ts != 0) {
+        const auto tag = net::wire::decode_tag(got->value);
+        if (!tag.has_value()) throw abd::QuorumUnavailable("scan decode");
+        tags[w] = *tag;
+      }
+    }
+    return {std::move(ts), std::move(tags)};
+  }
+
+  std::size_t slots_;
+  std::vector<std::unique_ptr<abd::RemoteRegisterClient>> writers_;
+  std::vector<std::unique_ptr<abd::RemoteRegisterClient>> scanners_;
+};
+
 /// A3 behind the single-writer adapter (m == n words).
 class MwAsSw {
  public:
@@ -408,12 +481,14 @@ class MwAsSw {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: loadgen [--backend a1|a2|a3|abd] [--mode closed|open]\n"
+      "usage: loadgen [--backend a1|a2|a3|abd|cluster] [--mode closed|open]\n"
       "               [--slots N] [--clients M] [--seconds S] [--rate R]\n"
       "               [--read-ratio r] [--churn p] [--pipeline k] [--batch b]\n"
       "               [--cache on|off] [--max-concurrent C] [--ttl-ms T]\n"
       "               [--seed s] [--check] [--trace out.json|out.jsonl]\n"
-      "               [--experiment name]\n");
+      "               [--experiment name]\n"
+      "               [--cluster host:port,...]   (backend=cluster: the\n"
+      "                abd_replicad endpoints to drive)\n");
   return 2;
 }
 
@@ -448,6 +523,7 @@ int main(int argc, char** argv) {
                            nullptr, 10);
   opt.trace_path = consume_flag(argc, argv, "--trace", "");
   opt.experiment = consume_flag(argc, argv, "--experiment", opt.experiment);
+  opt.cluster = consume_flag(argc, argv, "--cluster", "");
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       opt.check = true;
@@ -478,6 +554,17 @@ int main(int argc, char** argv) {
   if (opt.backend == "abd") {
     abd::MessagePassingSnapshot<lin::Tag> snap(opt.slots, lin::Tag{},
                                                opt.seed);
+    return report(snap, opt);
+  }
+  if (opt.backend == "cluster") {
+    const auto endpoints = net::parse_endpoints(opt.cluster);
+    if (!endpoints.has_value() || endpoints->size() < 3) {
+      std::fprintf(stderr,
+                   "loadgen: --backend cluster needs --cluster with >= 3 "
+                   "host:port endpoints\n");
+      return usage();
+    }
+    ClusterSnapshot snap(*endpoints, opt.slots, opt.seed);
     return report(snap, opt);
   }
   std::fprintf(stderr, "loadgen: unknown backend '%s'\n", opt.backend.c_str());

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -527,15 +528,68 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) return run_demo();
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <trace.json|trace.jsonl> ...\n"
+                 "usage: %s <trace.json|trace.jsonl|trace-dir> ...\n"
                  "       %s --demo\n",
                  argv[0], argv[0]);
     return 2;
   }
-  std::vector<Row> rows;
+  namespace fs = std::filesystem;
+  // Resolve every argument to concrete trace files up front, with a clear
+  // diagnosis for each failure mode instead of a crash or an empty report:
+  // missing path, empty file, directory with no trace files.
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (!load_trace(argv[i], rows)) return 2;
+    const fs::path path(argv[i]);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      std::fprintf(stderr,
+                   "trace_analyze: %s: no such file or directory (was a "
+                   "trace written there? see --trace on the tools)\n",
+                   argv[i]);
+      return 2;
+    }
+    if (fs::is_directory(path, ec)) {
+      std::size_t found = 0;
+      for (const auto& entry : fs::directory_iterator(path, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".json" || ext == ".jsonl") {
+          files.push_back(entry.path().string());
+          ++found;
+        }
+      }
+      if (found == 0) {
+        std::fprintf(stderr,
+                     "trace_analyze: %s: directory contains no .json/.jsonl "
+                     "trace files\n",
+                     argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    if (fs::file_size(path, ec) == 0) {
+      std::fprintf(stderr,
+                   "trace_analyze: %s: trace file is empty (the traced run "
+                   "may have recorded no events or crashed before the "
+                   "exporter flushed)\n",
+                   argv[i]);
+      return 2;
+    }
+    files.push_back(argv[i]);
   }
-  std::printf("loaded %zu events from %d file(s)\n\n", rows.size(), argc - 1);
+  std::sort(files.begin(), files.end());
+  std::vector<Row> rows;
+  for (const std::string& file : files) {
+    if (!load_trace(file, rows)) return 2;
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr,
+                 "trace_analyze: no events in %zu trace file(s) — nothing "
+                 "to analyze\n",
+                 files.size());
+    return 2;
+  }
+  std::printf("loaded %zu events from %zu file(s)\n\n", rows.size(),
+              files.size());
   return report(analyze(std::move(rows))) == 0 ? 0 : 1;
 }

@@ -43,15 +43,17 @@ echo "== tests =="
 ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 
 # The lossy-network fault matrix (label `fault`), the tracing rings
-# (`trace`), the self-healing/chaos layer (`chaos`) and the service layer
-# (`svc`) re-run under ThreadSanitizer: retry/timeout/backoff paths in abd/,
-# the held-message pump in net/, the SPSC trace rings, the
-# detector/supervisor/breaker threads, and the lease seal/epoch handover +
-# generation-checked scan cache are exactly where data races would hide.
-echo "== fault+trace+chaos+svc matrix under TSan =="
+# (`trace`), the self-healing/chaos layer (`chaos`), the service layer
+# (`svc`) and the sharded fabric (`shard`) re-run under ThreadSanitizer:
+# retry/timeout/backoff paths in abd/, the held-message pump in net/, the
+# SPSC trace rings, the detector/supervisor/breaker threads, the lease
+# seal/epoch handover + generation-checked scan cache, and the fabric's
+# generation-vector double collect + all-slot seal are exactly where data
+# races would hide.
+echo "== fault+trace+chaos+svc+shard matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L "fault|trace|chaos|svc" --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -126,6 +128,40 @@ fi
 } 2>&1 | tee results/svc_loadgen.txt
 grep '^JSON ' results/svc_loadgen.txt | sed 's/^JSON //' \
   > results/svc_loadgen.jsonl
+
+# E13-shard — sharded fabric scaling: the same checked workload (A2, n = 4
+# slots per shard, read ratio 0.5, 10% of reads cross-shard global scans)
+# swept over S in {1,2,4,8} shards x M in {16, 64, 256} clients. Every run
+# is --check'ed (including the global scans' full-width views), so a
+# violation stops the script; the M=256 rows (16x the S=4 fabric's 16
+# global words — the regime where E11 showed a single service collapsing)
+# are where the S=4 vs S=1 update-throughput acceptance ratio is computed
+# (measured 3.1x, bar is 2.5x; see EXPERIMENTS.md E13-shard). JSON lines
+# land in results/shard_loadgen.jsonl.
+echo "== E13-shard: sharded fabric scaling =="
+shard_trace_args=()
+if [ -n "$TRACE_DIR" ]; then
+  shard_trace_args=(--trace "$TRACE_DIR/loadgen_shard.json")
+fi
+{
+  for shards in 1 2 4 8; do
+    for clients in 16 64 256; do
+      build/tools/loadgen --backend a2 --slots 4 --shards "$shards" \
+        --clients "$clients" --seconds 1 --read-ratio 0.5 \
+        --global-ratio 0.1 --churn 0.02 --seed 42 \
+        --experiment E13-shard --check
+    done
+  done
+  # Long-run memory fix in action: the checked history streams to disk
+  # (--check-file) instead of accumulating in RAM, then replays through the
+  # same exact checker; the spill file doubles as a check_history artifact.
+  build/tools/loadgen --backend a2 --slots 4 --shards 4 --clients 64 \
+    --seconds 2 --read-ratio 0.5 --global-ratio 0.1 --churn 0.02 --seed 43 \
+    --experiment E13-shard --check-file results/shard_history_spill.txt \
+    ${shard_trace_args[@]+"${shard_trace_args[@]}"}
+} 2>&1 | tee results/shard_loadgen.txt
+grep '^JSON ' results/shard_loadgen.txt | sed 's/^JSON //' \
+  > results/shard_loadgen.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

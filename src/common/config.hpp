@@ -14,8 +14,9 @@ namespace asnap {
 /// Upper bound on the number of concurrently registered OS threads that may
 /// touch any shared object in this library. This bounds the size of the
 /// hazard-pointer table; it is an implementation-level bound, independent of
-/// the per-object process count n.
-inline constexpr std::size_t kMaxThreads = 128;
+/// the per-object process count n. Sized for the sharded-fabric load sweeps,
+/// which run M = 256+ client threads against one process (E13-shard).
+inline constexpr std::size_t kMaxThreads = 512;
 
 /// Destructive-interference distance used to pad per-thread slots.
 /// std::hardware_destructive_interference_size is not reliably available on

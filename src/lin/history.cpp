@@ -14,8 +14,13 @@ void Recorder::add_update(ProcessId proc, std::size_t word, Tag tag, Time inv,
 
 void Recorder::add_scan(ProcessId proc, std::vector<Tag> view, Time inv,
                         Time res) {
+  add_scan(proc, 0, std::move(view), inv, res);
+}
+
+void Recorder::add_scan(ProcessId proc, std::size_t word_base,
+                        std::vector<Tag> view, Time inv, Time res) {
   std::lock_guard lock(mu_);
-  history_.scans.push_back(ScanOp{proc, std::move(view), inv, res});
+  history_.scans.push_back(ScanOp{proc, std::move(view), inv, res, word_base});
 }
 
 History Recorder::take() {

@@ -47,9 +47,20 @@ struct UpdateOp {
 
 struct ScanOp {
   ProcessId proc = 0;
-  std::vector<Tag> view;  ///< tag observed for each word
+  std::vector<Tag> view;  ///< tag observed for each covered word
   Time inv = 0;
   Time res = 0;
+  /// First word the view covers: the scan observed words
+  /// [word_base, word_base + view.size()). Full scans have word_base == 0 and
+  /// a num_words-wide view; shard-local scans in a sharded fabric cover only
+  /// their shard's word range. A partial view constrains the scan's position
+  /// only relative to writes of the covered words, so the single-writer
+  /// checker stays exact (see snapshot_checker.hpp).
+  std::size_t word_base = 0;
+
+  bool covers(std::size_t num_words) const {
+    return word_base <= num_words && view.size() <= num_words - word_base;
+  }
 };
 
 struct History {
@@ -75,6 +86,9 @@ class Recorder {
   void add_update(ProcessId proc, std::size_t word, Tag tag, Time inv,
                   Time res);
   void add_scan(ProcessId proc, std::vector<Tag> view, Time inv, Time res);
+  /// Partial scan: view covers words [word_base, word_base + view.size()).
+  void add_scan(ProcessId proc, std::size_t word_base, std::vector<Tag> view,
+                Time inv, Time res);
 
   /// Move the accumulated history out (quiescent point only).
   History take();

@@ -1,5 +1,6 @@
 #include "lin/history_io.hpp"
 
+#include <istream>
 #include <sstream>
 
 namespace asnap::lin {
@@ -28,26 +29,55 @@ bool parse_tag(const std::string& token, Tag& out) {
   return out.seq != 0;  // "w:0" would collide with the initial tag
 }
 
+void append_update(std::string& out, const UpdateOp& u) {
+  out += "U ";
+  out += std::to_string(u.proc);
+  out += ' ';
+  out += std::to_string(u.word);
+  out += ' ';
+  out += std::to_string(u.tag.writer);
+  out += ' ';
+  out += std::to_string(u.tag.seq);
+  out += ' ';
+  out += std::to_string(u.inv);
+  out += ' ';
+  out += std::to_string(u.res);
+  out += '\n';
+}
+
+void append_scan(std::string& out, ProcessId proc, std::size_t word_base,
+                 const std::vector<Tag>& view, Time inv, Time res, bool full) {
+  out += full ? "S " : "P ";
+  out += std::to_string(proc);
+  if (!full) {
+    out += ' ';
+    out += std::to_string(word_base);
+  }
+  out += ' ';
+  out += std::to_string(inv);
+  out += ' ';
+  out += std::to_string(res);
+  for (const Tag& t : view) {
+    out += ' ';
+    out += tag_to_string(t);
+  }
+  out += '\n';
+}
+
 }  // namespace
 
 std::string dump_history(const History& history) {
-  std::ostringstream os;
-  os << "# asnap history v1\n";
-  os << "words " << history.num_words << "\n";
-  for (const UpdateOp& u : history.updates) {
-    os << "U " << u.proc << " " << u.word << " " << u.tag.writer << " "
-       << u.tag.seq << " " << u.inv << " " << u.res << "\n";
-  }
+  std::string out = "# asnap history v1\n";
+  out += "words " + std::to_string(history.num_words) + "\n";
+  for (const UpdateOp& u : history.updates) append_update(out, u);
   for (const ScanOp& s : history.scans) {
-    os << "S " << s.proc << " " << s.inv << " " << s.res;
-    for (const Tag& t : s.view) os << " " << tag_to_string(t);
-    os << "\n";
+    const bool full = s.word_base == 0 && s.view.size() == history.num_words;
+    append_scan(out, s.proc, s.word_base, s.view, s.inv, s.res, full);
   }
-  return os.str();
+  return out;
 }
 
-std::optional<History> parse_history(const std::string& text,
-                                     std::string* error) {
+std::optional<History> read_history(std::istream& in, std::string* error) {
   const auto fail = [&](const std::string& msg) -> std::optional<History> {
     if (error != nullptr) *error = msg;
     return std::nullopt;
@@ -55,7 +85,6 @@ std::optional<History> parse_history(const std::string& text,
 
   History history;
   bool have_words = false;
-  std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -81,10 +110,14 @@ std::optional<History> parse_history(const std::string& text,
       }
       if (u.tag.seq == 0) return fail("update with seq 0" + where);
       history.updates.push_back(u);
-    } else if (kind == "S") {
-      if (!have_words) return fail("S before words" + where);
+    } else if (kind == "S" || kind == "P") {
+      if (!have_words) return fail(kind + " before words" + where);
       ScanOp s;
-      if (!(ls >> s.proc >> s.inv >> s.res)) {
+      if (kind == "P") {
+        if (!(ls >> s.proc >> s.word_base >> s.inv >> s.res)) {
+          return fail("bad partial scan line" + where);
+        }
+      } else if (!(ls >> s.proc >> s.inv >> s.res)) {
         return fail("bad scan line" + where);
       }
       std::string token;
@@ -95,8 +128,11 @@ std::optional<History> parse_history(const std::string& text,
         }
         s.view.push_back(tag);
       }
-      if (s.view.size() != history.num_words) {
+      if (kind == "S" && s.view.size() != history.num_words) {
         return fail("scan view width mismatch" + where);
+      }
+      if (!s.covers(history.num_words)) {
+        return fail("scan view exceeds the word range" + where);
       }
       history.scans.push_back(std::move(s));
     } else {
@@ -105,6 +141,55 @@ std::optional<History> parse_history(const std::string& text,
   }
   if (!have_words) return fail("missing words header");
   return history;
+}
+
+std::optional<History> parse_history(const std::string& text,
+                                     std::string* error) {
+  std::istringstream in(text);
+  return read_history(in, error);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryFileWriter
+// ---------------------------------------------------------------------------
+
+HistoryFileWriter::HistoryFileWriter(const std::string& path,
+                                     std::size_t num_words)
+    : num_words_(num_words) {
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) return;
+  ok_ = std::fprintf(out_, "# asnap history v1\nwords %zu\n", num_words) > 0;
+}
+
+HistoryFileWriter::~HistoryFileWriter() { close(); }
+
+void HistoryFileWriter::add_update(ProcessId proc, std::size_t word, Tag tag,
+                                   Time inv, Time res) {
+  std::string line;
+  append_update(line, UpdateOp{proc, word, tag, inv, res});
+  std::lock_guard lock(mu_);
+  if (out_ == nullptr) return;
+  if (std::fputs(line.c_str(), out_) < 0) ok_ = false;
+}
+
+void HistoryFileWriter::add_scan(ProcessId proc, std::size_t word_base,
+                                 const std::vector<Tag>& view, Time inv,
+                                 Time res) {
+  std::string line;
+  const bool full = word_base == 0 && view.size() == num_words_;
+  append_scan(line, proc, word_base, view, inv, res, full);
+  std::lock_guard lock(mu_);
+  if (out_ == nullptr) return;
+  if (std::fputs(line.c_str(), out_) < 0) ok_ = false;
+}
+
+bool HistoryFileWriter::close() {
+  std::lock_guard lock(mu_);
+  if (out_ != nullptr) {
+    if (std::fclose(out_) != 0) ok_ = false;
+    out_ = nullptr;
+  }
+  return ok_;
 }
 
 }  // namespace asnap::lin

@@ -5,14 +5,23 @@
 //   words <m>
 //   U <proc> <word> <writer> <seq> <inv> <res>
 //   S <proc> <inv> <res> <tag_1> ... <tag_m>
+//   P <proc> <word_base> <inv> <res> <tag_1> ... <tag_k>
 //
-// where each scan tag is "writer:seq" or "-" for the initial value.
+// where each scan tag is "writer:seq" or "-" for the initial value. 'S' is a
+// full-width scan; 'P' is a partial scan covering words
+// [word_base, word_base + k) — the shape shard-local scans of a sharded
+// fabric produce (src/shard/).
 //
 // Lets a failing stress run be saved, attached to a bug report, replayed
 // through all three checkers (tools/check_history), and minimized by hand.
+// HistoryFileWriter streams records to disk as they complete, so a long
+// checked run (tools/loadgen --check-file) holds O(1) history in memory
+// during the measured interval instead of growing an op vector.
 #pragma once
 
+#include <cstdio>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -27,5 +36,42 @@ std::string dump_history(const History& history);
 /// provided) on malformed input.
 std::optional<History> parse_history(const std::string& text,
                                      std::string* error = nullptr);
+
+/// Parse the text format from a stream (one pass, line-buffered) — the
+/// replay half of a spilled history: records stream back in without a
+/// second full-text copy in memory.
+std::optional<History> read_history(std::istream& in,
+                                    std::string* error = nullptr);
+
+/// Thread-safe append-only writer of the text format. Each completed
+/// operation is formatted and handed to a buffered FILE* immediately, so the
+/// recording side of a long run keeps O(1) history in memory; the file is
+/// replayable via read_history() or tools/check_history.
+class HistoryFileWriter {
+ public:
+  HistoryFileWriter(const std::string& path, std::size_t num_words);
+  ~HistoryFileWriter();
+  HistoryFileWriter(const HistoryFileWriter&) = delete;
+  HistoryFileWriter& operator=(const HistoryFileWriter&) = delete;
+
+  /// False if the file could not be opened or a write failed.
+  bool ok() const { return ok_; }
+  std::size_t num_words() const { return num_words_; }
+
+  void add_update(ProcessId proc, std::size_t word, Tag tag, Time inv,
+                  Time res);
+  /// view covers words [word_base, word_base + view.size()).
+  void add_scan(ProcessId proc, std::size_t word_base,
+                const std::vector<Tag>& view, Time inv, Time res);
+
+  /// Flush buffers and close; further adds are dropped. Returns ok().
+  bool close();
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;  // guarded by mu_
+  std::size_t num_words_;
+  bool ok_ = false;
+};
 
 }  // namespace asnap::lin

@@ -149,10 +149,18 @@ CheckResult check_single_writer(const History& history) {
     }
   }
 
+  // A scan's view may be partial (word_base > 0 or a narrower width, e.g. a
+  // shard-local scan): it constrains the scan only relative to the covered
+  // words, which keeps the check exact — uncovered words contribute no
+  // forced edges, so any linearization of the constrained graph extends to
+  // them freely.
   for (const ScanOp& s : history.scans) {
-    if (s.view.size() != words) return describe_scan(s) + ": wrong view width";
-    for (std::size_t j = 0; j < words; ++j) {
-      const Tag& t = s.view[j];
+    if (!s.covers(words)) {
+      return describe_scan(s) + ": view exceeds the word range";
+    }
+    for (std::size_t k = 0; k < s.view.size(); ++k) {
+      const std::size_t j = s.word_base + k;
+      const Tag& t = s.view[k];
       if (t.is_initial()) continue;
       if (t.writer != j) {
         return describe_scan(s) + ": word " + std::to_string(j) +
@@ -179,8 +187,9 @@ CheckResult check_single_writer(const History& history) {
   for (std::size_t si = 0; si < history.scans.size(); ++si) {
     const ScanOp& s = history.scans[si];
     const std::size_t scan_node = num_updates + si;
-    for (std::size_t j = 0; j < words; ++j) {
-      const Tag& t = s.view[j];
+    for (std::size_t k = 0; k < s.view.size(); ++k) {
+      const std::size_t j = s.word_base + k;
+      const Tag& t = s.view[k];
       const std::uint64_t seq = t.seq;
       if (seq > 0) {
         graph.add_precedence(writes[j].by_seq[seq - 1], scan_node);
@@ -237,10 +246,13 @@ CheckResult check_multi_writer_forced(const History& history) {
 
   for (std::size_t si = 0; si < history.scans.size(); ++si) {
     const ScanOp& s = history.scans[si];
-    if (s.view.size() != words) return describe_scan(s) + ": wrong view width";
+    if (!s.covers(words)) {
+      return describe_scan(s) + ": view exceeds the word range";
+    }
     const std::size_t scan_node = num_updates + si;
-    for (std::size_t k = 0; k < words; ++k) {
-      const Tag& t = s.view[k];
+    for (std::size_t vi = 0; vi < s.view.size(); ++vi) {
+      const std::size_t k = s.word_base + vi;
+      const Tag& t = s.view[vi];
       if (t.is_initial()) {
         // The scan precedes every write to word k by any single writer's
         // FIRST write? Not forced in general (another writer's value could

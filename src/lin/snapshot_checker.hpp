@@ -36,7 +36,10 @@ using CheckResult = std::optional<std::string>;
 
 /// Exact check for single-writer snapshot histories (word j written only by
 /// process j, tags (j, 1), (j, 2), ... in order). Also validates that the
-/// history is well-formed (tags in range, views of the right width).
+/// history is well-formed (tags in range, views within the word range).
+/// Scans may be partial (ScanOp::word_base + a narrower view, e.g.
+/// shard-local scans from src/shard/): a partial view only forces edges for
+/// its covered words, which preserves both soundness and completeness.
 CheckResult check_single_writer(const History& history);
 
 /// Sound (violation-only) check for multi-writer snapshot histories.

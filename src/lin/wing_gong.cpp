@@ -95,6 +95,9 @@ WgVerdict wing_gong_check(const History& history, std::size_t max_ops) {
     ops.push_back(Op{false, u.word, u.tag, nullptr, u.inv, u.res});
   }
   for (const ScanOp& s : history.scans) {
+    // Partial views (shard-local scans) are outside this oracle's model of a
+    // full-width Scan; give no verdict rather than a false rejection.
+    if (s.word_base != 0) return WgVerdict::kTooLarge;
     if (s.view.size() != history.num_words) {
       return WgVerdict::kNotLinearizable;
     }

@@ -1,0 +1,366 @@
+// Sharded snapshot fabric: S independent SnapshotService shards behind one
+// front door, with a *global* consistent scan recovered by a two-level
+// snapshot.
+//
+// Why: one SnapshotService is the scaling wall (E11-svc: update throughput
+// collapses 1.33M -> 0.38M ops/s as M grows past n, because every client
+// contends on the same n slots, one batch mutex set, and one scan cache).
+// The paper's own layered construction (core/layered_mw_snapshot.hpp: a
+// snapshot whose words are themselves summaries of lower-level objects) and
+// the progress-space tradeoff of Imbs-Kuznetsov-Rieutord both suggest the
+// fix: don't make one instance wider, run S narrow instances and compose.
+//
+// Structure:
+//
+//   * Each shard is a full SnapshotService — its own backend (n words), its
+//     own SlotLeaseManager, batcher and generation-validated scan cache.
+//     Shards share NOTHING on the update path, so update throughput scales
+//     with S until the machine runs out of cores (experiment E13-shard).
+//
+//   * Clients are routed by hash: shard_of(client) = splitmix64(client) % S,
+//     deterministic and stateless. A client's words live in its shard's
+//     range [shard * n, shard * n + n) of the global word space; values are
+//     built with the GLOBAL word index, so merged histories keep the
+//     single-writer-per-word discipline the exact checker relies on.
+//
+//   * global_scan() is the two-level snapshot. Level 2 is a virtual
+//     "coordination snapshot" whose word s is shard s's generation counter
+//     (svc::SnapshotService::generation(), bumped after every backend
+//     write). A global scan double-collects that vector around a round of
+//     per-shard level-1 scans:
+//
+//         G1 := (generation_0, ..., generation_{S-1})     // collect 1
+//         view_s := shard s's scan (cache or backend)      // level-1 scans
+//         G2 := (generation_0, ..., generation_{S-1})     // collect 2
+//         if G1 == G2: the concatenated view is consistent // Observation 1
+//
+//     This is exactly the paper's double-collect argument lifted one level:
+//     an unchanged generation vector proves no update completed anywhere in
+//     the fabric during the window, so every per-shard view coexists at one
+//     instant inside it (the full linearization argument, including why a
+//     generation-current *cached* view composes, is DESIGN.md §12).
+//
+//   * Liveness: under relentless writes the double collect can keep
+//     failing, so after max_global_attempts rounds the fabric falls back to
+//     a *sealed* scan — it quiesces every shard (ScanSeal holds all slot
+//     execution mutexes, shards taken in index order) and reads the exact
+//     state. That trades a bounded stall for termination, playing the role
+//     the paper's scan-borrowing plays for its unbounded double collect.
+//     An alternative composition over src/cl/ Chandy-Lamport markers was
+//     considered and rejected: CL snapshots channel state of a fixed
+//     process graph, while the generation vector is exactly the "summary
+//     word" shape layered_mw_snapshot already proves out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+#include "svc/errors.hpp"
+#include "svc/lease_manager.hpp"
+#include "svc/service.hpp"
+#include "trace/event.hpp"
+
+namespace asnap::shard {
+
+struct FabricConfig {
+  /// Applied to every shard's service (lease TTL, batching, cache, gate).
+  svc::ServiceConfig service;
+  /// Generation-confirmed global-scan rounds before the sealed fallback.
+  std::size_t max_global_attempts = 8;
+  /// Salt for the client -> shard routing hash.
+  std::uint64_t route_seed = 0x5368617264466162ULL;  // "ShardFab"
+};
+
+/// Fabric-level counters (global scans only; per-shard service counters are
+/// aggregated separately by stats()).
+struct FabricStats {
+  std::uint64_t global_scans = 0;
+  std::uint64_t global_scan_attempts = 0;   ///< confirmation rounds run
+  std::uint64_t global_confirm_failures = 0;///< shards seen moving mid-round
+  std::uint64_t sealed_scans = 0;           ///< fallbacks after retry budget
+};
+
+/// S independent snapshot services composed into one word space of
+/// S * words_per_shard words. Backend is any type SnapshotService accepts.
+template <typename Backend, typename T>
+class ShardedSnapshotFabric {
+ public:
+  using Service = svc::SnapshotService<Backend, T>;
+
+  /// Per-client handle: the home shard plus the inner service session.
+  /// NOT thread-safe (one session per client thread), like ClientSession.
+  class Session {
+   public:
+    Session() = default;
+    bool connected() const { return inner_.connected(); }
+    std::size_t shard() const { return shard_; }
+    /// Leased slot as a GLOBAL word index.
+    std::size_t slot() const { return base_ + inner_.slot(); }
+    svc::ClientId client() const { return inner_.client(); }
+
+   private:
+    friend class ShardedSnapshotFabric;
+    std::size_t shard_ = 0;
+    std::size_t base_ = 0;  ///< shard_ * words_per_shard
+    typename Service::ClientSession inner_;
+  };
+
+  struct ConnectResult {
+    svc::SvcError error = svc::SvcError::kOk;
+    Session session;
+  };
+  using OpResult = typename Service::OpResult;
+
+  /// Shard-local scan: view covers global words
+  /// [word_base, word_base + view.size()).
+  struct ScanResult {
+    svc::SvcError error = svc::SvcError::kOk;
+    std::vector<T> view;
+    std::size_t word_base = 0;
+    bool cache_hit = false;
+    std::uint64_t flushed_through = 0;
+  };
+
+  struct GlobalScanResult {
+    std::vector<T> view;  ///< width = shards() * words_per_shard()
+    std::uint64_t attempts = 0;  ///< confirmation rounds used
+    bool sealed = false;  ///< served by the quiesce fallback
+  };
+
+  /// Takes ownership of one backend per shard; all must have equal size.
+  ShardedSnapshotFabric(std::vector<std::unique_ptr<Backend>> backends,
+                        FabricConfig cfg = {})
+      : cfg_(cfg), backends_(std::move(backends)) {
+    ASNAP_ASSERT_MSG(!backends_.empty(), "fabric needs at least one shard");
+    words_per_shard_ = backends_.front()->size();
+    services_.reserve(backends_.size());
+    for (auto& backend : backends_) {
+      ASNAP_ASSERT_MSG(backend->size() == words_per_shard_,
+                       "all shards must have the same word count");
+      services_.push_back(std::make_unique<Service>(*backend, cfg_.service));
+    }
+  }
+
+  ShardedSnapshotFabric(const ShardedSnapshotFabric&) = delete;
+  ShardedSnapshotFabric& operator=(const ShardedSnapshotFabric&) = delete;
+
+  std::size_t shards() const { return services_.size(); }
+  std::size_t words_per_shard() const { return words_per_shard_; }
+  /// Total fabric word space (checker history width).
+  std::size_t words() const { return shards() * words_per_shard_; }
+
+  /// Deterministic, stateless client routing (splitmix64 over the id).
+  std::size_t shard_of(svc::ClientId client) const {
+    std::uint64_t x = client + cfg_.route_seed + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % services_.size());
+  }
+
+  /// Lease a slot in the client's home shard (FIFO behind earlier clients
+  /// of that shard, same semantics as SnapshotService::connect).
+  ConnectResult connect(svc::ClientId client, std::chrono::nanoseconds timeout) {
+    const std::size_t sh = shard_of(client);
+    auto r = services_[sh]->connect(client, timeout);
+    if (r.error != svc::SvcError::kOk) return {r.error, {}};
+    ConnectResult out;
+    out.session.shard_ = sh;
+    out.session.base_ = sh * words_per_shard_;
+    out.session.inner_ = r.session;
+    ASNAP_TRACE_EVENT(trace::EventKind::kShardRoute,
+                      static_cast<std::uint32_t>(sh),
+                      static_cast<std::uint64_t>(client),
+                      static_cast<std::uint64_t>(out.session.slot()));
+    return out;
+  }
+
+  /// Buffer one update into the session's slot batch. make(word, seq) is
+  /// called with the GLOBAL word index, so stored values (and their history
+  /// tags) are unique across the whole fabric.
+  template <typename MakeValue>
+  OpResult submit_update(Session& sess, MakeValue&& make) {
+    const std::size_t base = sess.base_;
+    auto r = services_[sess.shard_]->submit_update(
+        sess.inner_, [&](ProcessId local, std::uint64_t seq) {
+          return make(static_cast<ProcessId>(base + local), seq);
+        });
+    if (r.error == svc::SvcError::kOk) {
+      ASNAP_TRACE_EVENT(trace::EventKind::kShardLocalUpdate,
+                        static_cast<std::uint32_t>(sess.shard_),
+                        static_cast<std::uint64_t>(sess.slot()));
+    }
+    return r;
+  }
+
+  OpResult flush(Session& sess) { return services_[sess.shard_]->flush(sess.inner_); }
+
+  /// Shard-local atomic snapshot (the session's own shard only) — the cheap
+  /// read path when a client only cares about its own key range.
+  ScanResult scan(Session& sess) {
+    auto r = services_[sess.shard_]->scan(sess.inner_);
+    ASNAP_TRACE_EVENT(trace::EventKind::kShardLocalScan,
+                      static_cast<std::uint32_t>(sess.shard_),
+                      r.cache_hit ? 1 : 0);
+    return {r.error, std::move(r.view), sess.base_, r.cache_hit,
+            r.flushed_through};
+  }
+
+  /// Globally consistent scan across every shard (two-level snapshot; see
+  /// the header comment). Lease-free: any thread may call it. Always
+  /// succeeds — after max_global_attempts unconfirmed rounds it seals the
+  /// fabric and reads the exact quiescent state.
+  GlobalScanResult global_scan() {
+    const std::size_t S = services_.size();
+    ASNAP_TRACE_EVENT(trace::EventKind::kShardGlobalScanBegin, 0,
+                      static_cast<std::uint64_t>(S),
+                      static_cast<std::uint64_t>(cfg_.max_global_attempts));
+    fabric_counters_.global_scans.fetch_add(1, std::memory_order_relaxed);
+
+    GlobalScanResult out;
+    std::vector<std::uint64_t> g1(S);
+    std::vector<std::vector<T>> views(S);
+    for (std::size_t attempt = 0; attempt < cfg_.max_global_attempts;
+         ++attempt) {
+      ++out.attempts;
+      fabric_counters_.global_scan_attempts.fetch_add(
+          1, std::memory_order_relaxed);
+      // Collect 1: the generation vector (level-2 words).
+      for (std::size_t s = 0; s < S; ++s) g1[s] = services_[s]->generation();
+      // Level-1 scans, one per shard (cache-served when generation-current).
+      for (std::size_t s = 0; s < S; ++s) {
+        views[s] = std::move(services_[s]->shared_scan().view);
+      }
+      // Collect 2: confirm no shard's generation moved across the window.
+      std::size_t moved = 0;
+      for (std::size_t s = 0; s < S; ++s) {
+        const std::uint64_t g2 = services_[s]->generation();
+        if (g2 != g1[s]) {
+          ++moved;
+          ASNAP_TRACE_EVENT(trace::EventKind::kShardConfirmFail,
+                            static_cast<std::uint32_t>(s), g1[s], g2);
+        }
+      }
+      if (moved == 0) {
+        out.view = assemble(views);
+        ASNAP_TRACE_EVENT(trace::EventKind::kShardGlobalScanEnd, 0,
+                          out.attempts, 0);
+        return out;
+      }
+      fabric_counters_.global_confirm_failures.fetch_add(
+          moved, std::memory_order_relaxed);
+    }
+
+    // Sealed fallback: quiesce every shard (index order), then the state
+    // cannot move while we read it — a true global linearization point
+    // exists at any instant all seals are held.
+    {
+      std::vector<typename Service::ScanSeal> seals;
+      seals.reserve(S);
+      for (std::size_t s = 0; s < S; ++s) {
+        seals.push_back(services_[s]->seal_for_scan());
+      }
+      for (std::size_t s = 0; s < S; ++s) {
+        views[s] = services_[s]->sealed_scan(seals[s]);
+      }
+    }
+    fabric_counters_.sealed_scans.fetch_add(1, std::memory_order_relaxed);
+    out.sealed = true;
+    out.view = assemble(views);
+    ASNAP_TRACE_EVENT(trace::EventKind::kShardGlobalScanEnd, 0, out.attempts,
+                      1);
+    return out;
+  }
+
+  /// Flush pending updates and return the lease (semantics of
+  /// SnapshotService::disconnect).
+  OpResult disconnect(Session& sess) {
+    return services_[sess.shard_]->disconnect(sess.inner_);
+  }
+
+  std::uint64_t generation(std::size_t shard) const {
+    return services_[shard]->generation();
+  }
+
+  Service& service(std::size_t shard) { return *services_[shard]; }
+  const Service& service(std::size_t shard) const { return *services_[shard]; }
+
+  FabricStats fabric_stats() const {
+    FabricStats out;
+    out.global_scans =
+        fabric_counters_.global_scans.load(std::memory_order_relaxed);
+    out.global_scan_attempts =
+        fabric_counters_.global_scan_attempts.load(std::memory_order_relaxed);
+    out.global_confirm_failures = fabric_counters_.global_confirm_failures.load(
+        std::memory_order_relaxed);
+    out.sealed_scans =
+        fabric_counters_.sealed_scans.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Service counters summed across shards (same shape as one service's).
+  svc::ServiceStats stats() const {
+    svc::ServiceStats out;
+    for (const auto& service : services_) {
+      const svc::ServiceStats s = service->stats();
+      out.connects += s.connects;
+      out.disconnects += s.disconnects;
+      out.submits += s.submits;
+      out.flushes += s.flushes;
+      out.coalesced += s.coalesced;
+      out.scans += s.scans;
+      out.cache_hits += s.cache_hits;
+      out.cache_misses += s.cache_misses;
+      out.sheds += s.sheds;
+      out.lease_expired_errors += s.lease_expired_errors;
+    }
+    return out;
+  }
+
+  /// Lease counters summed across shards.
+  svc::LeaseStats lease_stats() const {
+    svc::LeaseStats out;
+    for (const auto& service : services_) {
+      const svc::LeaseStats s =
+          const_cast<Service&>(*service).lease_manager().stats();
+      out.grants += s.grants;
+      out.steals += s.steals;
+      out.releases += s.releases;
+      out.renewals += s.renewals;
+      out.timeouts += s.timeouts;
+      out.queue_rejections += s.queue_rejections;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> assemble(std::vector<std::vector<T>>& views) {
+    std::vector<T> out;
+    out.reserve(words());
+    for (auto& v : views) {
+      for (auto& value : v) out.push_back(std::move(value));
+    }
+    return out;
+  }
+
+  struct FabricCounters {
+    std::atomic<std::uint64_t> global_scans{0};
+    std::atomic<std::uint64_t> global_scan_attempts{0};
+    std::atomic<std::uint64_t> global_confirm_failures{0};
+    std::atomic<std::uint64_t> sealed_scans{0};
+  };
+
+  FabricConfig cfg_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::size_t words_per_shard_ = 0;
+  std::vector<std::unique_ptr<Service>> services_;
+  FabricCounters fabric_counters_;
+};
+
+}  // namespace asnap::shard

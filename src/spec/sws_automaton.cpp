@@ -206,6 +206,8 @@ std::optional<bool> sws_accepts(const lin::History& history,
     ops.push_back(Op{false, u.proc, u.word, u.tag, nullptr, u.inv, u.res});
   }
   for (const lin::ScanOp& s : history.scans) {
+    // SWS models full-width scans only; give no verdict on partial views.
+    if (s.word_base != 0) return std::nullopt;
     if (s.view.size() != history.num_words) return false;
     ops.push_back(Op{true, s.proc, 0, lin::Tag{}, &s.view, s.inv, s.res});
   }

@@ -339,6 +339,98 @@ class SnapshotService {
   SlotLeaseManager& lease_manager() { return leases_; }
   const Backend& backend() const { return *backend_; }
 
+  // --- Cross-shard composition hooks (src/shard/) --------------------------
+  //
+  // A sharded fabric runs S independent services and recovers a globally
+  // consistent view by double-collecting the services' generation counters
+  // around a round of per-shard scans (DESIGN.md §12). These hooks expose
+  // exactly what that needs: the generation counter, a lease-free scan, and
+  // a seal that quiesces the shard for the bounded-retry fallback.
+
+  /// Backend mutation generation. Bumped (seq_cst) after every backend
+  /// write; an unchanged generation across a window proves no update
+  /// completed inside it. This is the fabric's per-shard "word".
+  std::uint64_t generation() const {
+    return mutations_.load(std::memory_order_seq_cst);
+  }
+
+  /// Lease-free scan for cross-shard composition: serves from the
+  /// generation-validated cache when possible, else performs a backend scan
+  /// under slot 0's execution mutex with the slot-0 scanner identity (safe:
+  /// every backend op under pid 0 — client or fabric — serializes on that
+  /// mutex, so the paper's one-op-per-process well-formedness holds).
+  ScanResult shared_scan() {
+    counters_.scans.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.cache_scans) {
+      if (auto view = cache_lookup(0)) {
+        return {SvcError::kOk, std::move(*view), true, 0};
+      }
+      counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      ASNAP_TRACE_EVENT(trace::EventKind::kScanCacheMiss, 0,
+                        mutations_.load(std::memory_order_relaxed));
+      std::lock_guard fill(fill_mu_);
+      if (auto view = cache_lookup(0)) {  // refilled while waiting
+        return {SvcError::kOk, std::move(*view), true, 0};
+      }
+      const std::uint64_t g_pre = mutations_.load(std::memory_order_seq_cst);
+      std::vector<T> view;
+      {
+        std::lock_guard lk(slots_[0].mu);
+        view = backend_->scan(0);
+      }
+      {
+        std::unique_lock cl(cache_mu_);
+        if (!cache_valid_ || g_pre >= cache_gen_) {
+          cache_view_ = view;
+          cache_gen_ = g_pre;
+          cache_valid_ = true;
+          cache_gen_hint_.store(g_pre, std::memory_order_relaxed);
+        }
+      }
+      return {SvcError::kOk, std::move(view), false, 0};
+    }
+    std::vector<T> view;
+    {
+      std::lock_guard lk(slots_[0].mu);
+      view = backend_->scan(0);
+    }
+    return {SvcError::kOk, std::move(view), false, 0};
+  }
+
+  /// RAII quiescence over this service: holds every slot's execution mutex,
+  /// so no backend write (and no lease seal) can run while it exists. Slot
+  /// mutexes are taken in index order and no other path ever holds two, so
+  /// seals cannot deadlock against clients or against each other.
+  class ScanSeal {
+   public:
+    ScanSeal(ScanSeal&&) noexcept = default;
+    ScanSeal& operator=(ScanSeal&&) noexcept = default;
+
+   private:
+    friend class SnapshotService;
+    ScanSeal() = default;
+    std::vector<std::unique_lock<std::mutex>> locks_;
+  };
+
+  /// Quiesce the shard. Blocks until in-flight per-slot operations drain;
+  /// writers block until the seal is destroyed. The bounded-retry global
+  /// scan only reaches for this after generation confirmation keeps failing
+  /// (a heavily write-contended fabric), so the stall is rare by design.
+  ScanSeal seal_for_scan() {
+    ScanSeal seal;
+    seal.locks_.reserve(slots_.size());
+    for (Slot& s : slots_) seal.locks_.emplace_back(s.mu);
+    return seal;
+  }
+
+  /// Scan under an active seal: the backend is provably quiescent, so the
+  /// result is the exact shard state for as long as the seal is held.
+  std::vector<T> sealed_scan(const ScanSeal& seal) {
+    ASNAP_ASSERT_MSG(seal.locks_.size() == slots_.size(),
+                     "sealed_scan requires this service's own seal");
+    return backend_->scan(0);
+  }
+
  private:
   struct alignas(kCacheLine) Slot {
     std::mutex mu;  ///< serializes EVERY backend op under this slot's pid

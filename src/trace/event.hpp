@@ -71,6 +71,14 @@ enum class EventKind : std::uint16_t {
   kScanCacheInvalidate,  ///< pid = flushing slot, a0 = stale generation
   kSvcShed,              ///< pid = slot, a0 = op kind (1 update, 2 scan, 3 flush)
 
+  // -- sharded fabric (src/shard/): hash routing + two-level global scans ---
+  kShardRoute,            ///< pid = shard, a0 = client id, a1 = global slot
+  kShardLocalUpdate,      ///< pid = shard, a0 = global word index
+  kShardLocalScan,        ///< pid = shard, a0 = cache hit (0/1)
+  kShardGlobalScanBegin,  ///< pid = 0, a0 = shard count, a1 = attempt cap
+  kShardGlobalScanEnd,    ///< pid = 0, a0 = attempts used, a1 = sealed (0/1)
+  kShardConfirmFail,      ///< pid = shard, a0 = gen at collect, a1 = at confirm
+
   kKindCount,
 };
 

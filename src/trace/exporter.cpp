@@ -148,6 +148,12 @@ const char* kind_name(EventKind kind) {
     case EventKind::kScanCacheMiss: return "scan_cache_miss";
     case EventKind::kScanCacheInvalidate: return "scan_cache_invalidate";
     case EventKind::kSvcShed: return "svc_shed";
+    case EventKind::kShardRoute: return "shard_route";
+    case EventKind::kShardLocalUpdate: return "shard_local_update";
+    case EventKind::kShardLocalScan: return "shard_local_scan";
+    case EventKind::kShardGlobalScanBegin: return "shard_global_scan_begin";
+    case EventKind::kShardGlobalScanEnd: return "shard_global_scan_end";
+    case EventKind::kShardConfirmFail: return "shard_confirm_fail";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -160,6 +166,7 @@ bool is_begin_kind(EventKind kind) {
     case EventKind::kUpdateBegin:
     case EventKind::kAbdRoundBegin:
     case EventKind::kRecoverBegin:
+    case EventKind::kShardGlobalScanBegin:
       return true;
     default:
       return false;
@@ -174,6 +181,7 @@ bool is_end_kind(EventKind kind) {
     case EventKind::kAbdQuorumReached:
     case EventKind::kAbdRoundTimeout:
     case EventKind::kRecoverEnd:
+    case EventKind::kShardGlobalScanEnd:
       return true;
     default:
       return false;
@@ -198,6 +206,9 @@ const char* duration_name(EventKind kind) {
     case EventKind::kRecoverBegin:
     case EventKind::kRecoverEnd:
       return "recover";
+    case EventKind::kShardGlobalScanBegin:
+    case EventKind::kShardGlobalScanEnd:
+      return "global_scan";
     default:
       return nullptr;
   }
@@ -236,6 +247,13 @@ const char* kind_category(EventKind kind) {
     case EventKind::kScanCacheInvalidate:
     case EventKind::kSvcShed:
       return "svc";
+    case EventKind::kShardRoute:
+    case EventKind::kShardLocalUpdate:
+    case EventKind::kShardLocalScan:
+    case EventKind::kShardGlobalScanBegin:
+    case EventKind::kShardGlobalScanEnd:
+    case EventKind::kShardConfirmFail:
+      return "shard";
     default:
       return "snapshot";
   }

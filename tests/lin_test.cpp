@@ -133,9 +133,15 @@ TEST(SwChecker, UnknownTagRejected) {
   EXPECT_TRUE(check_single_writer(h).has_value());
 }
 
-TEST(SwChecker, WrongViewWidthRejected) {
-  auto h = HistoryBuilder(2).scan(0, {initial()}, 0, 1).h;
+TEST(SwChecker, ViewExceedingWordRangeRejected) {
+  // A view running past num_words is malformed input. A view NARROWER than
+  // num_words, by contrast, is a legal partial scan of the prefix
+  // (word_base defaults to 0) since shard-local scans were introduced — see
+  // shard_test.cpp for the partial-scan checker semantics.
+  auto h = HistoryBuilder(2).scan(0, {initial(), initial(), initial()}, 0, 1).h;
   EXPECT_TRUE(check_single_writer(h).has_value());
+  auto partial = HistoryBuilder(2).scan(0, {initial()}, 0, 1).h;
+  EXPECT_FALSE(check_single_writer(partial).has_value());
 }
 
 TEST(SwChecker, NonConsecutiveSequenceRejected) {

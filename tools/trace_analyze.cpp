@@ -13,19 +13,24 @@
 //   * handshake toggle frequency;
 //   * ABD retransmissions per quorum round (the robustness tail) and
 //     round timeouts;
-//   * fault-injector decisions observed (drops / dups / delays).
+//   * fault-injector decisions observed (drops / dups / delays);
+//   * sharded-fabric composition health: per-shard update/scan traffic, the
+//     cross-shard global-scan retry rate (generation-vector double collects
+//     that had to rerun), confirm failures, and sealed-fallback frequency.
 //
 // Usage:
 //   trace_analyze <trace.json | trace.jsonl> ...
 //   trace_analyze --demo     # trace a small in-process workload, then
 //                            # analyze it (self-contained smoke test)
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,6 +39,7 @@
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
+#include "shard/fabric.hpp"
 #include "svc/service.hpp"
 #include "trace/event.hpp"
 #include "trace/exporter.hpp"
@@ -158,6 +164,19 @@ struct Analysis {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_invalidates = 0;
   std::uint64_t sheds = 0;
+  // Sharded fabric (PR 6): hash routing, shard-local traffic, two-level
+  // cross-shard global scans.
+  std::uint64_t shard_routes = 0;
+  std::map<std::uint32_t, std::uint64_t> shard_updates;      ///< by shard
+  std::map<std::uint32_t, std::uint64_t> shard_local_scans;  ///< by shard
+  std::map<std::uint32_t, std::uint64_t> shard_local_hits;   ///< by shard
+  std::uint64_t global_scans = 0;
+  std::uint64_t global_retried = 0;  ///< needed > 1 confirmation round
+  std::uint64_t global_sealed = 0;   ///< fell back to the quiesce path
+  std::uint64_t incomplete_global_scans = 0;
+  trace::LogHistogram global_attempts;
+  trace::LogHistogram global_latency_ns;
+  std::uint64_t confirm_failures = 0;  ///< generation vector moved mid-round
   std::uint64_t first_ts = ~std::uint64_t{0};
   std::uint64_t last_ts = 0;
 };
@@ -179,6 +198,7 @@ Analysis analyze(std::vector<Row> rows) {
   std::map<std::uint32_t, PendingRound> round_by_tid;
   std::map<std::uint64_t, std::uint64_t> crash_ts_by_node;   // chaos kCrash
   std::map<std::uint32_t, std::uint64_t> recover_begin_by_node;
+  std::map<std::uint32_t, std::uint64_t> global_begin_by_tid;
 
   for (const Row& r : rows) {
     if (r.ts_ns < out.first_ts) out.first_ts = r.ts_ns;
@@ -279,6 +299,29 @@ Analysis analyze(std::vector<Row> rows) {
       ++out.cache_invalidates;
     } else if (r.kind == "svc_shed") {
       ++out.sheds;
+    } else if (r.kind == "shard_route") {
+      ++out.shard_routes;
+    } else if (r.kind == "shard_local_update") {
+      ++out.shard_updates[r.pid];
+    } else if (r.kind == "shard_local_scan") {
+      ++out.shard_local_scans[r.pid];
+      if (r.a0 != 0) ++out.shard_local_hits[r.pid];
+    } else if (r.kind == "shard_global_scan_begin") {
+      global_begin_by_tid[r.tid] = r.ts_ns;
+    } else if (r.kind == "shard_global_scan_end") {
+      ++out.global_scans;
+      out.global_attempts.record(r.a0);
+      if (r.a0 > 1) ++out.global_retried;
+      if (r.a1 != 0) ++out.global_sealed;
+      const auto it = global_begin_by_tid.find(r.tid);
+      if (it != global_begin_by_tid.end()) {
+        out.global_latency_ns.record(r.ts_ns - it->second);
+        global_begin_by_tid.erase(it);
+      } else {  // begin lost to ring overwrite: latency not attributable
+        ++out.incomplete_global_scans;
+      }
+    } else if (r.kind == "shard_confirm_fail") {
+      ++out.confirm_failures;
     }
   }
   return out;
@@ -460,6 +503,63 @@ std::size_t report(const Analysis& a) {
                 static_cast<unsigned long long>(a.sheds));
   }
 
+  if (a.shard_routes + a.global_scans + a.confirm_failures != 0 ||
+      !a.shard_updates.empty() || !a.shard_local_scans.empty()) {
+    // Union of shard ids seen on either the update or the scan path.
+    std::map<std::uint32_t, bool> shards;
+    for (const auto& [sh, n] : a.shard_updates) shards[sh] = true;
+    for (const auto& [sh, n] : a.shard_local_scans) shards[sh] = true;
+
+    std::printf("\n== sharded fabric ==\n");
+    std::printf("routing: %llu client routes across %zu shard(s)\n",
+                static_cast<unsigned long long>(a.shard_routes),
+                shards.size());
+    std::printf("%-8s %12s %12s %8s\n", "shard", "updates", "local scans",
+                "hit%");
+    for (const auto& [sh, present] : shards) {
+      const auto count = [&](const std::map<std::uint32_t, std::uint64_t>& m) {
+        const auto it = m.find(sh);
+        return it == m.end() ? std::uint64_t{0} : it->second;
+      };
+      const std::uint64_t scans = count(a.shard_local_scans);
+      std::printf("%-8u %12llu %12llu %7.1f%%\n", sh,
+                  static_cast<unsigned long long>(count(a.shard_updates)),
+                  static_cast<unsigned long long>(scans),
+                  scans == 0 ? 0.0
+                             : 100.0 *
+                                   static_cast<double>(
+                                       count(a.shard_local_hits)) /
+                                   static_cast<double>(scans));
+    }
+    if (a.global_scans != 0) {
+      std::printf("global scans: %llu — %.1f%% retried, attempts p50 %llu "
+                  "p99 %llu max %llu, %llu sealed fallbacks\n",
+                  static_cast<unsigned long long>(a.global_scans),
+                  100.0 * static_cast<double>(a.global_retried) /
+                      static_cast<double>(a.global_scans),
+                  static_cast<unsigned long long>(
+                      a.global_attempts.percentile(0.50)),
+                  static_cast<unsigned long long>(
+                      a.global_attempts.percentile(0.99)),
+                  static_cast<unsigned long long>(a.global_attempts.max()),
+                  static_cast<unsigned long long>(a.global_sealed));
+      std::printf("global scan latency: p50 %.1fus  p99 %.1fus  max %.1fus\n",
+                  static_cast<double>(a.global_latency_ns.percentile(0.50)) /
+                      1e3,
+                  static_cast<double>(a.global_latency_ns.percentile(0.99)) /
+                      1e3,
+                  static_cast<double>(a.global_latency_ns.max()) / 1e3);
+    }
+    std::printf("generation confirm failures: %llu (a shard's writes crossed "
+                "a collect window)\n",
+                static_cast<unsigned long long>(a.confirm_failures));
+    if (a.incomplete_global_scans != 0) {
+      std::printf("(%llu global_scan_end events had no begin in the trace — "
+                  "ring overwrote their start; latency excluded)\n",
+                  static_cast<unsigned long long>(a.incomplete_global_scans));
+    }
+  }
+
   if (violations != 0) {
     std::printf("\nPROTOCOL VIOLATION: %zu scan(s) exceeded the pigeonhole "
                 "bound\n",
@@ -509,6 +609,30 @@ int run_demo() {
     }
     (void)service.disconnect(c1.session);
     (void)service.disconnect(c2.session);
+    // Sharded fabric: two shards of A1 under hash routing, with local and
+    // cross-shard global scans, so the "== sharded fabric ==" section has
+    // data (including at least the zero-failure confirm line).
+    using ShardBackend = core::UnboundedSwSnapshot<std::uint64_t>;
+    std::vector<std::unique_ptr<ShardBackend>> parts;
+    for (int s = 0; s < 2; ++s) {
+      parts.push_back(std::make_unique<ShardBackend>(kN, 0));
+    }
+    shard::ShardedSnapshotFabric<ShardBackend, std::uint64_t> fabric(
+        std::move(parts));
+    std::vector<decltype(fabric)::Session> sessions(4);
+    for (std::uint64_t c = 0; c < sessions.size(); ++c) {
+      sessions[c] = fabric.connect(c, std::chrono::seconds(1)).session;
+    }
+    for (std::uint64_t it = 1; it <= 100; ++it) {
+      for (auto& sess : sessions) {
+        (void)fabric.submit_update(
+            sess, [it](ProcessId, std::uint64_t) { return it; });
+        (void)fabric.flush(sess);
+        (void)fabric.scan(sess);
+      }
+      (void)fabric.global_scan();
+    }
+    for (auto& sess : sessions) (void)fabric.disconnect(sess);
   }
   std::vector<Row> rows;
   if (!load_trace(path, rows)) return 2;

@@ -50,10 +50,10 @@ ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 # seal/epoch handover + generation-checked scan cache, and the fabric's
 # generation-vector double collect + all-slot seal are exactly where data
 # races would hide.
-echo "== fault+trace+chaos+svc+shard matrix under TSan =="
+echo "== fault+trace+chaos+svc+shard+netchaos matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard" --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard|netchaos" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -162,6 +162,45 @@ fi
 } 2>&1 | tee results/shard_loadgen.txt
 grep '^JSON ' results/shard_loadgen.txt | sed 's/^JSON //' \
   > results/shard_loadgen.jsonl
+
+# E14-netchaos — the real cluster behind the seeded TCP fault proxy: the
+# ambient loss x delay sweep maps update throughput and round-trip tails as
+# the wire degrades, with the partition dimension toggling blackhole/flap
+# bursts on top. Every cell runs the full rails (exact linearizability,
+# majority-safety, durability audit, liveness watchdog) and chaos_run exits
+# nonzero on any violation, so set -e makes every cell an acceptance gate.
+# The net+kill composition and the MUST-FAIL minority-split negative control
+# (`!` inverts its expected nonzero exit) close the loop: the checkers keep
+# their teeth when the network is the adversary. JSON lines land in
+# results/netchaos.jsonl.
+echo "== E14-netchaos: cluster under the seeded TCP fault proxy =="
+netchaos_trace_args=()
+if [ -n "$TRACE_DIR" ]; then
+  netchaos_trace_args=(--trace "$TRACE_DIR/chaos_net.json")
+fi
+{
+  for loss in 0 0.01 0.05; do
+    for delay in 0 5 25; do
+      for part in on off; do
+        build/tools/chaos_run --scenario net --seconds 2 --writers 2 \
+          --seed 42 --loss "$loss" --delay-ms "$delay" --jitter-ms 2 \
+          --reorder 0.01 --partition "$part"
+      done
+    done
+  done
+  # Wire faults composed with the kill -9 / SIGSTOP process adversary,
+  # traced when --trace-dir is given so trace_analyze's network-chaos
+  # section has real injected-fault -> retransmit-wave data.
+  build/tools/chaos_run --scenario net+kill --seconds 3 --writers 2 \
+    --seed 42 --crash-rate 1 --loss 0.05 --delay-ms 5 --jitter-ms 2 \
+    --reorder 0.01 ${netchaos_trace_args[@]+"${netchaos_trace_args[@]}"}
+  # Negative control: a minority-only cluster must be CAUGHT (nonzero
+  # exit), proving the rails detect real partition-safety violations.
+  ! build/tools/chaos_run --scenario net-split --seconds 2 --writers 2 \
+    --seed 42
+} 2>&1 | tee results/netchaos.txt
+grep '^JSON ' results/netchaos.txt | sed 's/^JSON //' \
+  > results/netchaos.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

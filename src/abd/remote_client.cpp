@@ -6,12 +6,20 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "trace/event.hpp"
 
 namespace asnap::abd {
 
 namespace {
 using Clock = std::chrono::steady_clock;
-}
+
+/// EWMA weight for RTT smoothing, matching net::ReplicaHealth: new estimate
+/// = 3/4 old + 1/4 sample.
+constexpr int kRttAlphaShift = 2;
+/// Floor for the adaptive retransmission timeout: below this, retransmits
+/// race the kernel's own delivery on loopback.
+constexpr std::chrono::microseconds kMinAdaptiveRto{500};
+}  // namespace
 
 RemoteRegisterClient::RemoteRegisterClient(std::vector<net::Endpoint> replicas,
                                            std::uint64_t client_id,
@@ -19,7 +27,45 @@ RemoteRegisterClient::RemoteRegisterClient(std::vector<net::Endpoint> replicas,
     : client_id_(client_id),
       config_(config),
       bus_(std::move(replicas), /*seed=*/client_id * 0x9E3779B97F4A7C15ull + 1),
-      max_epoch_(bus_.size(), 0) {}
+      max_epoch_(bus_.size(), 0) {
+  rtt_us_.reserve(bus_.size());
+  for (std::size_t i = 0; i < bus_.size(); ++i) {
+    rtt_us_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void RemoteRegisterClient::record_rtt(std::size_t replica,
+                                      std::chrono::microseconds sample) {
+  const auto s = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, sample.count()));
+  auto& cell = *rtt_us_[replica];
+  const std::uint64_t old = cell.load(std::memory_order_relaxed);
+  const std::uint64_t next =
+      old == 0 ? s : old - (old >> kRttAlphaShift) + (s >> kRttAlphaShift);
+  cell.store(next, std::memory_order_relaxed);
+}
+
+std::chrono::microseconds RemoteRegisterClient::rtt_estimate(
+    std::size_t replica) const {
+  if (replica >= rtt_us_.size()) return std::chrono::microseconds{0};
+  return std::chrono::microseconds(
+      rtt_us_[replica]->load(std::memory_order_relaxed));
+}
+
+std::chrono::microseconds RemoteRegisterClient::adaptive_rto() const {
+  std::uint64_t worst = 0;
+  for (const auto& cell : rtt_us_) {
+    worst = std::max(worst, cell->load(std::memory_order_relaxed));
+  }
+  if (worst == 0) return config_.initial_rto;
+  // A retransmission before ~4x the smoothed RTT mostly duplicates traffic
+  // that is still in flight; past it, the original was probably lost.
+  auto rto = std::chrono::microseconds(worst * 4);
+  rto = std::max(rto, kMinAdaptiveRto);
+  rto = std::min(rto, std::chrono::duration_cast<std::chrono::microseconds>(
+                          config_.max_rto));
+  return rto;
+}
 
 OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
                                          std::uint8_t expect_type,
@@ -30,15 +76,27 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
   request.version = net::wire::kWireVersion;
   request.from = client_id_;
 
+  const auto pid = static_cast<std::uint32_t>(client_id_);
+  ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundBegin, pid, request.rid,
+                    needed);
+
   std::vector<char> seen(n, 0);
+  // When the last transmit to a replica is still unanswered, its reply
+  // arrival time minus this is an RTT sample (Karn's rule: a wave resets
+  // the timestamp, so a reply to an older copy never shrinks the estimate).
+  std::vector<Clock::time_point> last_tx(n);
   std::size_t count = 0;
   bool adopted = false;
-  RetryBackoff backoff(config_.initial_rto, config_.max_rto);
+  const auto initial_rto = adaptive_rto();
+  RetryBackoff backoff(initial_rto, std::max(initial_rto, config_.max_rto));
   const auto deadline = Clock::now() + config_.op_deadline;
 
   const auto transmit_wave = [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      if (!seen[i]) bus_.send(i, request);
+      if (!seen[i]) {
+        bus_.send(i, request, deadline);
+        last_tx[i] = Clock::now();
+      }
     }
   };
   transmit_wave();
@@ -47,6 +105,7 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
   while (count < needed) {
     const auto now = Clock::now();
     if (now >= deadline) {
+      ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundTimeout, pid, request.rid);
       std::lock_guard<std::mutex> s(stats_mu_);
       ++stats_.round_timeouts;
       return OpStatus::kTimeout;
@@ -55,6 +114,7 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
       backoff.grow();
       transmit_wave();
       next_retransmit = now + backoff.current();
+      ASNAP_TRACE_EVENT(trace::EventKind::kAbdRetransmit, pid, request.rid);
       std::lock_guard<std::mutex> s(stats_mu_);
       ++stats_.retransmit_waves;
       continue;
@@ -86,6 +146,8 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
     }
     seen[from] = 1;
     ++count;
+    record_rtt(from, std::chrono::duration_cast<std::chrono::microseconds>(
+                         Clock::now() - last_tx[from]));
     if (collect != nullptr) {
       if (!adopted || frame->ts > collect->ts) {
         collect->ts = frame->ts;
@@ -94,6 +156,8 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
       }
     }
   }
+  ASNAP_TRACE_EVENT(trace::EventKind::kAbdQuorumReached, pid, request.rid,
+                    count);
   return OpStatus::kOk;
 }
 

@@ -19,11 +19,24 @@
 // stamped by an earlier incarnation (a SIGSTOPped pre-crash replica
 // resumed after its successor restarted cannot confuse a round).
 //
+// Under a degraded network (net/chaos_proxy) two refinements matter:
+//   * the per-operation deadline is threaded into every bus send, so a
+//     half-open connection whose kernel buffer filled cannot wedge an
+//     operation past its deadline;
+//   * the retransmission floor adapts to measured per-replica RTT (EWMA,
+//     same alpha-1/4 scheme as ReplicaHealth): on a 25 ms-delay link the
+//     first retransmit waits ~4x the observed RTT instead of firing a
+//     futile wave every initial_rto, and on a fast loopback it drops below
+//     the configured floor for snappier loss recovery.
+//
 // One operation at a time per client (op_mu_): concurrent load comes from
 // many clients, matching one-mailbox-per-client SimNetwork usage.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -69,9 +82,18 @@ class RemoteRegisterClient {
   Stats stats() const;
   std::uint64_t reconnects() const { return bus_.reconnects(); }
 
+  /// Smoothed round-trip estimate for one replica, 0 before any sample.
+  std::chrono::microseconds rtt_estimate(std::size_t replica) const;
+
+  /// The retransmission floor the next round will start from: 4x the worst
+  /// smoothed per-replica RTT, clamped to [500us, max_rto]; the configured
+  /// initial_rto until a first sample exists. Exposed for tests/reports.
+  std::chrono::microseconds adaptive_rto() const;
+
  private:
   OpStatus run_round(net::wire::Frame request, std::uint8_t expect_type,
                      std::size_t needed, ReadResult* collect);
+  void record_rtt(std::size_t replica, std::chrono::microseconds sample);
 
   const std::uint64_t client_id_;
   const AbdConfig config_;
@@ -79,6 +101,9 @@ class RemoteRegisterClient {
   std::mutex op_mu_;
   std::uint64_t next_rid_ = 1;
   std::vector<std::uint64_t> max_epoch_;  ///< highest epoch seen per replica
+  /// Smoothed RTT per replica in microseconds, 0 = no sample yet. Atomic so
+  /// rtt_estimate()/adaptive_rto() never contend with a round in flight.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> rtt_us_;
   mutable std::mutex stats_mu_;
   Stats stats_;
 };

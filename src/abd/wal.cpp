@@ -5,6 +5,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <vector>
@@ -181,16 +182,61 @@ std::unique_ptr<ReplicaWal> ReplicaWal::open(const std::string& path,
       new ReplicaWal(path, fd, fsync, good));
 }
 
+const char* wal_error_name(WalError error) {
+  switch (error) {
+    case WalError::kNone: return "none";
+    case WalError::kNoSpace: return "no_space";
+    case WalError::kIo: return "io";
+  }
+  return "unknown";
+}
+
+/// Classify errno, remember it, and roll the file back to the last record
+/// boundary: a failed append may have written a partial record (short
+/// write before ENOSPC), and leaving it would make the NEXT successful
+/// append land after garbage — replay would then truncate acked records.
+bool ReplicaWal::fail_append_locked(int error_no) {
+  last_error_ = (error_no == ENOSPC || error_no == EDQUOT)
+                    ? WalError::kNoSpace
+                    : WalError::kIo;
+  if (fd_ >= 0 && ::ftruncate(fd_, static_cast<off_t>(bytes_)) == 0) {
+    ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
+  }
+  return false;
+}
+
 bool ReplicaWal::append_record(std::uint16_t type, std::uint64_t reg,
                                std::uint64_t ts,
                                const net::wire::Bytes& value) {
   const auto rec = encode_record(type, reg, ts, value);
   std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ < 0) return false;
-  if (!write_all(fd_, rec.data(), rec.size())) return false;
-  if (fsync_ && ::fsync(fd_) != 0) return false;
+  if (fd_ < 0) return fail_append_locked(EBADF);
+  if (inject_count_ > 0) {
+    --inject_count_;
+    const std::size_t partial = std::min(inject_partial_, rec.size());
+    if (partial > 0) write_all(fd_, rec.data(), partial);
+    return fail_append_locked(inject_errno_);
+  }
+  if (!write_all(fd_, rec.data(), rec.size())) {
+    return fail_append_locked(errno);
+  }
+  if (fsync_ && ::fsync(fd_) != 0) return fail_append_locked(errno);
   bytes_ += rec.size();
+  last_error_ = WalError::kNone;
   return true;
+}
+
+WalError ReplicaWal::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void ReplicaWal::inject_append_failure(int error_no, int count,
+                                       std::size_t partial_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inject_errno_ = error_no;
+  inject_count_ = count;
+  inject_partial_ = partial_bytes;
 }
 
 bool ReplicaWal::append_write(std::uint64_t reg, std::uint64_t ts,

@@ -41,6 +41,20 @@ struct WalState {
   std::map<std::uint64_t, std::pair<std::uint64_t, net::wire::Bytes>> regs;
 };
 
+/// Why the last append failed. A full disk (kNoSpace) is operator-actionable
+/// and retryable once space frees; anything else (kIo) means the device or
+/// file is suspect and the replica should scream louder. Either way the
+/// append returns false BEFORE any ack leaves the daemon — the log never
+/// acks-then-loses.
+enum class WalError : std::uint8_t {
+  kNone = 0,
+  kNoSpace,  ///< ENOSPC / EDQUOT: the volume (or quota) is full
+  kIo,       ///< any other write/fsync failure (EIO, bad fd, ...)
+};
+
+/// Stable name for a WalError ("none", "no_space", "io").
+const char* wal_error_name(WalError error);
+
 class ReplicaWal {
  public:
   /// Open (creating if needed) `path` and replay it into *state. Torn or
@@ -71,17 +85,35 @@ class ReplicaWal {
   /// Current log size; callers compact when this outgrows their threshold.
   std::uint64_t bytes() const;
 
+  /// Classification of the most recent append failure (kNone after a
+  /// successful append). Lets the daemon log "disk full" vs "I/O error"
+  /// while still refusing the ack in both cases.
+  WalError last_error() const;
+
+  /// Fault injection (tests/chaos only): fail the next `count` appends with
+  /// errno `error_no`. When `partial_bytes` > 0, that many bytes of the
+  /// encoded record are written before failing — a realistic ENOSPC leaves
+  /// a torn record, and the rollback path must erase it so the log stays at
+  /// a record boundary.
+  void inject_append_failure(int error_no, int count,
+                             std::size_t partial_bytes = 0);
+
  private:
   ReplicaWal(std::string path, int fd, bool fsync, std::uint64_t bytes);
 
   bool append_record(std::uint16_t type, std::uint64_t reg, std::uint64_t ts,
                      const net::wire::Bytes& value);
+  bool fail_append_locked(int error_no);
 
   const std::string path_;
   const bool fsync_;
   mutable std::mutex mu_;
   int fd_ = -1;
   std::uint64_t bytes_ = 0;
+  WalError last_error_ = WalError::kNone;  ///< under mu_
+  int inject_errno_ = 0;                   ///< under mu_
+  int inject_count_ = 0;                   ///< under mu_
+  std::size_t inject_partial_ = 0;         ///< under mu_
 };
 
 }  // namespace asnap::abd

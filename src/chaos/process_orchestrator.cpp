@@ -85,12 +85,28 @@ bool ProcessCluster::start() {
   std::error_code ec;
   fs::create_directories(config_.state_dir, ec);
   if (ec) return false;
+  if (config_.proxy) {
+    proxy_ = std::make_unique<net::ChaosProxy>(config_.endpoints,
+                                               config_.proxy_seed);
+    if (!proxy_->start()) {
+      proxy_.reset();
+      return false;
+    }
+    client_endpoints_ = proxy_->endpoints();
+  } else {
+    client_endpoints_ = config_.endpoints;
+  }
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     if (!spawn_locked(i)) return false;
   }
   started_ = true;
   supervisor_ = std::jthread([this](std::stop_token st) { supervise(st); });
   return true;
+}
+
+const std::vector<net::Endpoint>& ProcessCluster::client_endpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return client_endpoints_.empty() ? config_.endpoints : client_endpoints_;
 }
 
 bool ProcessCluster::wait_ready(std::chrono::milliseconds timeout) {
@@ -185,8 +201,14 @@ bool ProcessCluster::resume(std::size_t i) {
 std::size_t ProcessCluster::unavailable() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const Proc& p : procs_) {
-    if (p.down || p.stalled || p.pid <= 0) ++n;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const Proc& p = procs_[i];
+    // Union, not sum: a replica that is both SIGSTOPped and blackholed is
+    // still only one replica that might not answer.
+    if (p.down || p.stalled || p.pid <= 0 ||
+        (proxy_ != nullptr && proxy_->impaired(i))) {
+      ++n;
+    }
   }
   return n;
 }
@@ -210,6 +232,7 @@ void ProcessCluster::stop() {
   }
   supervisor_.request_stop();
   if (supervisor_.joinable()) supervisor_.join();
+  if (proxy_ != nullptr) proxy_->stop();
   std::lock_guard<std::mutex> lock(mu_);
   for (Proc& p : procs_) {
     p.want_up = false;

@@ -25,11 +25,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/chaos_proxy.hpp"
 #include "net/socket.hpp"
 
 namespace asnap::chaos {
@@ -42,6 +44,14 @@ struct ProcessClusterConfig {
   bool fsync = true;          ///< forward --no-fsync when false
   std::chrono::milliseconds restart_delay{200};
   bool auto_restart = true;
+  /// Put a net::ChaosProxy in front of every replica and hand CLIENTS the
+  /// proxied endpoints (client_endpoints()). The daemons themselves still
+  /// peer over the direct endpoints, so a recovering replica's resync
+  /// traffic bypasses the degraded network — the adversary under test is
+  /// the client<->replica wire, and resync correctness already has its own
+  /// scenarios.
+  bool proxy = false;
+  std::uint64_t proxy_seed = 0;  ///< fault-plan seed for the proxy
 };
 
 class ProcessCluster {
@@ -63,6 +73,15 @@ class ProcessCluster {
     return config_.endpoints;
   }
 
+  /// What clients should dial: the proxy's listeners when one is
+  /// configured, the replicas' own endpoints otherwise. Valid after
+  /// start().
+  const std::vector<net::Endpoint>& client_endpoints() const;
+
+  /// The wire-fault injector, nullptr unless config.proxy. Scenario drivers
+  /// use it directly (set_all / blackhole / flap / kill_connections).
+  net::ChaosProxy* proxy() { return proxy_.get(); }
+
   /// SIGKILL replica i. The supervisor respawns it after restart_delay
   /// (auto_restart) — recovery then happens inside the new incarnation.
   bool kill9(std::size_t i);
@@ -70,7 +89,10 @@ class ProcessCluster {
   bool stall(std::size_t i);
   bool resume(std::size_t i);
 
-  /// Replicas currently dead or frozen — the fault driver's majority guard.
+  /// Replicas currently dead, frozen, or (with a proxy) network-impaired —
+  /// the fault driver's majority guard. A replica hit by several faults at
+  /// once counts once: the guard bounds how many replicas might not answer,
+  /// not how many faults are active.
   std::size_t unavailable() const;
   bool running(std::size_t i) const;
 
@@ -105,6 +127,8 @@ class ProcessCluster {
   std::vector<Proc> procs_;
   Report report_;
   std::jthread supervisor_;
+  std::unique_ptr<net::ChaosProxy> proxy_;
+  std::vector<net::Endpoint> client_endpoints_;
   bool started_ = false;
   bool stopped_ = false;
 };

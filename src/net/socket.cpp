@@ -226,18 +226,68 @@ bool send_frame(const Socket& sock, const wire::Frame& frame) {
   return true;
 }
 
+bool send_all(const Socket& sock, const std::uint8_t* data, std::size_t len,
+              Clock::time_point deadline) {
+  if (!sock.valid()) return false;
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(sock.fd(), data + sent, len - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: the peer stopped draining. Wait for writability
+      // only as long as the deadline allows — a half-open connection must
+      // surface as a failed send, not an indefinite park.
+      if (!poll_until(sock.fd(), POLLOUT, deadline)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool send_frame(const Socket& sock, const wire::Frame& frame,
+                Clock::time_point deadline) {
+  const wire::Bytes buf = wire::encode(frame);
+  return send_all(sock, buf.data(), buf.size(), deadline);
+}
+
 namespace {
 
+/// Extra time a receiver grants a frame whose FIRST bytes were consumed
+/// right at the caller's deadline. Every caller polls in slices (the bus
+/// reader, the replica daemons, the chaos proxy pumps all call recv_frame
+/// in a loop); without the grace, a frame whose length prefix lands in the
+/// last microseconds of a slice — with its body already queued in the
+/// kernel — would be misclassified as a mid-frame stall and cost the whole
+/// connection. The grace is bounded, so a genuinely stalled peer (the
+/// adversary chaos_proxy injects) is still detected, just one window later.
+constexpr std::chrono::milliseconds kMidFrameGrace{100};
+
 /// Read exactly `want` bytes into `dst`, honoring the deadline. A timeout
-/// after some bytes already arrived desynchronizes the framing, so it is
-/// reported as kMalformed (caller must drop the connection); a timeout with
-/// zero bytes read is a clean kTimeout the caller may retry.
+/// with zero bytes read — and no earlier part of the frame consumed
+/// (`mid_frame`) — is a clean kTimeout the caller may retry. Once any part
+/// of a frame has been consumed, expiry desynchronizes the framing: after
+/// one kMidFrameGrace extension it is reported as kMalformed (caller must
+/// drop the connection).
 RecvStatus recv_exact(const Socket& sock, std::uint8_t* dst, std::size_t want,
-                      Clock::time_point deadline) {
+                      Clock::time_point deadline, bool mid_frame) {
   std::size_t got = 0;
+  auto limit = deadline;
+  bool graced = false;
   while (got < want) {
-    if (!poll_until(sock.fd(), POLLIN, deadline)) {
-      return got == 0 ? RecvStatus::kTimeout : RecvStatus::kMalformed;
+    if (!poll_until(sock.fd(), POLLIN, limit)) {
+      if (got == 0 && !mid_frame) return RecvStatus::kTimeout;
+      if (!graced) {
+        graced = true;
+        limit = std::max(limit, Clock::now() + kMidFrameGrace);
+        continue;
+      }
+      return RecvStatus::kMalformed;
     }
     const ssize_t n = ::recv(sock.fd(), dst + got, want - got, MSG_DONTWAIT);
     if (n > 0) {
@@ -257,7 +307,8 @@ RecvStatus recv_frame(const Socket& sock, Clock::time_point deadline,
                       wire::Frame* out) {
   if (!sock.valid()) return RecvStatus::kClosed;
   std::uint8_t len_buf[4];
-  RecvStatus st = recv_exact(sock, len_buf, sizeof(len_buf), deadline);
+  RecvStatus st =
+      recv_exact(sock, len_buf, sizeof(len_buf), deadline, /*mid_frame=*/false);
   if (st != RecvStatus::kOk) return st;
   const std::uint32_t body_len = static_cast<std::uint32_t>(len_buf[0]) |
                                  (static_cast<std::uint32_t>(len_buf[1]) << 8) |
@@ -267,9 +318,9 @@ RecvStatus recv_frame(const Socket& sock, Clock::time_point deadline,
     return RecvStatus::kMalformed;
   }
   wire::Bytes body(body_len);
-  st = recv_exact(sock, body.data(), body.size(), deadline);
-  // The length prefix is already consumed: timing out on the body also
-  // desynchronizes the stream.
+  // The length prefix is already consumed: the body read is mid-frame, so
+  // expiry (after the grace) is kMalformed, never a retryable kTimeout.
+  st = recv_exact(sock, body.data(), body.size(), deadline, /*mid_frame=*/true);
   if (st == RecvStatus::kTimeout) return RecvStatus::kMalformed;
   if (st != RecvStatus::kOk) return st;
   auto frame = wire::decode(body.data(), body.size());

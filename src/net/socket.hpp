@@ -82,6 +82,19 @@ Socket tcp_connect(const Endpoint& to, std::chrono::milliseconds timeout,
 /// Write an encoded frame in full. False on any error (connection broken).
 bool send_frame(const Socket& sock, const wire::Frame& frame);
 
+/// Same, but give up when `deadline` passes mid-write. A half-open peer
+/// whose receive window has filled (SIGSTOPped daemon, blackholed link)
+/// otherwise parks the sender in the kernel forever — this is what lets a
+/// per-operation deadline survive a wedged connection.
+bool send_frame(const Socket& sock, const wire::Frame& frame,
+                std::chrono::steady_clock::time_point deadline);
+
+/// Write `len` raw bytes in full, bounded by `deadline`. Exposed for relays
+/// (net/chaos_proxy) that forward byte ranges — including deliberately
+/// partial frames — rather than re-encoding.
+bool send_all(const Socket& sock, const std::uint8_t* data, std::size_t len,
+              std::chrono::steady_clock::time_point deadline);
+
 enum class RecvStatus : std::uint8_t {
   kOk = 0,
   kTimeout = 1,  ///< deadline passed with no complete frame

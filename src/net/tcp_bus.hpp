@@ -36,9 +36,15 @@ struct TcpBusOptions {
   /// Bound on one connect attempt. Local clusters connect in microseconds;
   /// this mostly bounds how long a round stalls on a freshly killed peer.
   std::chrono::milliseconds connect_timeout{100};
-  /// Cooldown after a failed connect before the next attempt, so per-round
-  /// retransmissions don't turn into a SYN flood against a dead replica.
+  /// Cooldown floor after a failed connect before the next attempt, so
+  /// per-round retransmissions don't turn into a SYN flood against a dead
+  /// replica. Consecutive failures double the cooldown (with ±50% seeded
+  /// jitter so a fleet of clients doesn't redial in lockstep)...
   std::chrono::milliseconds reconnect_cooldown{50};
+  /// ...up to this ceiling. A replica behind a flapping link therefore sees
+  /// at most one connect attempt per ceiling interval per client, and a
+  /// successful connect resets the cooldown to the floor.
+  std::chrono::milliseconds reconnect_cooldown_max{2000};
 };
 
 class TcpBus {
@@ -57,6 +63,12 @@ class TcpBus {
   /// handles it, same as a dropped SimNetwork message.
   bool send(std::size_t to, const wire::Frame& frame);
 
+  /// Same, but both the (re)connect attempt and the write itself are capped
+  /// by `deadline`: a half-open connection whose send buffer filled up fails
+  /// the send instead of wedging the caller's whole operation.
+  bool send(std::size_t to, const wire::Frame& frame,
+            std::chrono::steady_clock::time_point deadline);
+
   /// Replies from all replicas (the Port::kClient analog). Frame payloads
   /// arrive as std::any_cast<wire::Frame>-able messages.
   Mailbox& inbox() { return inbox_; }
@@ -65,6 +77,10 @@ class TcpBus {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
+  /// Current (post-jitter) reconnect cooldown armed for replica `to`.
+  /// Test/diagnostic surface for the backoff schedule.
+  std::chrono::milliseconds reconnect_cooldown(std::size_t to) const;
+
  private:
   struct Link {
     std::mutex mu;  ///< guards sock/reader lifecycle (send-side only)
@@ -72,15 +88,23 @@ class TcpBus {
     std::jthread reader;
     std::atomic<bool> broken{false};  ///< reader saw EOF/error/bad frame
     std::chrono::steady_clock::time_point next_attempt{};
+    /// Base cooldown before jitter: floor after success, doubling per
+    /// consecutive connect failure up to the ceiling.
+    std::chrono::milliseconds cooldown_base{0};
+    /// Last armed (jittered) cooldown, exposed via reconnect_cooldown().
+    std::atomic<std::int64_t> cooldown_ms{0};
   };
 
   void read_loop(std::stop_token st, std::size_t idx, int fd);
-  bool ensure_connected(Link& link, std::size_t idx);
+  bool ensure_connected(Link& link, std::size_t idx,
+                        std::chrono::steady_clock::time_point deadline);
+  void arm_backoff(Link& link, std::size_t idx);
 
   std::vector<Endpoint> replicas_;
   TcpBusOptions options_;
   std::vector<std::unique_ptr<Link>> links_;
   Mailbox inbox_;
+  std::uint64_t jitter_state_;  ///< splitmix64 stream for backoff jitter
   std::atomic<std::uint64_t> reconnects_{0};
 };
 

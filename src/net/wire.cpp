@@ -37,9 +37,9 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   return v;
 }
 
-bool fail(std::string* error, const char* why) {
+std::nullopt_t fail(DecodeError* error, DecodeError why) {
   if (error != nullptr) *error = why;
-  return false;
+  return std::nullopt;
 }
 
 const std::array<std::uint32_t, 256>& crc_table() {
@@ -79,25 +79,29 @@ Bytes encode(const Frame& frame) {
   return out;
 }
 
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone: return "ok";
+    case DecodeError::kShortHeader: return "frame shorter than the fixed header";
+    case DecodeError::kOversized: return "frame exceeds kMaxBody";
+    case DecodeError::kBadMagic: return "bad magic";
+    case DecodeError::kBadVersion: return "unknown wire version";
+    case DecodeError::kLengthMismatch:
+      return "value length disagrees with frame length";
+  }
+  return "unknown decode error";
+}
+
 std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
-                            std::string* error) {
-  if (len < kHeaderBytes) {
-    fail(error, "frame shorter than the fixed header");
-    return std::nullopt;
-  }
-  if (len > kMaxBody) {
-    fail(error, "frame exceeds kMaxBody");
-    return std::nullopt;
-  }
-  if (get_u32(body) != kMagic) {
-    fail(error, "bad magic");
-    return std::nullopt;
-  }
+                            DecodeError* error) {
+  if (error != nullptr) *error = DecodeError::kNone;
+  if (len < kHeaderBytes) return fail(error, DecodeError::kShortHeader);
+  if (len > kMaxBody) return fail(error, DecodeError::kOversized);
+  if (get_u32(body) != kMagic) return fail(error, DecodeError::kBadMagic);
   Frame f;
   f.version = body[4];
   if (f.version != kWireVersion) {
-    fail(error, "unknown wire version");
-    return std::nullopt;
+    return fail(error, DecodeError::kBadVersion);
   }
   f.type = body[5];
   // body[6..7]: reserved, ignored for forward compatibility.
@@ -108,11 +112,20 @@ std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
   f.ts = get_u64(body + 40);
   const std::uint32_t value_len = get_u32(body + 48);
   if (kHeaderBytes + static_cast<std::size_t>(value_len) != len) {
-    fail(error, "value length disagrees with frame length");
-    return std::nullopt;
+    return fail(error, DecodeError::kLengthMismatch);
   }
   f.value.assign(body + kHeaderBytes, body + kHeaderBytes + value_len);
   return f;
+}
+
+std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
+                            std::string* error) {
+  DecodeError why = DecodeError::kNone;
+  auto frame = decode(body, len, &why);
+  if (!frame.has_value() && error != nullptr) {
+    *error = decode_error_name(why);
+  }
+  return frame;
 }
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len,

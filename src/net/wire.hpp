@@ -75,8 +75,28 @@ struct Frame {
 /// Serialize including the u32 length prefix, ready for send().
 Bytes encode(const Frame& frame);
 
+/// Every way a frame body can fail to parse. Typed so fuzzers and peers can
+/// assert on the exact failure mode instead of matching message strings;
+/// every rejection reason is one of these — the decoder never throws and
+/// never reads past `len`.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kShortHeader,     ///< body shorter than the fixed header
+  kOversized,       ///< body longer than kMaxBody
+  kBadMagic,        ///< first four bytes are not 'SNAP'
+  kBadVersion,      ///< version byte this decoder does not know
+  kLengthMismatch,  ///< declared value_len disagrees with the body length
+};
+
+/// Stable human-readable reason ("bad magic", ...) for a DecodeError.
+const char* decode_error_name(DecodeError error);
+
 /// Parse one frame BODY (the bytes after the length prefix). On failure
-/// returns nullopt and, when `error` is non-null, a human-readable reason.
+/// returns nullopt and, when `error` is non-null, the typed reason.
+std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
+                            DecodeError* error);
+
+/// Same, reporting the reason as decode_error_name() text instead.
 std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
                             std::string* error = nullptr);
 

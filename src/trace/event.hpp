@@ -71,6 +71,19 @@ enum class EventKind : std::uint16_t {
   kScanCacheInvalidate,  ///< pid = flushing slot, a0 = stale generation
   kSvcShed,              ///< pid = slot, a0 = op kind (1 update, 2 scan, 3 flush)
 
+  // -- network chaos (src/net/chaos_proxy + hardened TcpBus) ----------------
+  // pid = proxied link (replica index); a0 = direction for per-direction
+  // faults (0 = client->replica, 1 = replica->client).
+  kNetDrop,       ///< frame dropped; a1 = frame bytes
+  kNetDelay,      ///< frame delayed; a1 = delay in microseconds
+  kNetReorder,    ///< frame held and emitted after its successor
+  kNetStall,      ///< mid-frame stall injected; a1 = stall milliseconds
+  kNetReset,      ///< connection reset injected on this link
+  kNetBlackhole,  ///< direction blackholed (asymmetric partition); a1 = on/off
+  kNetFlap,       ///< link flap transition; a0 = 1 up / 0 down
+  kNetThrottle,   ///< bandwidth throttle pause; a1 = sleep microseconds
+  kNetReconnectBackoff,  ///< pid = 0, a0 = replica, a1 = armed cooldown ms
+
   // -- sharded fabric (src/shard/): hash routing + two-level global scans ---
   kShardRoute,            ///< pid = shard, a0 = client id, a1 = global slot
   kShardLocalUpdate,      ///< pid = shard, a0 = global word index

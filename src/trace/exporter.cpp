@@ -148,6 +148,15 @@ const char* kind_name(EventKind kind) {
     case EventKind::kScanCacheMiss: return "scan_cache_miss";
     case EventKind::kScanCacheInvalidate: return "scan_cache_invalidate";
     case EventKind::kSvcShed: return "svc_shed";
+    case EventKind::kNetDrop: return "net_drop";
+    case EventKind::kNetDelay: return "net_delay";
+    case EventKind::kNetReorder: return "net_reorder";
+    case EventKind::kNetStall: return "net_stall";
+    case EventKind::kNetReset: return "net_reset";
+    case EventKind::kNetBlackhole: return "net_blackhole";
+    case EventKind::kNetFlap: return "net_flap";
+    case EventKind::kNetThrottle: return "net_throttle";
+    case EventKind::kNetReconnectBackoff: return "net_reconnect_backoff";
     case EventKind::kShardRoute: return "shard_route";
     case EventKind::kShardLocalUpdate: return "shard_local_update";
     case EventKind::kShardLocalScan: return "shard_local_scan";

@@ -145,8 +145,10 @@ void serve_connection(std::size_t id, Store& store, net::Socket conn) {
       }
       case net::wire::kWriteReq: {
         if (!store.apply_write(req.reg, req.ts, req.value)) {
-          std::fprintf(stderr, "replica %zu: WAL append failed, dropping\n",
-                       id);
+          // Classified so an operator can tell a full volume (free space,
+          // daemon recovers) from a dying device; NEITHER is acked.
+          std::fprintf(stderr, "replica %zu: WAL append failed (%s), dropping\n",
+                       id, abd::wal_error_name(store.wal->last_error()));
           return;  // cannot ack what we couldn't persist
         }
         reply.type = net::wire::kWriteAck;

@@ -20,15 +20,35 @@
 //                   durability (every acked write still readable) and run
 //                   the exact linearizability checker. ISSUE 6's acceptance
 //                   scenario; also aliased as `--real`.
+//   net             the real cluster behind a net::ChaosProxy: ambient
+//                   seeded loss/delay/jitter/reorder on every client<->
+//                   replica link plus bounded bursts of asymmetric
+//                   blackholes, link flaps, mid-frame stalls, bandwidth
+//                   throttling and connection resets — all majority-safe.
+//                   Ends with heal + liveness watchdog (operations must
+//                   complete once the network is perfect again), the
+//                   durability audit and the exact linearizability check.
+//   net+kill        `net` composed with the kill -9 / SIGSTOP injector:
+//                   wire faults and process faults under one shared
+//                   majority rail.
+//   net-split       NEGATIVE control: minority-only connectivity (a
+//                   majority of links blackholed both ways) held for the
+//                   whole run with the safety rail off and no heal. The
+//                   liveness watchdog and durability audit must flag it,
+//                   so ctest wraps it in WILL_FAIL.
 //
 // Usage:
-//   chaos_run [--scenario mixed|breaker-ab|broken-breaker|real]
+//   chaos_run [--scenario mixed|breaker-ab|broken-breaker|real|net|
+//              net+kill|net-split]
 //             [--seconds S] [--nodes N] [--seed K]
 //             [--crash-rate HZ] [--partition-rate HZ] [--loss P]
 //             [--breaker on|off] [--trace out.json|out.jsonl]
-//   real-scenario extras:
+//   real/net-scenario extras:
 //             [--writers W] [--think-ms T] [--stall-ms T]
 //             [--replicad PATH] [--keep-state]
+//   net-scenario extras:
+//             [--delay-ms D] [--jitter-ms J] [--reorder P]
+//             [--partition on|off]  (include blackhole/flap bursts)
 #include <unistd.h>
 
 #include <atomic>
@@ -46,6 +66,7 @@
 #include "bench_util.hpp"
 #include "chaos/orchestrator.hpp"
 #include "chaos/process_orchestrator.hpp"
+#include "net/chaos_proxy.hpp"
 #include "chaos/schedule.hpp"
 #include "common/rng.hpp"
 #include "lin/history.hpp"
@@ -91,6 +112,19 @@ struct Cli {
   double stall_ms = 200.0;
   std::string replicad = ASNAP_REPLICAD_PATH;
   bool keep_state = false;
+  // --scenario net extras (ambient wire faults + burst selection):
+  double delay_ms = 0.0;
+  double jitter_ms = 0.0;
+  double reorder = 0.0;
+  bool partition = true;  ///< include blackhole/flap bursts
+};
+
+/// Which network adversary run_real composes with the process one.
+enum class NetMode {
+  kNone,   ///< --scenario real: perfect wire, kill -9/SIGSTOP only
+  kNet,    ///< --scenario net: wire faults only
+  kNetKill,  ///< --scenario net+kill: wire faults + kill -9/SIGSTOP
+  kSplit,  ///< --scenario net-split: negative control, rail off, no heal
 };
 
 void print_report(const std::string& label, const chaos::RunReport& r) {
@@ -284,6 +318,11 @@ struct RealReport {
   abd::RemoteRegisterClient::Stats client;
   std::uint64_t reconnects = 0;
   chaos::ProcessCluster::Report proc;
+  // Net-scenario only: proxy-side injected-fault totals over all links,
+  // plus how many fault bursts the driver fired.
+  bool net_mode = false;
+  net::LinkStats net;
+  std::uint64_t net_bursts = 0;
   std::vector<std::string> violations;
   bool ok() const { return violations.empty(); }
 };
@@ -298,6 +337,9 @@ struct RealWorker {
   std::uint64_t failed_update_attempts = 0;
   std::uint64_t failed_scans = 0;
   std::atomic<std::uint64_t> last_acked_seq{0};  ///< durability audit input
+  /// Successful ops, readable mid-run: the liveness watchdog's signal that
+  /// the cluster makes progress once the network heals.
+  std::atomic<std::uint64_t> ops_done{0};
   bool has_pending = false;
   lin::Tag pending_tag{};
   lin::Time pending_inv = 0;
@@ -417,6 +459,7 @@ void real_worker_loop(const std::vector<net::Endpoint>& eps, ProcessId p,
       recorder.add_update(p, p, tag, inv, res);
       ws.update_hist.record(to_ns(SClock::now() - started));
       ++ws.updates_ok;
+      ws.ops_done.fetch_add(1, std::memory_order_relaxed);
       ws.last_acked_seq.store(seq, std::memory_order_relaxed);
     } else {
       const lin::Time inv = recorder.tick();
@@ -427,6 +470,7 @@ void real_worker_loop(const std::vector<net::Endpoint>& eps, ProcessId p,
         recorder.add_scan(p, std::move(*view), inv, res);
         ws.scan_hist.record(to_ns(SClock::now() - started));
         ++ws.scans_ok;
+        ws.ops_done.fetch_add(1, std::memory_order_relaxed);
       } else {
         ++ws.failed_scans;  // observed nothing: dropped
         std::this_thread::sleep_for(retry_pause);
@@ -438,8 +482,8 @@ void real_worker_loop(const std::vector<net::Endpoint>& eps, ProcessId p,
   ws.reconnects = client.reconnects();
 }
 
-void print_real_report(const RealReport& r) {
-  std::printf("== real (kill -9 chaos over sockets) ==\n");
+void print_real_report(const std::string& label, const RealReport& r) {
+  std::printf("== %s ==\n", label.c_str());
   std::printf(
       "  workload    : %llu updates, %llu scans ok; %llu failed update "
       "attempts, %llu failed scans, %llu indeterminate (history %zu ops)\n",
@@ -450,6 +494,18 @@ void print_real_report(const RealReport& r) {
   std::printf("  injection   : %llu kill -9, %llu SIGSTOP stalls\n",
               (unsigned long long)r.proc.kills,
               (unsigned long long)r.proc.stalls);
+  if (r.net_mode) {
+    std::printf(
+        "  wire faults : %llu bursts; %llu dropped, %llu delayed, %llu "
+        "reordered, %llu stalled, %llu resets, %llu blackholed, %llu "
+        "throttle pauses (%llu frames forwarded)\n",
+        (unsigned long long)r.net_bursts, (unsigned long long)r.net.dropped,
+        (unsigned long long)r.net.delayed, (unsigned long long)r.net.reordered,
+        (unsigned long long)r.net.stalled, (unsigned long long)r.net.resets,
+        (unsigned long long)r.net.blackholed,
+        (unsigned long long)r.net.throttle_pauses,
+        (unsigned long long)r.net.forwarded);
+  }
   double restart_mean = 0.0;
   for (const double x : r.proc.restart_latencies_ms) restart_mean += x;
   if (!r.proc.restart_latencies_ms.empty()) {
@@ -482,14 +538,15 @@ void print_real_report(const RealReport& r) {
   }
 }
 
-void print_real_json(const Cli& cli, const RealReport& r) {
+void print_real_json(const Cli& cli, const std::string& scenario,
+                     const RealReport& r) {
   double restart_mean = 0.0;
   for (const double x : r.proc.restart_latencies_ms) restart_mean += x;
   if (!r.proc.restart_latencies_ms.empty()) {
     restart_mean /= (double)r.proc.restart_latencies_ms.size();
   }
-  bench::JsonWriter j("E12-cluster");
-  j.field("scenario", std::string("real"))
+  bench::JsonWriter j(r.net_mode ? "E14-netchaos" : "E12-cluster");
+  j.field("scenario", scenario)
       .field("nodes", (std::uint64_t)cli.nodes)
       .field("writers", (std::uint64_t)cli.writers)
       .field("seconds", cli.seconds)
@@ -513,17 +570,42 @@ void print_real_json(const Cli& cli, const RealReport& r) {
       .field("stale_epoch_replies", r.client.stale_epoch_replies)
       .field("round_timeouts", r.client.round_timeouts)
       .field("reconnects", r.reconnects);
+  if (r.net_mode) {
+    j.field("loss", cli.loss)
+        .field("delay_ms", cli.delay_ms)
+        .field("jitter_ms", cli.jitter_ms)
+        .field("reorder", cli.reorder)
+        .field("partition", cli.partition)
+        .field("net_bursts", r.net_bursts)
+        .field("net_forwarded", r.net.forwarded)
+        .field("net_dropped", r.net.dropped)
+        .field("net_delayed", r.net.delayed)
+        .field("net_reordered", r.net.reordered)
+        .field("net_stalled", r.net.stalled)
+        .field("net_resets", r.net.resets)
+        .field("net_blackholed", r.net.blackholed)
+        .field("net_throttle_pauses", r.net.throttle_pauses);
+  }
   j.print();
 }
 
-int run_real(const Cli& cli) {
+/// Shared runner for every real-process scenario. `mode` selects the
+/// adversary: process faults only (kNone), wire faults via net::ChaosProxy
+/// (kNet), both (kNetKill), or the negative minority-connectivity control
+/// (kSplit — safety rail OFF, no heal, MUST end in violations).
+int run_real(const Cli& cli, NetMode mode) {
   using SClock = std::chrono::steady_clock;
   namespace fs = std::filesystem;
+  const std::string label = mode == NetMode::kNone ? "real"
+                            : mode == NetMode::kNet ? "net"
+                            : mode == NetMode::kNetKill ? "net+kill"
+                                                        : "net-split";
   RealReport report;
+  report.net_mode = mode != NetMode::kNone;
   const auto fail = [&](const std::string& why) {
     report.violations.push_back(why);
-    print_real_report(report);
-    print_real_json(cli, report);
+    print_real_report(label, report);
+    print_real_json(cli, label, report);
     return 1;
   };
 
@@ -547,9 +629,38 @@ int run_real(const Cli& cli) {
   cluster_config.endpoints = endpoints;
   cluster_config.regs = writers;
   cluster_config.restart_delay = std::chrono::milliseconds(150);
+  cluster_config.proxy = report.net_mode;
+  cluster_config.proxy_seed = cli.seed ^ 0xAD7E53EEDull;
   chaos::ProcessCluster cluster(cluster_config);
   if (!cluster.start() || !cluster.wait_ready(std::chrono::seconds(10))) {
     return fail("setup: cluster did not come up");
+  }
+  // Clients dial the proxy in net modes; the daemons peer directly.
+  const std::vector<net::Endpoint> client_eps = cluster.client_endpoints();
+  net::ChaosProxy* proxy = cluster.proxy();
+
+  // Ambient wire faults for the whole run (the loss x delay floor the E14
+  // sweep varies); bursts below layer the acute faults on top.
+  net::LinkFaults ambient;
+  if (report.net_mode) {
+    ambient.drop_prob = cli.loss;
+    ambient.delay = std::chrono::microseconds(
+        static_cast<std::int64_t>(cli.delay_ms * 1e3));
+    ambient.jitter = std::chrono::microseconds(
+        static_cast<std::int64_t>(cli.jitter_ms * 1e3));
+    ambient.reorder_prob = cli.reorder;
+    proxy->set_all(ambient);
+  }
+  if (mode == NetMode::kSplit) {
+    // Minority-only connectivity, rail OFF: blackhole a MAJORITY of links
+    // in both directions for the entire run and never heal. ABD must not
+    // complete quorum operations, so the watchdog/audit below must flag
+    // the run (ctest wraps this scenario in WILL_FAIL).
+    const std::size_t cut = n / 2 + 1;
+    for (std::size_t i = 0; i < cut; ++i) {
+      proxy->blackhole(i, net::ChaosProxy::kToReplica, true);
+      proxy->blackhole(i, net::ChaosProxy::kToClient, true);
+    }
   }
 
   lin::Recorder recorder(writers);
@@ -561,20 +672,65 @@ int run_real(const Cli& cli) {
   }
   for (std::size_t w = 0; w < writers; ++w) {
     threads.emplace_back([&, w] {
-      real_worker_loop(endpoints, static_cast<ProcessId>(w), writers, cli,
+      real_worker_loop(client_eps, static_cast<ProcessId>(w), writers, cli,
                        recorder, *workers[w], stop);
     });
   }
 
-  // Seeded majority-safe fault injection on real PIDs. One fault at a time;
-  // never let down + stalled replicas reach a majority (ABD's liveness
-  // precondition — chaos/schedule.hpp's rail, enforced at runtime here
-  // because restart timing is the kernel's, not ours).
+  // Seeded majority-safe fault injection. One fault (or burst) at a time;
+  // never let down + stalled + net-impaired replicas reach a majority
+  // (ABD's liveness precondition — chaos/schedule.hpp's rail, enforced at
+  // runtime here because restart timing is the kernel's, not ours). The
+  // kSplit negative control deliberately skips this loop: its partition is
+  // static and rail-free.
   Rng rng(cli.seed ^ 0x9EA1C4A0ull);
   const std::size_t max_down = (n - 1) / 2;
   const auto run_end = SClock::now() + std::chrono::microseconds(
                                            seconds_us(cli.seconds).count());
-  while (SClock::now() < run_end) {
+  // One bounded wire-fault burst; returns when the link is restored.
+  const auto net_burst = [&](std::size_t victim) {
+    const auto window = std::chrono::milliseconds(150 + rng.below(250));
+    const auto dir = rng.chance(0.5) ? net::ChaosProxy::kToReplica
+                                     : net::ChaosProxy::kToClient;
+    // partition=off restricts the repertoire to faults that keep the link
+    // logically connected (the E14 sweep's partition dimension).
+    const std::uint64_t kinds = cli.partition ? 5 : 3;
+    switch (rng.below(kinds)) {
+      case 0: {  // mid-frame stall burst: exercises kMalformed discipline
+        net::LinkFaults f = ambient;
+        f.stall_prob = 0.5;
+        f.stall = std::chrono::milliseconds(300);
+        proxy->set_faults(victim, dir, f);
+        std::this_thread::sleep_for(window);
+        proxy->set_faults(victim, dir, ambient);
+        break;
+      }
+      case 1: {  // bandwidth throttle burst
+        net::LinkFaults f = ambient;
+        f.throttle_bytes_per_sec = 16 * 1024;
+        proxy->set_faults(victim, dir, f);
+        std::this_thread::sleep_for(window);
+        proxy->set_faults(victim, dir, ambient);
+        break;
+      }
+      case 2:  // connection resets
+        proxy->kill_connections(victim);
+        break;
+      case 3:  // asymmetric partition: one direction dead, the other live
+        proxy->blackhole(victim, dir, true);
+        std::this_thread::sleep_for(window);
+        proxy->blackhole(victim, dir, false);
+        break;
+      case 4:  // link flapping (reconnect-backoff workout)
+        proxy->flap(victim, std::chrono::milliseconds(40),
+                    std::chrono::milliseconds(60), true);
+        std::this_thread::sleep_for(window);
+        proxy->flap(victim, {}, {}, false);
+        break;
+    }
+    ++report.net_bursts;
+  };
+  while (mode != NetMode::kSplit && SClock::now() < run_end) {
     const double base_ms = 1000.0 / (cli.crash_rate > 0 ? cli.crash_rate : 1);
     const auto wait = std::chrono::microseconds(static_cast<std::int64_t>(
         base_ms * (0.5 + rng.uniform01()) * 1e3));
@@ -585,6 +741,12 @@ int run_real(const Cli& cli) {
     if (SClock::now() >= run_end) break;
     if (cluster.unavailable() >= max_down) continue;  // majority guard
     const std::size_t victim = rng.below(n);
+    const bool process_fault =
+        mode == NetMode::kNone || (mode == NetMode::kNetKill && rng.chance(0.4));
+    if (!process_fault && report.net_mode) {
+      net_burst(victim);
+      continue;
+    }
     if (!cluster.running(victim)) continue;
     if (rng.chance(0.3)) {
       // Freeze, hold, thaw: the peers see silence, not EOF.
@@ -597,9 +759,20 @@ int run_real(const Cli& cli) {
       cluster.kill9(victim);  // supervisor restarts it
     }
   }
+  if (mode == NetMode::kSplit) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(seconds_us(cli.seconds).count()));
+  }
 
-  // Convergence: every replica back up (supervisor + WAL + resync)...
-  const auto converge_by = SClock::now() + std::chrono::seconds(10);
+  // Heal the wire (except the negative control, whose partition is the
+  // point), then convergence: every replica back up (supervisor + WAL +
+  // resync) and no link impaired...
+  if (report.net_mode && mode != NetMode::kSplit) proxy->heal();
+  // The negative control cannot converge by construction; shorter budgets
+  // keep its (expected) failure fast.
+  const auto check_budget =
+      mode == NetMode::kSplit ? std::chrono::seconds(2) : std::chrono::seconds(10);
+  const auto converge_by = SClock::now() + check_budget;
   while (cluster.unavailable() > 0 && SClock::now() < converge_by) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -607,6 +780,36 @@ int run_real(const Cli& cli) {
     report.violations.push_back(
         "liveness: " + std::to_string(cluster.unavailable()) +
         " replica(s) still down after the convergence timeout");
+  }
+  // ...then the liveness watchdog: with the network perfect again, the
+  // workload must complete operations. Waits up to its own deadline so a
+  // slow-but-live cluster is not a false alarm.
+  {
+    std::uint64_t before = 0;
+    for (const auto& ws : workers) {
+      before += ws->ops_done.load(std::memory_order_relaxed);
+    }
+    const auto watchdog_by =
+        SClock::now() +
+        (mode == NetMode::kSplit ? std::chrono::seconds(2)
+                                 : std::chrono::seconds(5));
+    bool progressed = false;
+    while (SClock::now() < watchdog_by) {
+      std::uint64_t now_done = 0;
+      for (const auto& ws : workers) {
+        now_done += ws->ops_done.load(std::memory_order_relaxed);
+      }
+      if (now_done > before) {
+        progressed = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!progressed) {
+      report.violations.push_back(
+          "liveness: no operation completed after the network healed "
+          "(watchdog)");
+    }
   }
   // ...then a healthy tail so pending same-tag retries resolve.
   std::this_thread::sleep_for(std::chrono::milliseconds(400));
@@ -629,8 +832,12 @@ int run_real(const Cli& cli) {
   {
     abd::AbdConfig config;
     config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::seconds(5));
-    abd::RemoteRegisterClient auditor(endpoints, /*client_id=*/999, config);
+        mode == NetMode::kSplit ? std::chrono::seconds(2)
+                                : std::chrono::seconds(5));
+    // The auditor dials through the proxy too: in net modes durability must
+    // hold end-to-end over the (now healed) chaotic wire, and the negative
+    // control must SEE its partition rather than audit around it.
+    abd::RemoteRegisterClient auditor(client_eps, /*client_id=*/999, config);
     for (std::size_t w = 0; w < writers; ++w) {
       const std::uint64_t acked =
           workers[w]->last_acked_seq.load(std::memory_order_relaxed);
@@ -665,6 +872,20 @@ int run_real(const Cli& cli) {
     report.scan_hist.merge(ws.scan_hist);
   }
   report.proc = cluster.report();
+  if (report.net_mode) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::LinkStats s = proxy->stats(i);
+      report.net.connections += s.connections;
+      report.net.forwarded += s.forwarded;
+      report.net.dropped += s.dropped;
+      report.net.delayed += s.delayed;
+      report.net.reordered += s.reordered;
+      report.net.stalled += s.stalled;
+      report.net.resets += s.resets;
+      report.net.blackholed += s.blackholed;
+      report.net.throttle_pauses += s.throttle_pauses;
+    }
+  }
 
   const lin::History history = recorder.take();
   report.history_ops = history.total_ops();
@@ -679,8 +900,8 @@ int run_real(const Cli& cli) {
   } else {
     std::printf("  state kept  : %s\n", state_dir.c_str());
   }
-  print_real_report(report);
-  print_real_json(cli, report);
+  print_real_report(label, report);
+  print_real_json(cli, label, report);
   return report.ok() ? 0 : 1;
 }
 
@@ -712,6 +933,14 @@ int main(int argc, char** argv) {
       bench::consume_flag(argc, argv, "--stall-ms", "200").c_str());
   cli.replicad =
       bench::consume_flag(argc, argv, "--replicad", cli.replicad);
+  cli.delay_ms =
+      std::atof(bench::consume_flag(argc, argv, "--delay-ms", "0").c_str());
+  cli.jitter_ms =
+      std::atof(bench::consume_flag(argc, argv, "--jitter-ms", "0").c_str());
+  cli.reorder =
+      std::atof(bench::consume_flag(argc, argv, "--reorder", "0").c_str());
+  cli.partition = bench::consume_flag(argc, argv, "--partition", "on") !=
+                  std::string("off");
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--keep-state") cli.keep_state = true;
     if (std::string(argv[i]) == "--real") cli.scenario = "real";
@@ -720,7 +949,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "chaos_run: need --seconds > 0 and --nodes >= 3\n");
     return 2;
   }
-  if (cli.scenario == "real" && cli.writers == 0) {
+  const bool process_scenario =
+      cli.scenario == "real" || cli.scenario == "net" ||
+      cli.scenario == "net+kill" || cli.scenario == "net-split";
+  if (process_scenario && cli.writers == 0) {
     std::fprintf(stderr, "chaos_run: need --writers >= 1\n");
     return 2;
   }
@@ -729,10 +961,13 @@ int main(int argc, char** argv) {
   if (cli.scenario == "mixed") return run_mixed(cli);
   if (cli.scenario == "breaker-ab") return run_breaker_ab(cli);
   if (cli.scenario == "broken-breaker") return run_broken_breaker(cli);
-  if (cli.scenario == "real") return run_real(cli);
+  if (cli.scenario == "real") return run_real(cli, NetMode::kNone);
+  if (cli.scenario == "net") return run_real(cli, NetMode::kNet);
+  if (cli.scenario == "net+kill") return run_real(cli, NetMode::kNetKill);
+  if (cli.scenario == "net-split") return run_real(cli, NetMode::kSplit);
   std::fprintf(stderr,
                "chaos_run: unknown --scenario '%s' (mixed, breaker-ab, "
-               "broken-breaker, real)\n",
+               "broken-breaker, real, net, net+kill, net-split)\n",
                cli.scenario.c_str());
   return 2;
 }

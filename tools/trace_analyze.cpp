@@ -16,7 +16,12 @@
 //   * fault-injector decisions observed (drops / dups / delays);
 //   * sharded-fabric composition health: per-shard update/scan traffic, the
 //     cross-shard global-scan retry rate (generation-vector double collects
-//     that had to rerun), confirm failures, and sealed-fallback frequency.
+//     that had to rerun), confirm failures, and sealed-fallback frequency;
+//   * network chaos: per-link wire faults the userspace netem proxy
+//     injected (drops / delays / reorders / stalls / resets / blackholes /
+//     flaps / throttle pauses) side by side with the client symptoms they
+//     provoked (retransmit waves, round timeouts, reconnect backoffs) — the
+//     cause/effect ledger of a --scenario net run.
 //
 // Usage:
 //   trace_analyze <trace.json | trace.jsonl> ...
@@ -39,6 +44,9 @@
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
+#include "net/chaos_proxy.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_bus.hpp"
 #include "shard/fabric.hpp"
 #include "svc/service.hpp"
 #include "trace/event.hpp"
@@ -177,6 +185,24 @@ struct Analysis {
   trace::LogHistogram global_attempts;
   trace::LogHistogram global_latency_ns;
   std::uint64_t confirm_failures = 0;  ///< generation vector moved mid-round
+  // Network chaos (PR 8): wire faults the ChaosProxy injected, keyed by
+  // link (= replica index), plus the client-side reconnect backoffs they
+  // provoked. Events kNetDrop..kNetThrottle carry pid = link.
+  struct NetLink {
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t blackhole_edges = 0;  ///< asymmetric-partition toggles
+    std::uint64_t flap_edges = 0;       ///< link up/down transitions
+    std::uint64_t throttles = 0;        ///< bandwidth-cap pauses
+  };
+  std::map<std::uint32_t, NetLink> net_by_link;
+  trace::LogHistogram net_delay_us;  ///< injected per-frame delay
+  std::uint64_t retransmit_events = 0;  ///< all waves, matched or not
+  std::uint64_t reconnect_backoffs = 0;
+  trace::LogHistogram backoff_cooldown_ms;  ///< armed cooldown per backoff
   std::uint64_t first_ts = ~std::uint64_t{0};
   std::uint64_t last_ts = 0;
 };
@@ -231,6 +257,7 @@ Analysis analyze(std::vector<Row> rows) {
     } else if (r.kind == "abd_round_begin") {
       round_by_tid[r.tid] = PendingRound{true, r.a0, 0};
     } else if (r.kind == "abd_retransmit") {
+      ++out.retransmit_events;
       PendingRound& p = round_by_tid[r.tid];
       if (p.open && p.rid == r.a0) ++p.retransmits;
     } else if (r.kind == "abd_quorum_reached" ||
@@ -322,6 +349,26 @@ Analysis analyze(std::vector<Row> rows) {
       }
     } else if (r.kind == "shard_confirm_fail") {
       ++out.confirm_failures;
+    } else if (r.kind == "net_drop") {
+      ++out.net_by_link[r.pid].drops;
+    } else if (r.kind == "net_delay") {
+      ++out.net_by_link[r.pid].delays;
+      out.net_delay_us.record(r.a1);
+    } else if (r.kind == "net_reorder") {
+      ++out.net_by_link[r.pid].reorders;
+    } else if (r.kind == "net_stall") {
+      ++out.net_by_link[r.pid].stalls;
+    } else if (r.kind == "net_reset") {
+      ++out.net_by_link[r.pid].resets;
+    } else if (r.kind == "net_blackhole") {
+      ++out.net_by_link[r.pid].blackhole_edges;
+    } else if (r.kind == "net_flap") {
+      ++out.net_by_link[r.pid].flap_edges;
+    } else if (r.kind == "net_throttle") {
+      ++out.net_by_link[r.pid].throttles;
+    } else if (r.kind == "net_reconnect_backoff") {
+      ++out.reconnect_backoffs;
+      out.backoff_cooldown_ms.record(r.a1);
     }
   }
   return out;
@@ -560,6 +607,60 @@ std::size_t report(const Analysis& a) {
     }
   }
 
+  if (!a.net_by_link.empty() || a.reconnect_backoffs != 0) {
+    std::printf("\n== network chaos ==\n");
+    std::printf("%-6s %8s %8s %8s %7s %7s %10s %6s %9s\n", "link", "drops",
+                "delays", "reorder", "stalls", "resets", "blackholes",
+                "flaps", "throttles");
+    Analysis::NetLink total;
+    for (const auto& [link, nl] : a.net_by_link) {
+      std::printf("%-6u %8llu %8llu %8llu %7llu %7llu %10llu %6llu %9llu\n",
+                  link, static_cast<unsigned long long>(nl.drops),
+                  static_cast<unsigned long long>(nl.delays),
+                  static_cast<unsigned long long>(nl.reorders),
+                  static_cast<unsigned long long>(nl.stalls),
+                  static_cast<unsigned long long>(nl.resets),
+                  static_cast<unsigned long long>(nl.blackhole_edges),
+                  static_cast<unsigned long long>(nl.flap_edges),
+                  static_cast<unsigned long long>(nl.throttles));
+      total.drops += nl.drops;
+      total.delays += nl.delays;
+      total.reorders += nl.reorders;
+      total.stalls += nl.stalls;
+      total.resets += nl.resets;
+      total.blackhole_edges += nl.blackhole_edges;
+      total.flap_edges += nl.flap_edges;
+      total.throttles += nl.throttles;
+    }
+    const std::uint64_t injected = total.drops + total.delays +
+                                   total.reorders + total.stalls +
+                                   total.resets + total.throttles;
+    if (a.net_delay_us.count() != 0) {
+      std::printf("injected delay/frame: p50 %.1fus  p99 %.1fus  max %.1fus "
+                  "(%llu delayed frames)\n",
+                  static_cast<double>(a.net_delay_us.percentile(0.50)),
+                  static_cast<double>(a.net_delay_us.percentile(0.99)),
+                  static_cast<double>(a.net_delay_us.max()),
+                  static_cast<unsigned long long>(a.net_delay_us.count()));
+    }
+    // The cause/effect ledger: everything above is what the proxy DID;
+    // this line is how the client code EXPERIENCED it. A healthy run shows
+    // symptoms scaling with injections, not with wall-clock.
+    std::printf("injected: %llu wire faults -> observed: %llu retransmit "
+                "waves, %llu round timeouts, %llu reconnect backoffs\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(a.retransmit_events),
+                static_cast<unsigned long long>(a.round_timeouts),
+                static_cast<unsigned long long>(a.reconnect_backoffs));
+    if (a.backoff_cooldown_ms.count() != 0) {
+      std::printf("reconnect cooldown armed: p50 %llums  max %llums — the "
+                  "cap bounds redial pressure on a dead replica\n",
+                  static_cast<unsigned long long>(
+                      a.backoff_cooldown_ms.percentile(0.50)),
+                  static_cast<unsigned long long>(a.backoff_cooldown_ms.max()));
+    }
+  }
+
   if (violations != 0) {
     std::printf("\nPROTOCOL VIOLATION: %zu scan(s) exceeded the pigeonhole "
                 "bound\n",
@@ -633,6 +734,86 @@ int run_demo() {
       (void)fabric.global_scan();
     }
     for (auto& sess : sessions) (void)fabric.disconnect(sess);
+    // Network chaos: a ChaosProxy fronting a local frame-echo server, with
+    // ambient drop/delay/reorder/throttle plus a blackhole toggle and a
+    // flap window, so the "== network chaos ==" section has data. The
+    // echoed pings are real frames over real sockets; every fault decision
+    // is the proxy's own.
+    {
+      std::string error;
+      net::Listener echo = net::Listener::open({"127.0.0.1", 0}, &error);
+      std::jthread echo_thread([&echo](std::stop_token st) {
+        std::optional<net::Socket> conn;
+        net::wire::Frame f;
+        while (!st.stop_requested()) {
+          if (!conn.has_value()) {
+            conn = echo.accept(std::chrono::milliseconds(20));
+            continue;
+          }
+          const auto status = net::recv_frame(
+              *conn,
+              std::chrono::steady_clock::now() + std::chrono::milliseconds(20),
+              &f);
+          if (status == net::RecvStatus::kTimeout) continue;
+          if (status != net::RecvStatus::kOk) {
+            conn.reset();
+            continue;
+          }
+          if (!net::send_frame(*conn, f)) conn.reset();
+        }
+      });
+      const std::uint16_t echo_port = echo.bound_port();
+      net::ChaosProxy proxy({{"127.0.0.1", echo_port}}, /*seed=*/42);
+      if (echo.valid() && proxy.start(&error)) {
+        net::LinkFaults faults;
+        faults.drop_prob = 0.2;
+        faults.reorder_prob = 0.1;
+        faults.delay = std::chrono::microseconds(200);
+        faults.jitter = std::chrono::microseconds(100);
+        faults.throttle_bytes_per_sec = 64 * 1024;
+        proxy.set_all(faults);
+        net::Socket client = net::tcp_connect(proxy.endpoints()[0],
+                                              std::chrono::milliseconds(200));
+        net::wire::Frame ping;
+        ping.type = net::wire::kPing;
+        net::wire::Frame reply;
+        for (int i = 0; i < 60 && client.valid(); ++i) {
+          ping.rid = static_cast<std::uint64_t>(i);
+          if (!net::send_frame(client, ping)) break;
+          (void)net::recv_frame(
+              client,
+              std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
+              &reply);
+          if (i == 20) proxy.blackhole(0, net::ChaosProxy::kToClient, true);
+          if (i == 30) proxy.blackhole(0, net::ChaosProxy::kToClient, false);
+          if (i == 40) {
+            proxy.flap(0, std::chrono::milliseconds(5),
+                       std::chrono::milliseconds(5), true);
+          }
+          if (i == 50) {
+            proxy.flap(0, std::chrono::milliseconds(0),
+                       std::chrono::milliseconds(0), false);
+          }
+        }
+        proxy.stop();
+      }
+      echo_thread.request_stop();
+      echo_thread.join();
+      echo.close();
+      // TcpBus vs the now-closed port: every refused dial arms a longer
+      // (jittered, capped) cooldown — the reconnect-backoff ledger.
+      net::TcpBusOptions opts;
+      opts.connect_timeout = std::chrono::milliseconds(10);
+      opts.reconnect_cooldown = std::chrono::milliseconds(2);
+      opts.reconnect_cooldown_max = std::chrono::milliseconds(8);
+      net::TcpBus bus({{"127.0.0.1", echo_port}}, /*seed=*/7, opts);
+      net::wire::Frame probe;
+      probe.type = net::wire::kPing;
+      for (int i = 0; i < 5; ++i) {
+        (void)bus.send(0, probe);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
   }
   std::vector<Row> rows;
   if (!load_trace(path, rows)) return 2;

@@ -81,9 +81,13 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
                     needed);
 
   std::vector<char> seen(n, 0);
-  // When the last transmit to a replica is still unanswered, its reply
-  // arrival time minus this is an RTT sample (Karn's rule: a wave resets
-  // the timestamp, so a reply to an older copy never shrinks the estimate).
+  // Karn's rule: once a replica's request has been retransmitted, a reply
+  // is ambiguous — it may answer ANY copy — so it is never used as an RTT
+  // sample. Only replicas that answer their first (and only) transmit feed
+  // the EWMA; otherwise lossy links would be measured against the latest
+  // wave, yielding spuriously small samples that shrink the RTO and cause
+  // ever more premature retransmits.
+  std::vector<char> retransmitted(n, 0);
   std::vector<Clock::time_point> last_tx(n);
   std::size_t count = 0;
   bool adopted = false;
@@ -91,15 +95,16 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
   RetryBackoff backoff(initial_rto, std::max(initial_rto, config_.max_rto));
   const auto deadline = Clock::now() + config_.op_deadline;
 
-  const auto transmit_wave = [&] {
+  const auto transmit_wave = [&](bool is_retransmit) {
     for (std::size_t i = 0; i < n; ++i) {
       if (!seen[i]) {
         bus_.send(i, request, deadline);
         last_tx[i] = Clock::now();
+        if (is_retransmit) retransmitted[i] = 1;
       }
     }
   };
-  transmit_wave();
+  transmit_wave(/*is_retransmit=*/false);
   auto next_retransmit = Clock::now() + backoff.current();
 
   while (count < needed) {
@@ -112,7 +117,7 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
     }
     if (now >= next_retransmit) {
       backoff.grow();
-      transmit_wave();
+      transmit_wave(/*is_retransmit=*/true);
       next_retransmit = now + backoff.current();
       ASNAP_TRACE_EVENT(trace::EventKind::kAbdRetransmit, pid, request.rid);
       std::lock_guard<std::mutex> s(stats_mu_);
@@ -146,8 +151,10 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
     }
     seen[from] = 1;
     ++count;
-    record_rtt(from, std::chrono::duration_cast<std::chrono::microseconds>(
-                         Clock::now() - last_tx[from]));
+    if (!retransmitted[from]) {
+      record_rtt(from, std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - last_tx[from]));
+    }
     if (collect != nullptr) {
       if (!adopted || frame->ts > collect->ts) {
         collect->ts = frame->ts;

@@ -99,7 +99,20 @@ ChaosProxy::ChaosProxy(std::vector<Endpoint> upstreams, std::uint64_t seed)
 ChaosProxy::~ChaosProxy() { stop(); }
 
 bool ChaosProxy::start(std::string* error) {
-  if (started_.exchange(true)) return true;
+  // A proxy that ever stopped — including via the failure path below —
+  // must never report success again: started_ alone would make a second
+  // start() return true with no listeners or acceptors running.
+  if (stopping_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "chaos proxy is stopped";
+    return false;
+  }
+  if (started_.exchange(true)) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (error != nullptr) *error = "chaos proxy is stopped";
+      return false;
+    }
+    return true;
+  }
   endpoints_.clear();
   for (std::size_t i = 0; i < links_.size(); ++i) {
     LinkState& ls = *links_[i];
@@ -125,14 +138,22 @@ void ChaosProxy::stop() {
   for (auto& link : links_) {
     if (link->acceptor.joinable()) link->acceptor.join();
     link->listener.close();
-    std::lock_guard<std::mutex> lock(link->mu);
-    for (auto& session : link->sessions) {
+    // Swap the sessions out under the lock, then tear them down with the
+    // lock RELEASED: pump threads take link->mu every frame (fault and
+    // throttle snapshots), so joining them while holding it deadlocks
+    // whenever a frame is in flight.
+    std::vector<std::unique_ptr<Session>> doomed;
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      doomed.swap(link->sessions);
+    }
+    for (auto& session : doomed) {
       for (auto& pump : session->pumps) {
         if (pump.joinable()) pump.request_stop();
       }
       session->sever();
     }
-    link->sessions.clear();  // jthread destructors join the pumps
+    doomed.clear();  // jthread destructors join the pumps
   }
 }
 
@@ -412,7 +433,13 @@ bool ChaosProxy::impaired(std::size_t link) const {
   if (link >= links_.size()) return false;
   std::lock_guard<std::mutex> lock(links_[link]->mu);
   const LinkState& ls = *links_[link];
-  return ls.flapping || ls.faults[0].blackhole || ls.faults[1].blackhole;
+  // drop_prob at (or within rounding of) 1.0 severs the link as surely as
+  // a blackhole — a fault plan must not bypass the majority rail by
+  // phrasing a partition as "total ambient loss".
+  constexpr double kTotalLoss = 0.999;
+  return ls.flapping || ls.faults[0].blackhole || ls.faults[1].blackhole ||
+         ls.faults[0].drop_prob >= kTotalLoss ||
+         ls.faults[1].drop_prob >= kTotalLoss;
 }
 
 std::size_t ChaosProxy::impaired_links() const {

@@ -124,9 +124,10 @@ class ChaosProxy {
   LinkStats stats(std::size_t link) const;
 
   /// A link counts as impaired while its connectivity is (possibly) severed
-  /// — blackholed in either direction or flapping. This is the input to the
-  /// orchestrator's majority-safety rail; ambient loss/delay does not count
-  /// because quorum liveness survives it.
+  /// — blackholed in either direction, flapping, or carrying total
+  /// (drop_prob >= 0.999) ambient loss in either direction. This is the
+  /// input to the orchestrator's majority-safety rail; moderate loss, delay,
+  /// stalls and resets do not count because quorum liveness survives them.
   bool impaired(std::size_t link) const;
 
   /// Number of currently impaired links.

@@ -121,6 +121,24 @@ int main(int argc, char** argv) {
         kSamples));
   }
   {
+    core::MvccSnapshot<std::uint64_t> snap(kN, 0);
+    bench::InterferencePool pool(
+        1, kN - 1,
+        [&snap](ProcessId pid, std::uint64_t i) { snap.update(pid, i); });
+    report("A4 mvcc (copy)", measure_latency(
+        [&] {
+          (void)snap.scan(0);
+          return true;
+        },
+        kSamples));
+    report("A4 mvcc (leased)", measure_latency(
+        [&] {
+          auto view = snap.scan_view();
+          return !view->empty();
+        },
+        kSamples));
+  }
+  {
     core::MutexSnapshot<std::uint64_t> snap(kN, 0);
     bench::InterferencePool pool(
         1, kN - 1,

@@ -54,6 +54,15 @@ void BM_Throughput_Bounded(benchmark::State& state) {
 }
 BENCHMARK(BM_Throughput_Bounded)->Arg(10)->Arg(50)->Arg(90);
 
+void BM_Throughput_Mvcc(benchmark::State& state) {
+  core::MvccSnapshot<std::uint64_t> snap(kN, 0);
+  bench::InterferencePool pool(
+      1, kN - 1,
+      [&snap](ProcessId pid, std::uint64_t i) { snap.update(pid, i); });
+  run_mixed(state, snap, static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_Throughput_Mvcc)->Arg(10)->Arg(50)->Arg(90);
+
 void BM_Throughput_MultiWriter(benchmark::State& state) {
   core::BoundedMwSnapshot<std::uint64_t> snap(kN, kN, 0);
   bench::InterferencePool pool(1, kN - 1,

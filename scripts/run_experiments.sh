@@ -44,16 +44,17 @@ ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 
 # The lossy-network fault matrix (label `fault`), the tracing rings
 # (`trace`), the self-healing/chaos layer (`chaos`), the service layer
-# (`svc`) and the sharded fabric (`shard`) re-run under ThreadSanitizer:
-# retry/timeout/backoff paths in abd/, the held-message pump in net/, the
-# SPSC trace rings, the detector/supervisor/breaker threads, the lease
-# seal/epoch handover + generation-checked scan cache, and the fabric's
-# generation-vector double collect + all-slot seal are exactly where data
-# races would hide.
-echo "== fault+trace+chaos+svc+shard+netchaos matrix under TSan =="
+# (`svc`), the sharded fabric (`shard`) and the multi-version scan engine
+# (`mvcc`) re-run under ThreadSanitizer: retry/timeout/backoff paths in
+# abd/, the held-message pump in net/, the SPSC trace rings, the
+# detector/supervisor/breaker threads, the lease seal/epoch handover +
+# versioned scan cache, the fabric's generation-vector double collect +
+# all-slot seal, and the VersionGate's packed refcount/pointer handoff are
+# exactly where data races would hide.
+echo "== fault+trace+chaos+svc+shard+netchaos+mvcc matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard|netchaos" --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard|netchaos|mvcc" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -201,6 +202,35 @@ fi
 } 2>&1 | tee results/netchaos.txt
 grep '^JSON ' results/netchaos.txt | sed 's/^JSON //' \
   > results/netchaos.jsonl
+
+# E15-mvcc — the multi-version scan engine head-to-head: bench_mvcc sweeps
+# engine x read ratio x thread count over the same 256-word snapshot
+# (mvcc-leased vs mvcc-copy vs urcu vs the PR-4 copy-under-mutex cache);
+# the leased scan's p50 and the throughput ratio vs mutex-cache at 16
+# threads are the PR's acceptance numbers (see EXPERIMENTS.md E15-mvcc).
+# The checked loadgen runs close the loop on correctness: A4 behind the
+# full service stack (and behind the sharded fabric's cross-shard global
+# scans) with every history replayed through the exact single-writer
+# linearizability checker — a violation exits nonzero and set -e stops
+# the script. JSON lines land in results/mvcc.jsonl.
+echo "== E15-mvcc: multi-version scan engine =="
+mvcc_trace_args=()
+if [ -n "$TRACE_DIR" ]; then
+  mvcc_trace_args=(--trace "$TRACE_DIR/bench_mvcc.json")
+fi
+{
+  build/bench/bench_mvcc --seconds 0.3 --threads 1,4,16,64 \
+    --ratios 0.5,0.9,0.99 ${mvcc_trace_args[@]+"${mvcc_trace_args[@]}"}
+  for ratio in 0.5 0.9 0.99; do
+    build/tools/loadgen --backend a4 --slots 4 --clients 16 --seconds 1 \
+      --read-ratio "$ratio" --churn 0.02 --seed 42 \
+      --experiment E15-mvcc --check
+  done
+  build/tools/loadgen --backend a4 --slots 4 --shards 4 --clients 64 \
+    --seconds 1 --read-ratio 0.5 --global-ratio 0.1 --churn 0.02 \
+    --seed 42 --experiment E15-mvcc --check
+} 2>&1 | tee results/mvcc.txt
+grep '^JSON ' results/mvcc.txt | sed 's/^JSON //' > results/mvcc.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

@@ -16,5 +16,6 @@
 #include "core/bounded_sw_snapshot.hpp"
 #include "core/immediate_snapshot.hpp"
 #include "core/layered_mw_snapshot.hpp"
+#include "core/mvcc_snapshot.hpp"
 #include "core/snapshot_types.hpp"
 #include "core/unbounded_sw_snapshot.hpp"

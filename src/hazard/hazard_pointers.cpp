@@ -87,10 +87,11 @@ class ThreadState {
     if (retired_.size() >= kReclaimThreshold) reclaim();
   }
 
-  /// Frees every retired node not announced in any hazard slot.
-  void reclaim() {
+  /// Frees every retired node not announced in any hazard slot. Returns
+  /// the number of nodes freed.
+  std::size_t reclaim() {
     adopt_orphans();
-    if (retired_.empty()) return;
+    if (retired_.empty()) return 0;
 
     std::vector<const void*> announced;
     announced.reserve(kMaxThreads * Domain::kSlotsPerThread);
@@ -120,6 +121,7 @@ class ThreadState {
     }
     retired_.swap(kept);
     domain_.retired_count_.fetch_sub(freed, std::memory_order_relaxed);
+    return freed;
   }
 
  private:
@@ -184,7 +186,7 @@ void Domain::retire(void* p, void (*deleter)(void*)) {
   this_thread_state().retire(Retired{p, deleter});
 }
 
-void Domain::drain() { this_thread_state().reclaim(); }
+std::size_t Domain::drain() { return this_thread_state().reclaim(); }
 
 std::size_t Domain::retired_approx() const {
   return retired_count_.load(std::memory_order_relaxed);

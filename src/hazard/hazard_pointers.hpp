@@ -54,9 +54,10 @@ class Domain {
   void retire(void* p, void (*deleter)(void*));
 
   /// Best-effort synchronous reclamation pass over the calling thread's
-  /// retire list and the orphan list. Used by tests and at quiescent points;
-  /// never required for correctness.
-  void drain();
+  /// retire list and the orphan list. Used by tests, at quiescent points,
+  /// and by the mvcc grace-period slow path (mvcc/version_gate.hpp) —
+  /// never required for correctness. Returns the number of nodes freed.
+  std::size_t drain();
 
   /// Approximate number of nodes awaiting reclamation (tests only).
   std::size_t retired_approx() const;

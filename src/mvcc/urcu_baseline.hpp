@@ -1,0 +1,181 @@
+// Minimal userspace-RCU-style publication gate — the measurement baseline
+// for VersionGate, in the pattern of atomsnap's own URCU example bench
+// (SNIPPETS.md Snippet 3 discussion; the original compared against
+// `example/urcu/bench_urcu.cpp`).
+//
+// Classic epoch-counter URCU shape:
+//   * readers mark a critical section by copying the global epoch into a
+//     per-thread counter (low bit set = inside), read the pointer, then
+//     store 0 on exit — plain stores/loads, no RMW on shared state;
+//   * the writer swaps the pointer, advances the global epoch, then spins
+//     until every registered reader is either quiescent (counter 0) or has
+//     entered after the advance (counter >= new epoch), and only then
+//     frees the displaced node.
+//
+// The contrast this baseline exists to expose: URCU's reader is cheap but
+// its *writer-side grace period is O(threads) blocking* — the writer
+// cannot retire memory until every reader checks in. VersionGate pays one
+// fetch_add per reader and gets an O(1), non-blocking writer: the exact
+// displaced-refcount deposit replaces the epoch wait. E15-mvcc puts both
+// under the same read-ratio × thread sweep.
+//
+// All transitions use seq_cst atomics (not fences) so the baseline is
+// TSan-modelable and can sit in the mvcc-labeled suite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+
+namespace asnap::mvcc {
+
+/// URCU-style publication of an immutable heap value of type T. Readers
+/// must register (one slot per thread, claimed lazily); at most
+/// kMaxThreads distinct reader threads over the gate's lifetime.
+template <typename T>
+class UrcuGate {
+  struct Node {
+    T payload;
+  };
+
+ public:
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(ReadGuard&& o) noexcept
+        : gate_(std::exchange(o.gate_, nullptr)),
+          node_(std::exchange(o.node_, nullptr)) {}
+    ReadGuard& operator=(ReadGuard&& o) noexcept {
+      if (this != &o) {
+        reset();
+        gate_ = std::exchange(o.gate_, nullptr);
+        node_ = std::exchange(o.node_, nullptr);
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { reset(); }
+
+    const T& operator*() const { return node_->payload; }
+    const T* operator->() const { return &node_->payload; }
+
+    void reset() {
+      if (gate_ != nullptr) gate_->read_unlock();
+      gate_ = nullptr;
+      node_ = nullptr;
+    }
+
+   private:
+    friend class UrcuGate;
+    ReadGuard(UrcuGate* gate, Node* node) : gate_(gate), node_(node) {}
+    UrcuGate* gate_ = nullptr;
+    Node* node_ = nullptr;
+  };
+
+  explicit UrcuGate(T initial) {
+    current_.store(new Node{std::move(initial)}, std::memory_order_release);
+  }
+
+  /// Precondition: no live ReadGuards and no concurrent operations.
+  ~UrcuGate() { delete current_.load(std::memory_order_acquire); }
+
+  UrcuGate(const UrcuGate&) = delete;
+  UrcuGate& operator=(const UrcuGate&) = delete;
+
+  /// Enter a read-side critical section and lend the current value.
+  /// Non-nesting per thread (one outstanding guard), as in classic URCU.
+  ReadGuard acquire() {
+    Slot& s = slot();
+    ASNAP_ASSERT_MSG(s.ctr.load(std::memory_order_relaxed) == 0,
+                     "UrcuGate read sections do not nest");
+    // seq_cst store-then-load: the mark is globally ordered before the
+    // pointer read, so a writer that swapped before our read must observe
+    // the mark when it scans (or we read the new pointer — either is safe).
+    s.ctr.store(epoch_.load(std::memory_order_seq_cst) | 1,
+                std::memory_order_seq_cst);
+    Node* n = current_.load(std::memory_order_seq_cst);
+    return ReadGuard(this, n);
+  }
+
+  /// Install `next` and BLOCK until the grace period for the displaced
+  /// node elapses (every reader quiescent or entered after the swap).
+  /// Requires external serialization of writers.
+  void publish(T next) {
+    Node* nv = new Node{std::move(next)};
+    Node* old = current_.exchange(nv, std::memory_order_seq_cst);
+    synchronize();
+    delete old;
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> ctr{0};  ///< 0 = quiescent, else epoch|1
+    std::atomic<bool> claimed{false};
+  };
+
+  void read_unlock() { slot().ctr.store(0, std::memory_order_seq_cst); }
+
+  /// Wait out one grace period: advance the epoch, then wait for every
+  /// registered reader to leave the pre-advance generation.
+  void synchronize() {
+    const std::uint64_t target =
+        epoch_.fetch_add(2, std::memory_order_seq_cst) + 2;
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      Slot& s = slots_[i];
+      if (!s.claimed.load(std::memory_order_acquire)) continue;
+      while (true) {
+        const std::uint64_t c = s.ctr.load(std::memory_order_seq_cst);
+        if (c == 0 || c >= (target | 1)) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Per-(gate, thread) slot. Keyed by a process-unique gate id (never a
+  /// recycled address), cached for the repeat-acquire fast path; the map
+  /// fallback only runs on a thread's first touch of a given gate.
+  Slot& slot() {
+    struct Cache {
+      std::uint64_t gate_id = 0;
+      std::size_t idx = 0;
+    };
+    thread_local Cache cache;
+    thread_local std::unordered_map<std::uint64_t, std::size_t> registry;
+    if (cache.gate_id != gate_id_) {
+      auto [it, inserted] = registry.try_emplace(gate_id_, 0);
+      if (inserted) it->second = claim_slot();
+      cache = {gate_id_, it->second};
+    }
+    return slots_[cache.idx];
+  }
+
+  static std::uint64_t next_gate_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t claim_slot() {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (slots_[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    ASNAP_ASSERT_MSG(false, "UrcuGate: more than kMaxThreads reader threads");
+    return 0;
+  }
+
+  std::atomic<Node*> current_{nullptr};
+  std::atomic<std::uint64_t> epoch_{2};  ///< even; readers mark epoch|1
+  const std::uint64_t gate_id_ = next_gate_id();
+  Slot slots_[kMaxThreads];
+};
+
+}  // namespace asnap::mvcc

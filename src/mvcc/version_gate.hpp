@@ -1,0 +1,382 @@
+// Versioned-publication engine: wait-free multi-version reads through a
+// single packed refcount/pointer word (the atomsnap pattern, SNIPPETS.md
+// Snippet 3).
+//
+// Role in this reproduction: the paper obtains an atomic snapshot by
+// *collecting* n registers until interference subsides (or a view can be
+// borrowed). The svc layer already collapsed read-mostly traffic onto a
+// generation-validated cache, but every hit still copied the view under a
+// shared_mutex and every fill blocked hits behind a unique_lock. A
+// VersionGate removes both: the writer builds the next snapshot version
+// off to the side and installs it with ONE atomic exchange/CAS of a packed
+// word; a reader acquires a whole consistent version with ONE fetch_add on
+// the same word. No collect, no lock, no retry on the read path — the
+// progress/space tradeoff of Imbs–Kuznetsov–Rieutord taken to its endpoint:
+// scans become wait-free at the cost of retired versions awaiting
+// reclamation (bounded, see below).
+//
+// The packed word (canonical x86-64/AArch64 user-space layout):
+//
+//     63            48 47                                0
+//    +----------------+----------------------------------+
+//    | outer refcount |      Version* (48-bit VA)        |
+//    +----------------+----------------------------------+
+//
+//   * acquire  = ctrl.fetch_add(1 << 48, acquire): bumps the outer count
+//     and returns the pointer it protected, in one indivisible RMW. The
+//     count wraps mod 2^16 without touching the pointer bits (the add
+//     carries out of the top of the word).
+//   * publish  = ctrl.exchange(new, acq_rel) (or CAS, see try_publish):
+//     installs the next version with outer count 0 and atomically learns
+//     the displaced version's final outer count.
+//
+// Reclamation (the "grace period") is decided by counting, not by epochs
+// on the read path: each version tracks its releases in a 64-bit state
+// word. When the writer displaces a version it *deposits* the final outer
+// count (total acquires, mod 2^16) into that state word with one fetch_or;
+// whichever operation — the deposit or a release — makes
+//
+//     releases ≡ deposited outer count   (mod 2^16)
+//
+// true with the deposit flag set is the unique last-out and moves the
+// version to the gate's retired list. Both paths are single RMWs on one
+// atomic, so exactly one wins. The mod-2^16 comparison is exact as long as
+// the number of *outstanding* acquisitions on one version stays below
+// 65 536 (Snippet 3's documented gap rule); with kMaxThreads = 512 threads
+// and a handful of guards each, the bound holds with two orders of margin.
+//
+// Retired versions are provably reader-free, but they are not freed inline
+// on the reader path (releases stay two RMWs worst-case): they park on a
+// lock-free grace list, stamped with the publish epoch at which they died,
+// and the next publish (or an explicit reclaim()) hands them to the
+// process-wide hazard domain (src/hazard/) whose amortized scan performs
+// the actual deletes. Routing the slow path through hazard::Domain keeps
+// every deferred free in the repo behind one ASan/TSan-exercised mechanism
+// and inherits its orphan handling at thread exit.
+//
+// ABA safety of try_publish: a conditional publisher names its expected
+// version by pointer while holding a ReadGuard on it. The guard's refcount
+// keeps that version out of the retired list, so its address cannot be
+// recycled while it is anyone's CAS expectation — pointer equality really
+// means version identity. (Full argument: DESIGN.md §14.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "hazard/hazard_pointers.hpp"
+#include "trace/event.hpp"
+
+namespace asnap::mvcc {
+
+/// Monotonic gate counters; fuzzy when read concurrently (relaxed).
+struct GateStats {
+  std::uint64_t published = 0;  ///< versions installed (incl. the initial)
+  std::uint64_t retired = 0;    ///< versions displaced by a later publish
+  std::uint64_t reclaimed = 0;  ///< quiesced versions handed to reclamation
+  std::uint64_t cas_retries = 0;      ///< try_publish word retries (readers moved)
+  std::uint64_t refcount_high_water = 0;  ///< max readers outstanding at unlink
+  std::uint64_t grace_pending = 0;    ///< quiesced, awaiting the hazard pass
+};
+
+/// Single-word versioned publication of an immutable value of type T.
+///
+/// Readers: acquire() is wait-free (one fetch_add) and returns an RAII
+/// ReadGuard lending a const view of one consistent version.
+///
+/// Writers: publish() installs unconditionally and requires external
+/// serialization of writers (one writer, or a mutex/batcher above — the
+/// svc scan cache's single-flight fill, for instance). try_publish()
+/// is the lock-free conditional form used by the A4 backend's
+/// read-copy-update loop; it fails iff the current version is no longer
+/// `expected`, and retries internally only when the outer *count* moved
+/// (a reader slipped in between), never when the pointer did.
+template <typename T>
+class VersionGate {
+  struct Version;
+
+ public:
+  /// RAII lease on one published version. Move-only; the payload reference
+  /// is valid for the guard's lifetime. Holding a guard pins the version
+  /// (it cannot be reclaimed and its address cannot be reused).
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(ReadGuard&& o) noexcept
+        : gate_(std::exchange(o.gate_, nullptr)),
+          v_(std::exchange(o.v_, nullptr)) {}
+    ReadGuard& operator=(ReadGuard&& o) noexcept {
+      if (this != &o) {
+        reset();
+        gate_ = std::exchange(o.gate_, nullptr);
+        v_ = std::exchange(o.v_, nullptr);
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { reset(); }
+
+    explicit operator bool() const { return v_ != nullptr; }
+    const T& operator*() const { return v_->payload; }
+    const T* operator->() const { return &v_->payload; }
+    /// Publish sequence number of the leased version (1 = initial value).
+    std::uint64_t epoch() const { return v_->epoch; }
+
+    void reset() {
+      if (v_ != nullptr) gate_->release(v_);
+      gate_ = nullptr;
+      v_ = nullptr;
+    }
+
+   private:
+    friend class VersionGate;
+    ReadGuard(VersionGate* gate, Version* v) : gate_(gate), v_(v) {}
+    VersionGate* gate_ = nullptr;
+    Version* v_ = nullptr;
+  };
+
+  /// `trace_id` is the pid carried by this gate's kMvcc* trace events.
+  explicit VersionGate(T initial, std::uint32_t trace_id = 0)
+      : trace_id_(trace_id) {
+    Version* v = new Version{std::move(initial), /*epoch=*/1};
+    ctrl_.store(pack(v), std::memory_order_release);
+    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Precondition: no live ReadGuards and no concurrent operations.
+  ~VersionGate() {
+    reclaim();
+    delete unpack(ctrl_.load(std::memory_order_acquire));
+  }
+
+  VersionGate(const VersionGate&) = delete;
+  VersionGate& operator=(const VersionGate&) = delete;
+
+  /// Wait-free: one fetch_add acquires a whole consistent snapshot version.
+  ReadGuard acquire() {
+    const std::uint64_t w = ctrl_.fetch_add(kCountOne, std::memory_order_acquire);
+    Version* v = unpack(w);
+    ASNAP_TRACE_EVENT(trace::EventKind::kMvccAcquire, trace_id_, v->epoch,
+                      outer_of(w) + 1);
+    return ReadGuard(this, v);
+  }
+
+  /// Install `next` as the new current version. Requires writers to be
+  /// externally serialized (single logical writer). Readers never block it.
+  void publish(T next) {
+    Version* cur = unpack(ctrl_.load(std::memory_order_acquire));
+    // next_epoch stays a local: the moment nv is installed it is exposed
+    // to concurrent writers, which may displace AND reclaim it before we
+    // get to the lines below — nv must not be dereferenced after the swap.
+    const std::uint64_t next_epoch = cur->epoch + 1;
+    Version* nv = new Version{std::move(next), next_epoch};
+    const std::uint64_t old = ctrl_.exchange(pack(nv), std::memory_order_acq_rel);
+    published_.fetch_add(1, std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kMvccPublish, trace_id_, next_epoch,
+                      outer_of(old));
+    retire_displaced(unpack(old), outer_of(old), next_epoch);
+    reclaim_parked();
+  }
+
+  /// Conditional publish for read-copy-update: succeeds iff the current
+  /// version is still `expected` (which the caller must pin with a live
+  /// ReadGuard — that pin is what makes pointer equality ABA-proof).
+  /// Returns false, consuming nothing but the allocation, if another
+  /// writer got there first. Lock-free: the internal retry only fires when
+  /// a reader's count bump changed the word, and that reader made progress.
+  bool try_publish(const ReadGuard& expected, T next) {
+    ASNAP_ASSERT_MSG(expected.v_ != nullptr,
+                     "try_publish requires a live guard on the base version");
+    Version* base = expected.v_;
+    // next_epoch stays a local: once the CAS installs nv it is exposed to
+    // concurrent writers, which may displace AND reclaim it before the
+    // lines after the loop run — nv must not be dereferenced post-install.
+    const std::uint64_t next_epoch = base->epoch + 1;
+    Version* nv = new Version{std::move(next), next_epoch};
+    std::uint64_t w = ctrl_.load(std::memory_order_acquire);
+    while (true) {
+      if (unpack(w) != base) {
+        delete nv;
+        return false;
+      }
+      if (ctrl_.compare_exchange_weak(w, pack(nv), std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        break;
+      }
+      // w reloaded by the failed CAS; if the pointer still matches, only
+      // the outer count moved (a reader acquired) — go again.
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    published_.fetch_add(1, std::memory_order_relaxed);
+    ASNAP_TRACE_EVENT(trace::EventKind::kMvccPublish, trace_id_, next_epoch,
+                      outer_of(w));
+    retire_displaced(base, outer_of(w), next_epoch);
+    reclaim_parked();
+    return true;
+  }
+
+  /// Read-copy-update: copy the current payload, mutate the copy, publish
+  /// it conditionally; repeat from the new current on conflict. Lock-free
+  /// among writers; never blocks or is blocked by readers.
+  template <typename Mutator>
+  void update_with(Mutator&& mutate) {
+    while (true) {
+      ReadGuard g = acquire();
+      T next = *g;  // deep copy of the pinned base version
+      mutate(next);
+      if (try_publish(g, std::move(next))) return;
+    }
+  }
+
+  /// Drain the grace list into the hazard domain and run its scan now.
+  /// Returns the number of versions handed over. Never required for
+  /// correctness; bounds memory at quiescent points and in tests.
+  std::size_t reclaim() {
+    const std::size_t handed = reclaim_parked();
+    hazard::Domain::global().drain();
+    return handed;
+  }
+
+  /// Publish count of the current version (1 = initial).
+  std::uint64_t epoch() const {
+    return unpack(ctrl_.load(std::memory_order_acquire))->epoch;
+  }
+
+  GateStats stats() const {
+    GateStats s;
+    s.published = published_.load(std::memory_order_relaxed);
+    s.retired = retired_.load(std::memory_order_relaxed);
+    s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+    s.cas_retries = cas_retries_.load(std::memory_order_relaxed);
+    s.refcount_high_water = high_water_.load(std::memory_order_relaxed);
+    s.grace_pending = grace_pending_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  // Packed control word: outer refcount in the top 16 bits, 48-bit pointer
+  // below. The acquire increment carries out of bit 63, so the count wraps
+  // mod 2^16 without corrupting the pointer.
+  static constexpr int kPtrBits = 48;
+  static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << kPtrBits) - 1;
+  static constexpr std::uint64_t kCountOne = std::uint64_t{1} << kPtrBits;
+
+  // Version::state packing: releases in bits [0,47), the deposited outer
+  // count in bits [47,63), the deposit flag in bit 63. One atomic so the
+  // deposit (fetch_or) and every release (fetch_add) are totally ordered
+  // and exactly one operation observes the completed drain condition.
+  static constexpr std::uint64_t kReleasedMask = (std::uint64_t{1} << 47) - 1;
+  static constexpr int kOuterShift = 47;
+  static constexpr std::uint64_t kDepositedBit = std::uint64_t{1} << 63;
+
+  struct Version {
+    T payload;
+    std::uint64_t epoch = 0;       ///< publish sequence, 1-based
+    std::atomic<std::uint64_t> state{0};
+    std::uint64_t retire_epoch = 0;  ///< epoch of the publish that unlinked us
+    Version* grace_next = nullptr;   ///< intrusive grace-list link
+  };
+
+  static std::uint64_t pack(Version* v) {
+    const auto raw = reinterpret_cast<std::uintptr_t>(v);
+    ASNAP_ASSERT_MSG((raw & ~kPtrMask) == 0,
+                     "pointer exceeds the 48-bit packed range");
+    return static_cast<std::uint64_t>(raw);
+  }
+  static Version* unpack(std::uint64_t w) {
+    return reinterpret_cast<Version*>(w & kPtrMask);
+  }
+  static std::uint16_t outer_of(std::uint64_t w) {
+    return static_cast<std::uint16_t>(w >> kPtrBits);
+  }
+
+  void release(Version* v) {
+    const std::uint64_t prev = v->state.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t released = (prev & kReleasedMask) + 1;
+    const auto outer = static_cast<std::uint16_t>(prev >> kOuterShift);
+    if ((prev & kDepositedBit) != 0 &&
+        static_cast<std::uint16_t>(released) == outer) {
+      park_quiesced(v);
+    }
+  }
+
+  /// Deposit the displaced version's final outer count. If every acquire
+  /// has already released, this deposit is the last-out; otherwise the
+  /// matching release will be.
+  void retire_displaced(Version* v, std::uint16_t outer,
+                        std::uint64_t at_epoch) {
+    v->retire_epoch = at_epoch;
+    // Snapshot the epoch BEFORE the deposit: the fetch_or may crown a
+    // racing release as the last-out, after which v can be parked and
+    // reclaimed by any concurrent publisher — v is untouchable below
+    // unless the deposit itself turns out to be the last-out.
+    const std::uint64_t v_epoch = v->epoch;
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t prev = v->state.fetch_or(
+        kDepositedBit | (std::uint64_t{outer} << kOuterShift),
+        std::memory_order_acq_rel);
+    const std::uint64_t released = prev & kReleasedMask;
+    const std::uint16_t outstanding =
+        static_cast<std::uint16_t>(outer - static_cast<std::uint16_t>(released));
+    bump_high_water(outstanding);
+    ASNAP_TRACE_EVENT(trace::EventKind::kMvccRetire, trace_id_, v_epoch,
+                      outstanding);
+    if (static_cast<std::uint16_t>(released) == outer) park_quiesced(v);
+  }
+
+  /// The version has provably no readers: move it to the grace list. Kept
+  /// off the reader's critical path cost-wise (one CAS push, no scan, no
+  /// free) — actual deletion happens in reclaim_parked().
+  void park_quiesced(Version* v) {
+    ASNAP_TRACE_EVENT(trace::EventKind::kMvccReclaim, trace_id_, v->epoch,
+                      v->retire_epoch);
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    grace_pending_.fetch_add(1, std::memory_order_relaxed);
+    Version* head = grace_head_.load(std::memory_order_relaxed);
+    do {
+      v->grace_next = head;
+    } while (!grace_head_.compare_exchange_weak(head, v,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed));
+  }
+
+  /// Hand every parked (quiesced) version to the hazard domain's amortized
+  /// reclamation. Called by publishers — writers pay for cleanup, readers
+  /// never do. Returns the number handed over.
+  std::size_t reclaim_parked() {
+    Version* head = grace_head_.exchange(nullptr, std::memory_order_acquire);
+    std::size_t n = 0;
+    while (head != nullptr) {
+      Version* next = head->grace_next;
+      hazard::retire_object(head);
+      head = next;
+      ++n;
+    }
+    if (n != 0) grace_pending_.fetch_sub(n, std::memory_order_relaxed);
+    return n;
+  }
+
+  void bump_high_water(std::uint64_t outstanding) {
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (outstanding > hw &&
+           !high_water_.compare_exchange_weak(hw, outstanding,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> ctrl_{0};
+  std::atomic<Version*> grace_head_{nullptr};
+  std::uint32_t trace_id_;
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::atomic<std::uint64_t> cas_retries_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> grace_pending_{0};
+};
+
+}  // namespace asnap::mvcc

@@ -42,6 +42,14 @@
 //     cached scans. Any flush invalidates the cache by advancing the
 //     generation. Cache hits touch no slot and no backend register — this
 //     is why read-mostly load scales past n concurrent identities.
+//     Since PR 9 the cached {gen, view} lives behind an
+//     mvcc::VersionGate (DESIGN.md §14) instead of a shared_mutex: a hit
+//     acquires the published version with one wait-free fetch_add and a
+//     fill *publishes* the next version with one pointer swap, so hits
+//     never block behind a fill (the old unique_lock install) or behind
+//     each other, and displaced views are reclaimed through the gate's
+//     refcount + grace list. The generation argument above is unchanged —
+//     only the container moved from lock-copy to versioned publication.
 //
 //   * Admission control: an optional gate on concurrently executing
 //     operations sheds excess load with kOverloaded (traced as kSvcShed);
@@ -53,12 +61,12 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/config.hpp"
+#include "mvcc/version_gate.hpp"
 #include "svc/errors.hpp"
 #include "svc/lease_manager.hpp"
 #include "trace/event.hpp"
@@ -275,15 +283,7 @@ class SnapshotService {
         }
         view = backend_->scan(static_cast<ProcessId>(slot_idx));
       }
-      {
-        std::unique_lock cl(cache_mu_);
-        if (!cache_valid_ || g_pre >= cache_gen_) {
-          cache_view_ = view;
-          cache_gen_ = g_pre;
-          cache_valid_ = true;
-          cache_gen_hint_.store(g_pre, std::memory_order_relaxed);
-        }
-      }
+      cache_install(g_pre, view);
       leases_.renew(sess.lease_);
       return {SvcError::kOk, std::move(view), false, ft};
     }
@@ -339,6 +339,10 @@ class SnapshotService {
   SlotLeaseManager& lease_manager() { return leases_; }
   const Backend& backend() const { return *backend_; }
 
+  /// Counters of the mvcc gate that publishes the scan cache: versions
+  /// published/retired/reclaimed, reader-refcount high-water (tests, bench).
+  mvcc::GateStats cache_gate_stats() const { return cache_gate_.stats(); }
+
   // --- Cross-shard composition hooks (src/shard/) --------------------------
   //
   // A sharded fabric runs S independent services and recovers a globally
@@ -378,15 +382,7 @@ class SnapshotService {
         std::lock_guard lk(slots_[0].mu);
         view = backend_->scan(0);
       }
-      {
-        std::unique_lock cl(cache_mu_);
-        if (!cache_valid_ || g_pre >= cache_gen_) {
-          cache_view_ = view;
-          cache_gen_ = g_pre;
-          cache_valid_ = true;
-          cache_gen_hint_.store(g_pre, std::memory_order_relaxed);
-        }
-      }
+      cache_install(g_pre, view);
       return {SvcError::kOk, std::move(view), false, 0};
     }
     std::vector<T> view;
@@ -533,17 +529,31 @@ class SnapshotService {
   }
 
   /// Serve the cached view iff its generation is still current. The
-  /// current-generation load happens inside the shared lock, after the
-  /// reader's invocation — any update completed before this scan began has
-  /// bumped the generation by then, so a hit can never miss it.
+  /// current-generation load happens after the wait-free version acquire,
+  /// after the reader's invocation — any update completed before this scan
+  /// began has bumped the generation by then, so a hit can never miss it.
+  /// No lock anywhere on this path: a concurrent fill publishes a *new*
+  /// version and never touches the one we hold.
   std::optional<std::vector<T>> cache_lookup(std::size_t slot_idx) {
-    std::shared_lock cl(cache_mu_);
+    const auto entry = cache_gate_.acquire();
     const std::uint64_t g = mutations_.load(std::memory_order_seq_cst);
-    if (!cache_valid_ || cache_gen_ != g) return std::nullopt;
+    if (!entry->valid || entry->gen != g) return std::nullopt;
     counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     ASNAP_TRACE_EVENT(trace::EventKind::kScanCacheHit,
                       static_cast<std::uint32_t>(slot_idx), g);
-    return cache_view_;
+    return entry->view;
+  }
+
+  /// Publish {g_pre, view} as the next cache version iff it is at least as
+  /// fresh as the published one. Caller holds fill_mu_ (single-flight), so
+  /// installs are serialized and monotone — the gate's publish() contract.
+  void cache_install(std::uint64_t g_pre, const std::vector<T>& view) {
+    {
+      const auto cur = cache_gate_.acquire();
+      if (cur->valid && g_pre < cur->gen) return;
+    }
+    cache_gate_.publish(CacheEntry{true, g_pre, view});
+    cache_gen_hint_.store(g_pre, std::memory_order_relaxed);
   }
 
   struct Counters {
@@ -568,12 +578,18 @@ class SnapshotService {
   /// validity story is one comparison against this counter.
   std::atomic<std::uint64_t> mutations_{0};
 
-  std::shared_mutex cache_mu_;
-  bool cache_valid_ = false;               // guarded by cache_mu_
-  std::uint64_t cache_gen_ = 0;            // guarded by cache_mu_
-  std::vector<T> cache_view_;              // guarded by cache_mu_
+  /// One published cache version: a generation-stamped immutable view.
+  struct CacheEntry {
+    bool valid = false;
+    std::uint64_t gen = 0;
+    std::vector<T> view;
+  };
+  /// Versioned publication of the scan cache (mvcc/version_gate.hpp):
+  /// hits acquire wait-free, fills publish, displaced entries reclaim
+  /// through the refcount + grace list. Trace id 0 = "the svc cache".
+  mvcc::VersionGate<CacheEntry> cache_gate_{CacheEntry{}, /*trace_id=*/0};
   std::atomic<std::uint64_t> cache_gen_hint_{~std::uint64_t{0}};
-  std::mutex fill_mu_;  ///< single-flight cache fills
+  std::mutex fill_mu_;  ///< single-flight cache fills (backend scan dedup)
 
   std::atomic<std::size_t> inflight_{0};
   Counters counters_;

@@ -92,6 +92,15 @@ enum class EventKind : std::uint16_t {
   kShardGlobalScanEnd,    ///< pid = 0, a0 = attempts used, a1 = sealed (0/1)
   kShardConfirmFail,      ///< pid = shard, a0 = gen at collect, a1 = at confirm
 
+  // -- mvcc versioned publication (src/mvcc/ VersionGate, A4 backend) -------
+  // pid = gate trace id (0 = the svc scan cache's gate). Grace-period
+  // latency for a version = ts(kMvccReclaim) - ts(kMvccRetire) matched on
+  // (pid, a0) — trace_analyze's mvcc section reports its percentiles.
+  kMvccPublish,  ///< a0 = new version epoch, a1 = displaced outer count
+  kMvccAcquire,  ///< a0 = acquired version epoch, a1 = outer count after
+  kMvccRetire,   ///< version unlinked; a0 = its epoch, a1 = readers still out
+  kMvccReclaim,  ///< refcount drained; a0 = its epoch, a1 = unlinking epoch
+
   kKindCount,
 };
 
@@ -100,6 +109,7 @@ enum class EventKind : std::uint16_t {
 inline constexpr std::uint64_t kAlgoUnboundedSw = 1;  ///< Figure 2 (A1)
 inline constexpr std::uint64_t kAlgoBoundedSw = 2;    ///< Figure 3 (A2)
 inline constexpr std::uint64_t kAlgoBoundedMw = 3;    ///< Figure 4 (A3)
+inline constexpr std::uint64_t kAlgoMvccGate = 4;     ///< A4 (no bound: 0 collects)
 
 /// Stable lower_snake_case name of a kind ("scan_begin", ...). Returns
 /// "unknown" for out-of-range values (a torn slot that escaped validation).

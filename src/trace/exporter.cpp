@@ -163,6 +163,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::kShardGlobalScanBegin: return "shard_global_scan_begin";
     case EventKind::kShardGlobalScanEnd: return "shard_global_scan_end";
     case EventKind::kShardConfirmFail: return "shard_confirm_fail";
+    case EventKind::kMvccPublish: return "mvcc_publish";
+    case EventKind::kMvccAcquire: return "mvcc_acquire";
+    case EventKind::kMvccRetire: return "mvcc_retire";
+    case EventKind::kMvccReclaim: return "mvcc_reclaim";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -263,6 +267,11 @@ const char* kind_category(EventKind kind) {
     case EventKind::kShardGlobalScanEnd:
     case EventKind::kShardConfirmFail:
       return "shard";
+    case EventKind::kMvccPublish:
+    case EventKind::kMvccAcquire:
+    case EventKind::kMvccRetire:
+    case EventKind::kMvccReclaim:
+      return "mvcc";
     default:
       return "snapshot";
   }

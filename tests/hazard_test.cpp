@@ -130,5 +130,101 @@ TEST(Hazard, StressReadersVsWriter) {
   EXPECT_EQ(Counted::live.load(), 0);
 }
 
+// Retire-list draining is observable: drain() reports how many nodes it
+// freed and retired_approx() returns to its baseline.
+TEST(Hazard, DrainReportsFreedCountAndEmptiesRetireList) {
+  Domain::global().drain();  // flush leftovers from earlier tests
+  const std::size_t baseline = Domain::global().retired_approx();
+  constexpr std::size_t kNodes = 50;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    retire_object(new Counted(static_cast<int>(i)));
+  }
+  EXPECT_EQ(Domain::global().retired_approx(), baseline + kNodes);
+  const std::size_t freed = Domain::global().drain();
+  EXPECT_GE(freed, kNodes);
+  EXPECT_EQ(Domain::global().retired_approx(), baseline);
+}
+
+// ABA regression: reclamation must key on the *announced address*, not on
+// any stale validation. A node stays protected across (a) its retirement by
+// ANOTHER thread and (b) that thread's own reclamation pass and exit — if
+// the domain ever freed a still-protected node, the payload check below is
+// a use-after-free (caught in-test under ASan, and as a corrupted payload
+// otherwise). After release, the address becomes reclaimable and a fresh
+// allocation at (possibly) the same address must NOT inherit protection.
+TEST(Hazard, AbaStillProtectedNodeNeverFreedByRemoteDrain) {
+  const int before = Counted::live.load();
+  auto* node = new Counted(41);
+  std::atomic<Counted*> src{node};
+
+  Guard guard;
+  Counted* p = guard.protect(src);
+  ASSERT_EQ(p, node);
+  {
+    // Remote thread retires the node, runs its own reclamation pass, and
+    // exits (orphaning whatever survived). The announcement in OUR slot
+    // must keep the node alive through all of it.
+    std::jthread remote([&] {
+      retire_object(node);
+      Domain::global().drain();
+    });
+  }
+  Domain::global().drain();  // adopt the orphan; still must not free
+  EXPECT_EQ(Counted::live.load(), before + 1);
+  EXPECT_EQ(p->payload, 41);  // would be UAF if reclamation misfired
+  EXPECT_TRUE(Domain::global().is_protected(node));
+
+  guard.clear();
+  Domain::global().drain();
+  EXPECT_EQ(Counted::live.load(), before);
+
+  // The slot is clear: a new node (which may well reuse the freed node's
+  // address) must not appear protected.
+  auto* fresh = new Counted(42);
+  EXPECT_FALSE(Domain::global().is_protected(fresh));
+  delete fresh;
+}
+
+// Acquire/release race: many reader threads protect-and-clear the same
+// published nodes while a writer swings the pointer and retires, and every
+// thread drains concurrently. TSan signs off on the announce/validate
+// seq_cst pairing; ASan (the PR-9 CI job) on the frees.
+TEST(Hazard, StressAcquireReleaseRacesWithConcurrentDrains) {
+  constexpr int kWrites = 5000;
+  constexpr int kReaders = 4;
+  const int before = Counted::live.load();
+  std::atomic<Counted*> src{new Counted(0)};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::jthread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t iters = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        {
+          Guard guard;
+          Counted* p = guard.protect(src);
+          ASSERT_GE(p->payload, 0);
+          ASSERT_LE(p->payload, kWrites);
+        }  // release (clear) races with the writer's retire
+        if (++iters % 64 == static_cast<std::uint64_t>(r)) {
+          Domain::global().drain();  // readers reclaim too
+        }
+      }
+    });
+  }
+
+  for (int i = 1; i <= kWrites; ++i) {
+    Counted* old = src.exchange(new Counted(i), std::memory_order_acq_rel);
+    retire_object(old);
+  }
+  stop.store(true, std::memory_order_release);
+  readers.clear();  // join
+
+  delete src.load();
+  Domain::global().drain();
+  EXPECT_EQ(Counted::live.load(), before);
+}
+
 }  // namespace
 }  // namespace asnap::hazard

@@ -1,0 +1,363 @@
+// Tests for the mvcc versioned-publication engine (src/mvcc/): the packed
+// refcount/pointer VersionGate, its grace-period reclamation through the
+// hazard domain, the URCU baseline, the A4 backend's linearizability, and
+// the svc scan cache riding the gate. Runs in the `mvcc`-labeled binary —
+// under TSan and ASan in CI, because every bug class here is either a data
+// race or a use-after-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/mvcc_snapshot.hpp"
+#include "core/unbounded_sw_snapshot.hpp"
+#include "harness.hpp"
+#include "hazard/hazard_pointers.hpp"
+#include "lin/snapshot_checker.hpp"
+#include "mvcc/urcu_baseline.hpp"
+#include "mvcc/version_gate.hpp"
+#include "svc/service.hpp"
+
+namespace asnap {
+namespace {
+
+using lin::Tag;
+
+/// Instance-counted payload: every live Version holds exactly one, so
+/// `live` tracks unreclaimed versions (plus stack temporaries).
+struct Payload {
+  static std::atomic<int> live;
+  std::vector<std::uint64_t> words;
+
+  explicit Payload(std::size_t n = 0) : words(n, 0) { live.fetch_add(1); }
+  Payload(const Payload& o) : words(o.words) { live.fetch_add(1); }
+  Payload(Payload&& o) noexcept : words(std::move(o.words)) {
+    live.fetch_add(1);
+  }
+  Payload& operator=(const Payload&) = default;
+  Payload& operator=(Payload&&) = default;
+  ~Payload() { live.fetch_sub(1); }
+};
+std::atomic<int> Payload::live{0};
+
+/// Fully quiesce: drain the gate's grace list and the hazard domain until
+/// nothing moves (retired nodes may sit in another test's thread list).
+template <typename T>
+void full_reclaim(mvcc::VersionGate<T>& gate) {
+  while (gate.reclaim() != 0) {
+  }
+  hazard::Domain::global().drain();
+}
+
+// --- VersionGate unit tests -------------------------------------------------
+
+TEST(VersionGate, InitialAcquireSeesInitialValue) {
+  mvcc::VersionGate<int> gate(41);
+  auto g = gate.acquire();
+  EXPECT_EQ(*g, 41);
+  EXPECT_EQ(g.epoch(), 1u);
+  EXPECT_EQ(gate.epoch(), 1u);
+}
+
+TEST(VersionGate, PublishAdvancesEpochAndValue) {
+  mvcc::VersionGate<int> gate(0);
+  for (int i = 1; i <= 10; ++i) gate.publish(i);
+  auto g = gate.acquire();
+  EXPECT_EQ(*g, 10);
+  EXPECT_EQ(g.epoch(), 11u);
+  const auto s = gate.stats();
+  EXPECT_EQ(s.published, 11u);
+  EXPECT_EQ(s.retired, 10u);
+  EXPECT_EQ(s.reclaimed, 10u);  // no readers held them: quiesced at unlink
+}
+
+// The issue's core regression: reclamation must NEVER free a version a
+// reader still holds. A guard pins its version across any number of later
+// publishes and explicit reclaim passes; only the release makes it
+// reclaimable. Under the ASan CI job a misfire is a hard use-after-free.
+TEST(VersionGate, GuardPinsDisplacedVersionAcrossPublishesAndReclaims) {
+  const int before = Payload::live.load();
+  {
+    mvcc::VersionGate<Payload> gate(Payload(4));
+    auto pinned = gate.acquire();
+    EXPECT_EQ(pinned.epoch(), 1u);
+
+    Payload next(4);
+    next.words[0] = 7;
+    gate.publish(next);
+    gate.publish(next);  // displaced v1 still pinned, v2 reclaims
+    full_reclaim(gate);
+
+    // v1 must still be intact and live; v2 must be gone.
+    EXPECT_EQ(pinned->words[0], 0u);
+    EXPECT_EQ(gate.stats().retired, 2u);
+    EXPECT_EQ(gate.stats().reclaimed, 1u);
+
+    pinned.reset();  // release: v1 becomes reclaimable
+    gate.publish(next);
+    full_reclaim(gate);
+    EXPECT_EQ(gate.stats().reclaimed, 3u);
+  }
+  hazard::Domain::global().drain();
+  EXPECT_EQ(Payload::live.load(), before);
+}
+
+// Outer-count wrap regression: the packed refcount is 16 bits of *total*
+// acquires mod 2^16. Push one version past 65 536 acquire/release pairs,
+// then displace it — the mod-2^16 deposit arithmetic must still conclude
+// the version quiesced exactly once (no leak, no double free).
+TEST(VersionGate, OuterRefcountWrapsCleanlyPast64K) {
+  const int before = Payload::live.load();
+  {
+    mvcc::VersionGate<Payload> gate(Payload(1));
+    constexpr int kAcquires = 70000;  // > 2^16: the 16-bit field wraps
+    for (int i = 0; i < kAcquires; ++i) {
+      auto g = gate.acquire();
+      EXPECT_EQ(g.epoch(), 1u);
+    }
+    gate.publish(Payload(1));
+    full_reclaim(gate);
+    const auto s = gate.stats();
+    EXPECT_EQ(s.retired, 1u);
+    EXPECT_EQ(s.reclaimed, 1u);
+    EXPECT_EQ(s.grace_pending, 0u);
+  }
+  hazard::Domain::global().drain();
+  EXPECT_EQ(Payload::live.load(), before);
+}
+
+TEST(VersionGate, RefcountHighWaterTracksOutstandingReaders) {
+  mvcc::VersionGate<int> gate(0);
+  auto g1 = gate.acquire();
+  auto g2 = gate.acquire();
+  auto g3 = gate.acquire();
+  gate.publish(1);  // three readers outstanding on the displaced version
+  EXPECT_GE(gate.stats().refcount_high_water, 3u);
+}
+
+TEST(VersionGate, UpdateWithResolvesWriterConflictsLockFree) {
+  mvcc::VersionGate<std::vector<std::uint64_t>> gate(
+      std::vector<std::uint64_t>(4, 0));
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 2000;
+  {
+    std::vector<std::jthread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+          gate.update_with([&](std::vector<std::uint64_t>& v) { v[w] += 1; });
+        }
+      });
+    }
+  }
+  auto g = gate.acquire();
+  for (int w = 0; w < kWriters; ++w) EXPECT_EQ((*g)[w], kPerWriter);
+  // Every successful update published exactly one version.
+  EXPECT_EQ(g.epoch(), 1u + kWriters * kPerWriter);
+  EXPECT_EQ(gate.stats().published, 1u + kWriters * kPerWriter);
+}
+
+// Readers + writers at full speed: every acquired view must satisfy the
+// version invariant sum(words) == epoch - 1 (each publish adds exactly 1),
+// epochs must be monotone per reader, and everything must reclaim. This is
+// the TSan/ASan workhorse for the acquire/release/deposit protocol.
+TEST(VersionGate, StressReadersVsWritersKeepsViewsConsistent) {
+  const int before = Payload::live.load();
+  {
+    mvcc::VersionGate<Payload> gate(Payload(4));
+    std::atomic<bool> stop{false};
+    constexpr int kReaders = 4;
+    constexpr int kWriters = 2;
+    constexpr std::uint64_t kPerWriter = 4000;
+
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&] {
+        std::uint64_t last_epoch = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          auto g = gate.acquire();
+          const std::uint64_t sum = std::accumulate(
+              g->words.begin(), g->words.end(), std::uint64_t{0});
+          ASSERT_EQ(sum, g.epoch() - 1);  // whole-version consistency
+          ASSERT_GE(g.epoch(), last_epoch);  // monotone acquisition
+          last_epoch = g.epoch();
+        }
+      });
+    }
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+          gate.update_with([&](Payload& p) { p.words[w] += 1; });
+        }
+        if (w == 0) stop.store(true, std::memory_order_release);
+      });
+    }
+    threads.clear();  // join
+    stop.store(true, std::memory_order_release);
+    full_reclaim(gate);
+    const auto s = gate.stats();
+    EXPECT_EQ(s.published, 1u + kReaders * 0 + kWriters * kPerWriter);
+    EXPECT_EQ(s.retired, s.published - 1);
+    EXPECT_EQ(s.grace_pending, 0u);
+  }
+  hazard::Domain::global().drain();
+  EXPECT_EQ(Payload::live.load(), before);
+}
+
+// --- URCU baseline ----------------------------------------------------------
+
+TEST(UrcuGate, PublishWaitsOutReadersAndValuesFlow) {
+  mvcc::UrcuGate<int> gate(1);
+  {
+    auto g = gate.acquire();
+    EXPECT_EQ(*g, 1);
+  }
+  gate.publish(2);
+  auto g = gate.acquire();
+  EXPECT_EQ(*g, 2);
+}
+
+// Regression for per-(gate, thread) reader registration: a thread that
+// used a destroyed gate must re-register with a new gate even if the new
+// one reuses the old one's address.
+TEST(UrcuGate, SequentialGatesOnOneThreadReRegisterSafely) {
+  for (int round = 0; round < 3; ++round) {
+    mvcc::UrcuGate<int> gate(round);
+    auto g = gate.acquire();
+    EXPECT_EQ(*g, round);
+    g.reset();
+    gate.publish(round + 100);  // synchronize() must see OUR slot, not a stale one
+    auto g2 = gate.acquire();
+    EXPECT_EQ(*g2, round + 100);
+  }
+}
+
+TEST(UrcuGate, StressReadersVsWriterNoTornViews) {
+  mvcc::UrcuGate<std::vector<std::uint64_t>> gate(
+      std::vector<std::uint64_t>(4, 0));
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kWrites = 2000;
+
+  std::vector<std::jthread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto g = gate.acquire();
+        // Writer publishes [i, i, i, i]: any torn or freed view breaks this.
+        ASSERT_EQ((*g)[0], (*g)[3]);
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= kWrites; ++i) {
+    gate.publish(std::vector<std::uint64_t>(4, i));
+  }
+  stop.store(true, std::memory_order_release);
+}
+
+// --- A4 backend: linearizability under the exact checker --------------------
+
+TEST(MvccSnapshot, SequentialSemantics) {
+  core::MvccSnapshot<Tag> snap(3, Tag{});
+  EXPECT_EQ(snap.size(), 3u);
+  snap.update(1, Tag{1, 1});
+  const std::vector<Tag> view = snap.scan(0);
+  EXPECT_TRUE(view[0].is_initial());
+  EXPECT_EQ(view[1], (Tag{1, 1}));
+  EXPECT_EQ(snap.version_epoch(), 2u);
+}
+
+TEST(MvccSnapshot, ScanViewLendsWithoutCopying) {
+  core::MvccSnapshot<std::uint64_t> snap(4, 0);
+  snap.update(2, 9);
+  auto view = snap.scan_view();
+  ASSERT_EQ(view->size(), 4u);
+  EXPECT_EQ((*view)[2], 9u);
+}
+
+TEST(MvccSnapshot, StressHistoriesAreLinearizable) {
+  for (const std::size_t n : {2u, 4u}) {
+    for (const double scan_prob : {0.15, 0.5, 0.9}) {
+      core::MvccSnapshot<Tag> snap(n, Tag{});
+      testing::WorkloadConfig cfg;
+      cfg.processes = n;
+      cfg.ops_per_process = 300;
+      cfg.scan_prob = scan_prob;
+      cfg.seed = 1000 + n * 10 + static_cast<std::uint64_t>(scan_prob * 100);
+      const lin::History history = testing::run_sw_workload(snap, cfg);
+      const auto violation = lin::check_single_writer(history);
+      ASSERT_FALSE(violation.has_value())
+          << "n=" << n << " scan_prob=" << scan_prob << ": " << *violation;
+    }
+  }
+}
+
+TEST(MvccSnapshot, GateStatsAccountForEveryUpdate) {
+  core::MvccSnapshot<Tag> snap(2, Tag{});
+  for (std::uint64_t s = 1; s <= 50; ++s) snap.update(0, Tag{0, s});
+  const auto gs = snap.gate_stats();
+  EXPECT_EQ(gs.published, 51u);  // initial + 50 updates
+  EXPECT_EQ(gs.retired, 50u);
+  snap.reclaim();
+  EXPECT_EQ(snap.gate_stats().grace_pending, 0u);
+}
+
+// --- svc scan cache over the gate -------------------------------------------
+
+// Readers hammer service scans (mostly cache hits) while writers flush
+// updates, forcing continuous version publication and displacement of
+// actively-read cache entries. Checks the gate's accounting and, under
+// TSan/ASan, the lock-free hit path's safety. View *consistency* is
+// enforced end-to-end by the svc/shard checked loadgen runs and churn
+// tests, which now also run over A4.
+TEST(SvcScanCache, VersionedCacheServesConcurrentHitsDuringFills) {
+  using Backend = core::UnboundedSwSnapshot<Tag>;
+  Backend backend(8, Tag{});  // 8 lease slots: room for all 6 clients
+  svc::ServiceConfig cfg;
+  cfg.lease.ttl = std::chrono::seconds(30);  // no expiry under sanitizers
+  svc::SnapshotService<Backend, Tag> service(backend, cfg);
+
+  // Fixed op counts on both sides (a stop flag would let a fast writer
+  // finish before any reader scanned once).
+  std::vector<std::jthread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      auto conn = service.connect(100 + w, std::chrono::milliseconds(500));
+      ASSERT_EQ(conn.error, svc::SvcError::kOk);
+      for (std::uint64_t i = 1; i <= 800; ++i) {
+        auto r = service.submit_update(
+            conn.session,
+            [&](ProcessId p, std::uint64_t seq) { return Tag{p, seq}; });
+        ASSERT_EQ(r.error, svc::SvcError::kOk);
+        (void)service.flush(conn.session);
+      }
+      (void)service.disconnect(conn.session);
+    });
+  }
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      auto conn = service.connect(200 + r, std::chrono::milliseconds(500));
+      ASSERT_EQ(conn.error, svc::SvcError::kOk);
+      for (int i = 0; i < 600; ++i) {
+        auto s = service.scan(conn.session);
+        ASSERT_EQ(s.error, svc::SvcError::kOk);
+        ASSERT_EQ(s.view.size(), 8u);
+      }
+      (void)service.disconnect(conn.session);
+    });
+  }
+  threads.clear();  // join
+
+  const auto gs = service.cache_gate_stats();
+  const auto ss = service.stats();
+  EXPECT_GT(gs.published, 1u);           // fills published versions
+  EXPECT_EQ(gs.retired, gs.published - 1);
+  EXPECT_LE(gs.reclaimed, gs.retired);
+  EXPECT_GT(ss.scans, 0u);
+  EXPECT_GT(ss.cache_hits + ss.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace asnap

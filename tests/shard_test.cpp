@@ -33,6 +33,7 @@
 
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
+#include "core/mvcc_snapshot.hpp"
 #include "core/snapshot_types.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
 #include "common/rng.hpp"
@@ -335,8 +336,10 @@ class MwAsSw {
 template <typename S>
 struct ShardChurnTest : public ::testing::Test {};
 
-using ShardBackends = ::testing::Types<core::UnboundedSwSnapshot<Tag>,
-                                       core::BoundedSwSnapshot<Tag>, MwAsSw>;
+using ShardBackends =
+    ::testing::Types<core::UnboundedSwSnapshot<Tag>,
+                     core::BoundedSwSnapshot<Tag>, MwAsSw,
+                     core::MvccSnapshot<Tag>>;
 TYPED_TEST_SUITE(ShardChurnTest, ShardBackends);
 
 struct PendingUpdate {

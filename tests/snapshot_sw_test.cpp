@@ -42,7 +42,8 @@ struct SwSnapshotTest : public ::testing::Test {
 using SwImpls =
     ::testing::Types<core::UnboundedSwSnapshot<Tag>,
                      core::BoundedSwSnapshot<Tag>, MwAsSw,
-                     core::MutexSnapshot<Tag>, core::DoubleCollectSnapshot<Tag>>;
+                     core::MutexSnapshot<Tag>, core::DoubleCollectSnapshot<Tag>,
+                     core::MvccSnapshot<Tag>>;
 TYPED_TEST_SUITE(SwSnapshotTest, SwImpls);
 
 TYPED_TEST(SwSnapshotTest, InitialScanReturnsInitialValues) {

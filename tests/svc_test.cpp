@@ -24,6 +24,7 @@
 #include "abd/abd_register.hpp"
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
+#include "core/mvcc_snapshot.hpp"
 #include "core/snapshot_types.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
 #include "common/instrumentation.hpp"
@@ -522,8 +523,10 @@ class MwAsSw {
 template <typename S>
 struct SvcChurnTest : public ::testing::Test {};
 
-using SvcBackends = ::testing::Types<core::UnboundedSwSnapshot<Tag>,
-                                     core::BoundedSwSnapshot<Tag>, MwAsSw>;
+using SvcBackends =
+    ::testing::Types<core::UnboundedSwSnapshot<Tag>,
+                     core::BoundedSwSnapshot<Tag>, MwAsSw,
+                     core::MvccSnapshot<Tag>>;
 TYPED_TEST_SUITE(SvcChurnTest, SvcBackends);
 
 /// One client's pending (submitted, unflushed) updates. Completion is

@@ -3,7 +3,8 @@
 //
 // Drives M concurrent clients through svc::SnapshotService over any of the
 // paper's snapshot backends (a1 = Figure 2 unbounded, a2 = Figure 3 bounded,
-// a3 = Figure 4 via the single-writer adapter) or the ABD message-passing
+// a3 = Figure 4 via the single-writer adapter, a4 = the multi-version
+// pointer-swap engine over mvcc::VersionGate) or the ABD message-passing
 // snapshot, with client churn (disconnect/reconnect), pipelined updates and
 // a seeded read/write mix. With --shards S the same workload runs against a
 // shard::ShardedSnapshotFabric of S services (clients hash-routed; scans are
@@ -56,6 +57,7 @@
 #include "common/rng.hpp"
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
+#include "core/mvcc_snapshot.hpp"
 #include "core/snapshot_types.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
 #include "lin/history.hpp"
@@ -644,7 +646,7 @@ class MwAsSw {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: loadgen [--backend a1|a2|a3|abd|cluster] [--mode closed|open]\n"
+      "usage: loadgen [--backend a1|a2|a3|a4|abd|cluster] [--mode closed|open]\n"
       "               [--slots N] [--shards S] [--clients M] [--seconds S]\n"
       "               [--rate R] [--read-ratio r] [--global-ratio g]\n"
       "               [--global-attempts k] [--churn p] [--pipeline k]\n"
@@ -733,6 +735,12 @@ int main(int argc, char** argv) {
   if (opt.backend == "a3") {
     return run_front<MwAsSw>(opt, [&](std::size_t) {
       return std::make_unique<MwAsSw>(opt.slots, lin::Tag{});
+    });
+  }
+  if (opt.backend == "a4") {
+    return run_front<core::MvccSnapshot<lin::Tag>>(opt, [&](std::size_t) {
+      return std::make_unique<core::MvccSnapshot<lin::Tag>>(opt.slots,
+                                                            lin::Tag{});
     });
   }
   if (opt.backend == "abd") {

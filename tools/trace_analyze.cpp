@@ -17,6 +17,11 @@
 //   * sharded-fabric composition health: per-shard update/scan traffic, the
 //     cross-shard global-scan retry rate (generation-vector double collects
 //     that had to rerun), confirm failures, and sealed-fallback frequency;
+//   * multi-version scan engine health: versions published / retired /
+//     reclaimed through mvcc::VersionGate, reader acquires, the refcount
+//     high-water at unlink, and grace-period latency percentiles (version
+//     unlinked -> provably reader-free, kMvccRetire -> kMvccReclaim
+//     matched on (gate, epoch));
 //   * network chaos: per-link wire faults the userspace netem proxy
 //     injected (drops / delays / reorders / stalls / resets / blackholes /
 //     flaps / throttle pauses) side by side with the client symptoms they
@@ -43,6 +48,7 @@
 
 #include "core/bounded_mw_snapshot.hpp"
 #include "core/bounded_sw_snapshot.hpp"
+#include "core/mvcc_snapshot.hpp"
 #include "core/unbounded_sw_snapshot.hpp"
 #include "net/chaos_proxy.hpp"
 #include "net/socket.hpp"
@@ -185,6 +191,15 @@ struct Analysis {
   trace::LogHistogram global_attempts;
   trace::LogHistogram global_latency_ns;
   std::uint64_t confirm_failures = 0;  ///< generation vector moved mid-round
+  // Multi-version scan engine (PR 9): versioned publication through
+  // mvcc::VersionGate (the A4 backend and the svc scan cache's gate).
+  std::uint64_t mvcc_published = 0;
+  std::uint64_t mvcc_acquires = 0;
+  std::uint64_t mvcc_retired = 0;
+  std::uint64_t mvcc_reclaimed = 0;
+  std::uint64_t mvcc_readers_high_water = 0;  ///< max readers out at unlink
+  std::uint64_t mvcc_orphan_reclaims = 0;  ///< reclaim whose retire was lost
+  trace::LogHistogram mvcc_grace_ns;  ///< unlink -> provably reader-free
   // Network chaos (PR 8): wire faults the ChaosProxy injected, keyed by
   // link (= replica index), plus the client-side reconnect backoffs they
   // provoked. Events kNetDrop..kNetThrottle carry pid = link.
@@ -225,6 +240,10 @@ Analysis analyze(std::vector<Row> rows) {
   std::map<std::uint64_t, std::uint64_t> crash_ts_by_node;   // chaos kCrash
   std::map<std::uint32_t, std::uint64_t> recover_begin_by_node;
   std::map<std::uint32_t, std::uint64_t> global_begin_by_tid;
+  // (gate pid, version epoch) -> unlink timestamp; the matching reclaim may
+  // fire on any thread (whichever reader releases last).
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>
+      mvcc_retire_ts;
 
   for (const Row& r : rows) {
     if (r.ts_ns < out.first_ts) out.first_ts = r.ts_ns;
@@ -349,6 +368,25 @@ Analysis analyze(std::vector<Row> rows) {
       }
     } else if (r.kind == "shard_confirm_fail") {
       ++out.confirm_failures;
+    } else if (r.kind == "mvcc_publish") {
+      ++out.mvcc_published;
+    } else if (r.kind == "mvcc_acquire") {
+      ++out.mvcc_acquires;
+    } else if (r.kind == "mvcc_retire") {
+      ++out.mvcc_retired;
+      if (r.a1 > out.mvcc_readers_high_water) {
+        out.mvcc_readers_high_water = r.a1;
+      }
+      mvcc_retire_ts[{r.pid, r.a0}] = r.ts_ns;
+    } else if (r.kind == "mvcc_reclaim") {
+      ++out.mvcc_reclaimed;
+      const auto it = mvcc_retire_ts.find({r.pid, r.a0});
+      if (it != mvcc_retire_ts.end()) {
+        out.mvcc_grace_ns.record(r.ts_ns - it->second);
+        mvcc_retire_ts.erase(it);
+      } else {  // retire lost to ring overwrite: latency not attributable
+        ++out.mvcc_orphan_reclaims;
+      }
     } else if (r.kind == "net_drop") {
       ++out.net_by_link[r.pid].drops;
     } else if (r.kind == "net_delay") {
@@ -379,6 +417,7 @@ const char* algo_name(std::uint64_t algo) {
     case trace::kAlgoUnboundedSw: return "Fig2 unbounded SW";
     case trace::kAlgoBoundedSw: return "Fig3 bounded SW";
     case trace::kAlgoBoundedMw: return "Fig4 bounded MW";
+    case trace::kAlgoMvccGate: return "A4 mvcc gate";
     default: return "unknown";
   }
 }
@@ -607,6 +646,35 @@ std::size_t report(const Analysis& a) {
     }
   }
 
+  if (a.mvcc_published + a.mvcc_acquires + a.mvcc_retired + a.mvcc_reclaimed !=
+      0) {
+    std::printf("\n== mvcc versioned scans ==\n");
+    std::printf("versions: %llu published, %llu retired, %llu reclaimed "
+                "(%lld awaiting readers or a reclamation pass)\n",
+                static_cast<unsigned long long>(a.mvcc_published),
+                static_cast<unsigned long long>(a.mvcc_retired),
+                static_cast<unsigned long long>(a.mvcc_reclaimed),
+                static_cast<long long>(a.mvcc_retired) -
+                    static_cast<long long>(a.mvcc_reclaimed));
+    std::printf("reader acquires: %llu   refcount high-water at unlink: %llu "
+                "(of 65535 the packed counter tolerates)\n",
+                static_cast<unsigned long long>(a.mvcc_acquires),
+                static_cast<unsigned long long>(a.mvcc_readers_high_water));
+    if (a.mvcc_grace_ns.count() != 0) {
+      std::printf("grace period (unlink -> provably reader-free): p50 %.1fus "
+                  " p99 %.1fus  max %.1fus  (%llu versions)\n",
+                  static_cast<double>(a.mvcc_grace_ns.percentile(0.50)) / 1e3,
+                  static_cast<double>(a.mvcc_grace_ns.percentile(0.99)) / 1e3,
+                  static_cast<double>(a.mvcc_grace_ns.max()) / 1e3,
+                  static_cast<unsigned long long>(a.mvcc_grace_ns.count()));
+    }
+    if (a.mvcc_orphan_reclaims != 0) {
+      std::printf("(%llu reclaims had no retire in the trace — ring "
+                  "overwrote it; grace latency excluded)\n",
+                  static_cast<unsigned long long>(a.mvcc_orphan_reclaims));
+    }
+  }
+
   if (!a.net_by_link.empty() || a.reconnect_backoffs != 0) {
     std::printf("\n== network chaos ==\n");
     std::printf("%-6s %8s %8s %8s %7s %7s %10s %6s %9s\n", "link", "drops",
@@ -693,6 +761,27 @@ int run_demo() {
       (void)a1.scan(0);
       (void)a2.scan(0);
       (void)a3.scan(0);
+    }
+    // Multi-version engine: concurrent writers RCU-publishing through A4's
+    // VersionGate while a reader scans and leases, so the "== mvcc
+    // versioned scans ==" section has data (publishes, acquires, retires,
+    // reclaims, and retire->reclaim grace periods with readers pinning
+    // versions across publishes).
+    {
+      core::MvccSnapshot<std::uint64_t> a4(kN, 0);
+      std::vector<std::jthread> writers;
+      for (std::size_t p = 1; p < kN; ++p) {
+        writers.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+          for (std::uint64_t it = 1; it <= 300; ++it) a4.update(pid, it);
+        });
+      }
+      for (int s = 0; s < 300; ++s) {
+        (void)a4.scan(0);
+        auto lease = a4.scan_view();  // pins a version across publishes
+        (void)lease.epoch();
+      }
+      writers.clear();  // join
+      (void)a4.reclaim();
     }
     // Service layer on top of A1: a couple of clients batching updates and
     // hitting the scan cache, so the "== service layer ==" section has data.

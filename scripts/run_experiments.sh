@@ -51,10 +51,10 @@ ctest --test-dir build 2>&1 | tee results/ctest.txt | tail -3
 # versioned scan cache, the fabric's generation-vector double collect +
 # all-slot seal, and the VersionGate's packed refcount/pointer handoff are
 # exactly where data races would hide.
-echo "== fault+trace+chaos+svc+shard+netchaos+mvcc matrix under TSan =="
+echo "== fault+trace+chaos+svc+shard+netchaos+mvcc+fastread matrix under TSan =="
 cmake -B build-tsan -G Ninja -DASNAP_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard|netchaos|mvcc" --output-on-failure 2>&1 \
+ctest --test-dir build-tsan -L "fault|trace|chaos|svc|shard|netchaos|mvcc|fastread" --output-on-failure 2>&1 \
   | tee results/ctest_fault_tsan.txt | tail -3
 
 for b in build/bench/bench_*; do
@@ -231,6 +231,41 @@ fi
     --seed 42 --experiment E15-mvcc --check
 } 2>&1 | tee results/mvcc.txt
 grep '^JSON ' results/mvcc.txt | sed 's/^JSON //' > results/mvcc.jsonl
+
+# E16-fastread — the one-round fast read: the read-ratio x loss x delay
+# sweep with per-cell exact linearizability checking lives in
+# bench_abd_messages (its E16 JSON lines, incl. the A/B acceptance pair at
+# read ratio 0.99, were captured by the bench loop above and are re-emitted
+# into results/fastread.jsonl here). The chaos_run arms exercise the fast
+# path through the full rails: the in-process mixed scenario and the real
+# socket cluster behind the fault proxy, each as a fast on/off A-B (every
+# run exits nonzero on any safety violation, so set -e gates on them), and
+# the MUST-FAIL negative control — the unconditional write-back skip under
+# a deterministic partition schedule — must be CAUGHT by the exact checker
+# (`!` inverts its expected nonzero exit).
+echo "== E16-fastread: one-round fast reads =="
+{
+  build/tools/chaos_run --scenario mixed --seconds 3 --seed 42 --fast off
+  build/tools/chaos_run --scenario mixed --seconds 3 --seed 42 --fast on
+  build/tools/chaos_run --scenario net --seconds 2 --writers 2 --seed 42 \
+    --loss 0.01 --delay-ms 5 --jitter-ms 2 --fast off
+  build/tools/chaos_run --scenario net --seconds 2 --writers 2 --seed 42 \
+    --loss 0.01 --delay-ms 5 --jitter-ms 2 --fast on
+  build/tools/chaos_run --scenario net+kill --seconds 2 --writers 2 \
+    --seed 42 --crash-rate 1 --loss 0.01 --delay-ms 5 --jitter-ms 2
+  # Checked read-heavy service runs over the in-process ABD backend: the
+  # fast-hit ratio lands in the JSON, the exact checker gates the history.
+  for ratio in 0.9 0.99; do
+    build/tools/loadgen --backend abd --slots 3 --clients 6 --seconds 1 \
+      --read-ratio "$ratio" --seed 42 --experiment E16-fastread --check
+  done
+  ! build/tools/chaos_run --scenario broken-fastread --seed 42
+} 2>&1 | tee results/fastread.txt
+{
+  grep '^JSON ' results/fastread.txt | sed 's/^JSON //'
+  grep '^JSON ' results/bench_abd_messages.txt | sed 's/^JSON //' \
+    | grep 'E16-fastread' || true
+} > results/fastread.jsonl
 
 if [ -n "$TRACE_DIR" ]; then
   echo "== trace analysis =="

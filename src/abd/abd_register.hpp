@@ -11,6 +11,18 @@
 //     upgrades regularity to atomicity (no new/old inversion between two
 //     readers).
 //
+// FAST READS (on by default, AbdConfig::fast_reads; after "Oh-RAM! One and
+// a Half Round Atomic Memory" and Imbs–Raynal's fast-path registers): the
+// query round doubles as a stability probe. A read skips the write-back and
+// returns in ONE round when either (a) every counted replier in the query
+// quorum reported the adopted best_ts — the quorum itself is a majority
+// storing the value — or (b) some best_ts reply carried a CONFIRM bit,
+// proving a write or write-back round for best_ts already completed at a
+// majority. Writers (and slow-path readers after their write-back)
+// broadcast a fire-and-forget CONFIRM(ts) to make (b) the common case.
+// Any other evidence falls back to the unchanged two-round slow path, so
+// the safety argument reduces to [ABD]'s (DESIGN.md §15).
+//
 // The network may LOSE, DUPLICATE and DELAY messages (net::FaultInjector),
 // so every client round is a retransmission loop: broadcast, wait on a
 // retransmission timeout (common/RetryBackoff, exponential), rebroadcast
@@ -84,6 +96,10 @@ enum MsgType : std::uint64_t {
   kReadReply = 2,
   kWriteReq = 3,
   kWriteAck = 4,
+  /// Fire-and-forget stability notice: "ts for reg is majority-acked".
+  /// Sent after a completed write or write-back round; replicas fold it
+  /// into confirmed_ts. Losing every copy only costs fast-read hits.
+  kConfirm = 5,
 };
 
 /// Outcome of one client quorum round / operation.
@@ -129,6 +145,18 @@ struct AbdConfig {
   /// Total budget for one operation (a read spends it across both its query
   /// and write-back rounds). On expiry the operation reports kTimeout.
   std::chrono::microseconds op_deadline{std::chrono::seconds(10)};
+  /// One-round fast reads (Oh-RAM! / Imbs–Raynal style): skip the
+  /// write-back round when the query quorum proves the adopted value is
+  /// already stable at a majority — every counted replier reported
+  /// best_ts, or a best_ts reply carried the confirmed bit. Any other
+  /// evidence falls back to the full query + write-back slow path.
+  bool fast_reads = true;
+  /// NEGATIVE-TEST ONLY: skip the write-back round unconditionally, with no
+  /// stability evidence. This reintroduces the new/old inversion [ABD]'s
+  /// write-back exists to prevent; it exists so the exact checker can
+  /// demonstrate it catches exactly this class of bug. Never set it
+  /// elsewhere.
+  bool unsafe_always_fast_read = false;
   BreakerConfig breaker;
 };
 
@@ -152,7 +180,7 @@ class AbdCluster {
     ASNAP_ASSERT(nodes >= 1 && regs >= 1);
     for (auto& epoch : epochs_) epoch.store(0, std::memory_order_relaxed);
     for (auto& node_replicas : replicas_) {
-      node_replicas.assign(regs, Replica{0, init});
+      node_replicas.assign(regs, Replica{0, 0, init});
     }
     servers_.reserve(nodes);
     for (std::size_t id = 0; id < nodes; ++id) {
@@ -188,12 +216,22 @@ class AbdCluster {
     std::lock_guard op_lock(op_mu_[writer]);
     const std::uint64_t ts = ++write_ts_[reg];
     const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
-    return run_write_round(writer, reg, ts, std::move(value), deadline);
+    const OpStatus status =
+        run_write_round(writer, reg, ts, std::move(value), deadline);
+    // The "half round" of the 1.5-round write: once a majority acked ts,
+    // tell every replica so future fast reads of ts can skip write-back.
+    if (status == OpStatus::kOk) broadcast_confirm(writer, reg, ts);
+    return status;
   }
 
-  /// Read with write-back round. nullopt carries the round's failure
-  /// (timeout or closed endpoint); a value means both rounds reached a
-  /// majority of distinct replicas.
+  /// Read, one round when possible. The query round gathers stability
+  /// evidence alongside (ts, value): when every counted replier agreed on
+  /// the adopted best_ts (the value is provably stored at a majority — the
+  /// quorum itself) or a best_ts reply carried the confirmed bit (a prior
+  /// write/write-back round for best_ts completed), the write-back round
+  /// is skipped and the read finishes in one round. Otherwise the original
+  /// query + write-back slow path runs unchanged (the atomicity upgrade).
+  /// nullopt carries the round's failure (timeout or closed endpoint).
   std::optional<V> try_read(std::size_t reg, net::NodeId reader) {
     ASNAP_ASSERT(reg < registers());
     step_point(StepKind::kRegisterRead);
@@ -201,9 +239,24 @@ class AbdCluster {
     const auto deadline = std::chrono::steady_clock::now() + config_.op_deadline;
     std::uint64_t best_ts = 0;
     V best_value{};
+    QueryEvidence ev;
     if (run_query_round(reader, reg, deadline, best_ts, best_value,
-                        majority()) != OpStatus::kOk) {
+                        majority(), /*allow_breaker=*/true,
+                        &ev) != OpStatus::kOk) {
       return std::nullopt;
+    }
+    if (config_.fast_reads || config_.unsafe_always_fast_read) {
+      const bool stable = ev.agree == ev.accepted || ev.best_confirmed;
+      if (stable || config_.unsafe_always_fast_read) {
+        fast_reads_.fetch_add(1, std::memory_order_relaxed);
+        ASNAP_TRACE_EVENT(trace::EventKind::kAbdFastRead, reader, reg,
+                          best_ts);
+        return best_value;
+      }
+      fast_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      ASNAP_TRACE_EVENT(trace::EventKind::kAbdFastFallback, reader, reg,
+                        ev.agree < ev.accepted ? trace::kFastFallbackDisagree
+                                               : trace::kFastFallbackGap);
     }
     // Write-back round: make the adopted value stable at a majority before
     // returning it (the atomicity upgrade).
@@ -211,6 +264,7 @@ class AbdCluster {
         OpStatus::kOk) {
       return std::nullopt;
     }
+    broadcast_confirm(reader, reg, best_ts);
     return best_value;
   }
 
@@ -326,6 +380,19 @@ class AbdCluster {
 
   /// Aggregate retry metrics across all clients (per-thread breakdowns come
   /// from asnap::RetryMeter).
+  /// Protocol rounds started (query / write / write-back), NOT counting
+  /// retransmission waves within a round — see retransmits_sent() for those.
+  std::uint64_t protocol_rounds() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  /// Reads that returned after the query round alone (write-back skipped).
+  std::uint64_t fast_reads() const {
+    return fast_reads_.load(std::memory_order_relaxed);
+  }
+  /// Reads that wanted the fast path but fell back to write-back.
+  std::uint64_t fast_fallbacks() const {
+    return fast_fallbacks_.load(std::memory_order_relaxed);
+  }
   std::uint64_t retransmits_sent() const {
     return retransmits_.load(std::memory_order_relaxed);
   }
@@ -352,9 +419,22 @@ class AbdCluster {
     return replicas_[node][reg].ts;
   }
 
+  /// Test hook: the highest timestamp a replica knows to be majority-acked
+  /// (0 = none confirmed). Same quiescence caveat as replica_ts().
+  std::uint64_t replica_confirmed_ts(net::NodeId node, std::size_t reg) const {
+    ASNAP_ASSERT(node < nodes() && reg < registers());
+    return replicas_[node][reg].confirmed_ts;
+  }
+
  private:
   struct Replica {
     std::uint64_t ts = 0;
+    /// Highest ts known majority-acked (kConfirm). Invariant: a confirm for
+    /// T is only broadcast after T reached a majority, so confirmed_ts >= ts
+    /// proves the stored (ts, value) needs no write-back. May exceed ts when
+    /// this replica missed the confirmed write itself — still safe evidence
+    /// for a reader whose quorum maximum is ts (see DESIGN.md §15).
+    std::uint64_t confirmed_ts = 0;
     V value{};
   };
   struct ReadReq {
@@ -364,6 +444,7 @@ class AbdCluster {
     std::size_t reg;
     std::uint64_t ts;
     std::uint64_t epoch;  ///< responder's incarnation at reply time
+    bool confirmed;       ///< ts > 0 and confirmed_ts >= ts at the replica
     V value;
   };
   struct WriteReq {
@@ -373,6 +454,21 @@ class AbdCluster {
   };
   struct WriteAck {
     std::uint64_t epoch;  ///< responder's incarnation at ack time
+  };
+  struct ConfirmReq {
+    std::size_t reg;
+    std::uint64_t ts;
+  };
+
+  /// Stability evidence gathered by a query round, for the fast-read
+  /// decision. `accepted` counts replies that passed the epoch filter;
+  /// `agree` counts those whose ts equals the round's final best_ts;
+  /// `best_confirmed` is set when any agreeing reply carried the confirmed
+  /// bit.
+  struct QueryEvidence {
+    std::size_t accepted = 0;
+    std::size_t agree = 0;
+    bool best_confirmed = false;
   };
 
   std::uint64_t next_rid() {
@@ -457,6 +553,7 @@ class AbdCluster {
     };
 
     note_round();
+    rounds_.fetch_add(1, std::memory_order_relaxed);
     ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundBegin, client, rid, needed);
     transmit_wave();
     auto retransmit_at = std::chrono::steady_clock::now() + backoff.current();
@@ -530,11 +627,16 @@ class AbdCluster {
 
   /// Query round of a read (or a recovery resync): fold the maximum
   /// (ts, value) over `needed` distinct replies into best_ts/best_value
-  /// (callers pre-seed them; resync seeds with the local replica).
+  /// (callers pre-seed them; resync seeds with the local replica). When
+  /// `ev` is non-null, stability evidence for the fast-read decision is
+  /// accumulated alongside (recovery passes nullptr: a resync quorum is
+  /// majority()-1 remote replies plus the local replica, which yields no
+  /// majority-stability proof — resync must never skip-stabilize).
   OpStatus run_query_round(net::NodeId client, std::size_t reg,
                            std::chrono::steady_clock::time_point deadline,
                            std::uint64_t& best_ts, V& best_value,
-                           std::size_t needed, bool allow_breaker = true) {
+                           std::size_t needed, bool allow_breaker = true,
+                           QueryEvidence* ev = nullptr) {
     const std::uint64_t rid = next_rid();
     return run_round(
         client, rid, kReadReply, deadline, needed,
@@ -548,16 +650,44 @@ class AbdCluster {
               epochs_[msg.from].load(std::memory_order_acquire)) {
             return false;
           }
-          // >= so a fresh read (seeded ts=0, value-initialized) adopts the
-          // replicas' init value; at equal ts values coincide (single
-          // writer), so re-adoption is harmless.
-          if (reply.ts >= best_ts) {
+          if (reply.ts > best_ts) {
             best_ts = reply.ts;
             best_value = reply.value;
+            if (ev != nullptr) {
+              ev->agree = 1;
+              ev->best_confirmed = reply.confirmed;
+            }
+          } else if (reply.ts == best_ts) {
+            // Equal ts: re-adopt so a fresh read (seeded ts=0,
+            // value-initialized) picks up the replicas' init value; with a
+            // single writer values at equal ts coincide, so this is
+            // harmless otherwise.
+            best_value = reply.value;
+            if (ev != nullptr) {
+              ++ev->agree;
+              ev->best_confirmed = ev->best_confirmed || reply.confirmed;
+            }
           }
+          if (ev != nullptr) ++ev->accepted;
           return true;
         },
         allow_breaker);
+  }
+
+  /// Fire-and-forget stability notice after a majority-acked write or
+  /// write-back round. No retransmission and no acks: confirms are a pure
+  /// latency optimization for future fast reads, and a lost confirm only
+  /// costs a fallback to the slow path. ts == 0 (never written) needs no
+  /// confirm — unanimity covers it.
+  void broadcast_confirm(net::NodeId client, std::size_t reg,
+                         std::uint64_t ts) {
+    if (ts == 0) return;
+    const std::uint64_t rid = next_rid();
+    const std::size_t n = net_.size();
+    for (net::NodeId to = 0; to < n; ++to) {
+      net_.send(client, to, net::Port::kServer, kConfirm, rid,
+                std::any(ConfirmReq{reg, ts}));
+    }
   }
 
   OpStatus run_write_round(net::NodeId client, std::size_t reg,
@@ -594,6 +724,7 @@ class AbdCluster {
                     std::any(ReadReply{
                         req.reg, rep.ts,
                         epochs_[id].load(std::memory_order_relaxed),
+                        rep.ts > 0 && rep.confirmed_ts >= rep.ts,
                         rep.value}));
           break;
         }
@@ -608,6 +739,12 @@ class AbdCluster {
                     std::any(WriteAck{
                         epochs_[id].load(std::memory_order_relaxed)}));
           break;
+        }
+        case kConfirm: {
+          const auto& req = std::any_cast<const ConfirmReq&>(msg->payload);
+          Replica& rep = replicas_[id][req.reg];
+          if (req.ts > rep.confirmed_ts) rep.confirmed_ts = req.ts;
+          break;  // fire-and-forget: no reply
         }
         default:
           ASNAP_ASSERT_MSG(false, "unknown message type at replica");
@@ -628,6 +765,9 @@ class AbdCluster {
   ReplicaHealth health_;  ///< per-(client, replica) RTT EWMAs
   std::atomic<const net::FailureDetector*> detector_{nullptr};
   std::atomic<std::uint64_t> rid_gen_{1};
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> fast_reads_{0};
+  std::atomic<std::uint64_t> fast_fallbacks_{0};
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> dup_replies_{0};
   std::atomic<std::uint64_t> round_timeouts_{0};

@@ -104,6 +104,9 @@ class MessagePassingSnapshot {
   void heal() { cluster_.heal(); }
 
   std::uint64_t messages_sent() const { return cluster_.messages_sent(); }
+  std::uint64_t protocol_rounds() const { return cluster_.protocol_rounds(); }
+  std::uint64_t fast_reads() const { return cluster_.fast_reads(); }
+  std::uint64_t fast_fallbacks() const { return cluster_.fast_fallbacks(); }
   std::uint64_t retransmits_sent() const {
     return cluster_.retransmits_sent();
   }

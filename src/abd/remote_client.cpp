@@ -70,13 +70,18 @@ std::chrono::microseconds RemoteRegisterClient::adaptive_rto() const {
 OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
                                          std::uint8_t expect_type,
                                          std::size_t needed,
-                                         ReadResult* collect) {
+                                         ReadResult* collect,
+                                         QueryEvidence* ev) {
   const std::size_t n = bus_.size();
   if (needed == 0) return OpStatus::kOk;
   request.version = net::wire::kWireVersion;
   request.from = client_id_;
 
   const auto pid = static_cast<std::uint32_t>(client_id_);
+  {
+    std::lock_guard<std::mutex> s(stats_mu_);
+    ++stats_.protocol_rounds;
+  }
   ASNAP_TRACE_EVENT(trace::EventKind::kAbdRoundBegin, pid, request.rid,
                     needed);
 
@@ -156,11 +161,21 @@ OpStatus RemoteRegisterClient::run_round(net::wire::Frame request,
                            Clock::now() - last_tx[from]));
     }
     if (collect != nullptr) {
+      const bool confirmed =
+          (frame->flags & net::wire::kFlagTsConfirmed) != 0;
       if (!adopted || frame->ts > collect->ts) {
         collect->ts = frame->ts;
         collect->value = frame->value;
         adopted = true;
+        if (ev != nullptr) {
+          ev->agree = 1;
+          ev->best_confirmed = confirmed;
+        }
+      } else if (frame->ts == collect->ts && ev != nullptr) {
+        ++ev->agree;
+        ev->best_confirmed = ev->best_confirmed || confirmed;
       }
+      if (ev != nullptr) ++ev->accepted;
     }
   }
   ASNAP_TRACE_EVENT(trace::EventKind::kAbdQuorumReached, pid, request.rid,
@@ -177,22 +192,66 @@ OpStatus RemoteRegisterClient::try_write(std::uint64_t reg, std::uint64_t ts,
   req.reg = reg;
   req.ts = ts;
   req.value = value;
-  return run_round(std::move(req), net::wire::kWriteAck, majority(), nullptr);
+  const OpStatus status =
+      run_round(std::move(req), net::wire::kWriteAck, majority(), nullptr);
+  // The "half round": tell every replica ts is majority-acked so future
+  // fast reads of it can skip their write-back.
+  if (status == OpStatus::kOk) broadcast_confirm(reg, ts);
+  return status;
+}
+
+void RemoteRegisterClient::broadcast_confirm(std::uint64_t reg,
+                                             std::uint64_t ts) {
+  if (ts == 0) return;
+  net::wire::Frame confirm;
+  confirm.version = net::wire::kWireVersion;
+  confirm.type = net::wire::kConfirm;
+  confirm.from = client_id_;
+  confirm.rid = next_rid_++;
+  confirm.reg = reg;
+  confirm.ts = ts;
+  // Best effort, no retransmission, no ack wait: bound the send so a wedged
+  // connection cannot stall the client past one RTO-scale budget.
+  const auto deadline = Clock::now() + config_.max_rto;
+  for (std::size_t i = 0; i < bus_.size(); ++i) {
+    bus_.send(i, confirm, deadline);
+  }
 }
 
 std::optional<RemoteRegisterClient::ReadResult>
 RemoteRegisterClient::try_read(std::uint64_t reg) {
   std::lock_guard<std::mutex> lock(op_mu_);
   ReadResult best;
+  QueryEvidence ev;
   {
     net::wire::Frame req;
     req.type = net::wire::kReadReq;
     req.rid = next_rid_++;
     req.reg = reg;
-    if (run_round(std::move(req), net::wire::kReadReply, majority(), &best) !=
-        OpStatus::kOk) {
+    if (run_round(std::move(req), net::wire::kReadReply, majority(), &best,
+                  &ev) != OpStatus::kOk) {
       return std::nullopt;
     }
+  }
+  if (config_.fast_reads || config_.unsafe_always_fast_read) {
+    // One-round fast path: the adopted pair is provably stable at a
+    // majority — the whole quorum reported it, or some quorum member knew
+    // it majority-acked (kFlagTsConfirmed) — so the write-back is
+    // redundant.
+    const bool stable = ev.agree == ev.accepted || ev.best_confirmed;
+    if (stable || config_.unsafe_always_fast_read) {
+      ASNAP_TRACE_EVENT(trace::EventKind::kAbdFastRead,
+                        static_cast<std::uint32_t>(client_id_), reg, best.ts);
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.fast_reads;
+      return best;
+    }
+    ASNAP_TRACE_EVENT(trace::EventKind::kAbdFastFallback,
+                      static_cast<std::uint32_t>(client_id_), reg,
+                      ev.agree < ev.accepted ? trace::kFastFallbackDisagree
+                                             : trace::kFastFallbackGap);
+    std::lock_guard<std::mutex> s(stats_mu_);
+    ++stats_.fast_fallbacks;
   }
   // Write-back round: re-install the adopted pair on a majority before
   // returning, so no later read can observe an older value (atomicity).
@@ -206,6 +265,7 @@ RemoteRegisterClient::try_read(std::uint64_t reg) {
       OpStatus::kOk) {
     return std::nullopt;
   }
+  broadcast_confirm(reg, best.ts);
   return best;
 }
 

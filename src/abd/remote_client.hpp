@@ -10,6 +10,12 @@
 //   read(reg): query round (majority of READ replies, adopt the max
 //     timestamp), then a write-back round of the adopted pair — the
 //     write-back upgrades regularity to atomicity exactly as in [ABD].
+//     With AbdConfig::fast_reads (default), the write-back is SKIPPED when
+//     the query quorum proves stability — unanimous ts agreement, or a
+//     reply whose wire kFlagTsConfirmed bit shows the adopted ts is already
+//     majority-acked; writers and slow-path readers broadcast
+//     fire-and-forget kConfirm frames to make that the common case. Same
+//     rule, same safety argument as AbdCluster (DESIGN.md §15).
 //
 // Loss/crash handling is the retransmission loop of AbdCluster::run_round:
 // rebroadcast with the SAME rid on a RetryBackoff schedule, deduplicate
@@ -54,6 +60,11 @@ class RemoteRegisterClient {
   };
 
   struct Stats {
+    /// Protocol rounds started (query / write / write-back); retransmission
+    /// waves within a round are counted separately below.
+    std::uint64_t protocol_rounds = 0;
+    std::uint64_t fast_reads = 0;       ///< reads that skipped write-back
+    std::uint64_t fast_fallbacks = 0;   ///< reads that fell back to slow path
     std::uint64_t retransmit_waves = 0;
     std::uint64_t dup_replies = 0;
     std::uint64_t stale_epoch_replies = 0;
@@ -91,8 +102,19 @@ class RemoteRegisterClient {
   std::chrono::microseconds adaptive_rto() const;
 
  private:
+  /// Stability evidence a query round gathers for the fast-read decision.
+  struct QueryEvidence {
+    std::size_t accepted = 0;   ///< replies counted toward the quorum
+    std::size_t agree = 0;      ///< of those, replies at the final best ts
+    bool best_confirmed = false;  ///< some best-ts reply had kFlagTsConfirmed
+  };
+
   OpStatus run_round(net::wire::Frame request, std::uint8_t expect_type,
-                     std::size_t needed, ReadResult* collect);
+                     std::size_t needed, ReadResult* collect,
+                     QueryEvidence* ev = nullptr);
+  /// Fire-and-forget kConfirm broadcast after a majority-acked write or
+  /// write-back; a lost confirm only costs future fast-read hits.
+  void broadcast_confirm(std::uint64_t reg, std::uint64_t ts);
   void record_rtt(std::size_t replica, std::chrono::microseconds sample);
 
   const std::uint64_t client_id_;

@@ -502,6 +502,9 @@ RunReport run(const OrchestratorOptions& opt) {
     report.failed_recovery_attempts = sup->failed_attempts();
     report.recovery_latencies = sup->recovery_latencies();
   }
+  report.protocol_rounds = snap.protocol_rounds();
+  report.fast_reads = snap.fast_reads();
+  report.fast_fallbacks = snap.fast_fallbacks();
   report.retransmits = snap.retransmits_sent();
   report.round_timeouts = snap.round_timeouts();
   report.breaker_skips = snap.breaker_skips();

@@ -116,6 +116,9 @@ struct RunReport {
   std::vector<std::chrono::nanoseconds> recovery_latencies;
 
   // Cluster counters.
+  std::uint64_t protocol_rounds = 0;
+  std::uint64_t fast_reads = 0;
+  std::uint64_t fast_fallbacks = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t round_timeouts = 0;
   std::uint64_t breaker_skips = 0;

@@ -31,3 +31,12 @@ namespace asnap::detail {
     if (!(expr)) [[unlikely]]                                              \
       ::asnap::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
   } while (0)
+
+// Debug-build-only invariant check, for predicates on hot paths where even
+// a cheap always-on test is unwelcome (e.g. per-acquire refcount bounds).
+// Compiled out under NDEBUG like the standard assert.
+#if defined(NDEBUG)
+#define ASNAP_DEBUG_ASSERT_MSG(expr, msg) ((void)0)
+#else
+#define ASNAP_DEBUG_ASSERT_MSG(expr, msg) ASNAP_ASSERT_MSG(expr, msg)
+#endif

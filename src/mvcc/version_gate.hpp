@@ -42,8 +42,12 @@
 // version to the gate's retired list. Both paths are single RMWs on one
 // atomic, so exactly one wins. The mod-2^16 comparison is exact as long as
 // the number of *outstanding* acquisitions on one version stays below
-// 65 536 (Snippet 3's documented gap rule); with kMaxThreads = 512 threads
-// and a handful of guards each, the bound holds with two orders of margin.
+// 65 536 (Snippet 3's documented gap rule). That bound is ENFORCED, not
+// assumed: acquire() tracks outstanding guards gate-wide in a dedicated
+// counter (the packed field is cumulative mod 2^16, so it cannot tell
+// outstanding from wrapped) and spins at 65 535 until a release frees a
+// slot, instead of silently wrapping the packed count and corrupting the
+// drain condition (GateStats::saturation_stalls counts such waits).
 //
 // Retired versions are provably reader-free, but they are not freed inline
 // on the reader path (releases stay two RMWs worst-case): they park on a
@@ -63,6 +67,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -79,6 +84,7 @@ struct GateStats {
   std::uint64_t cas_retries = 0;      ///< try_publish word retries (readers moved)
   std::uint64_t refcount_high_water = 0;  ///< max readers outstanding at unlink
   std::uint64_t grace_pending = 0;    ///< quiesced, awaiting the hazard pass
+  std::uint64_t saturation_stalls = 0;  ///< acquires that waited at the 2^16-1 reader ceiling
 };
 
 /// Single-word versioned publication of an immutable value of type T.
@@ -155,8 +161,26 @@ class VersionGate {
   VersionGate(const VersionGate&) = delete;
   VersionGate& operator=(const VersionGate&) = delete;
 
-  /// Wait-free: one fetch_add acquires a whole consistent snapshot version.
+  /// One fetch_add acquires a whole consistent snapshot version. Wait-free
+  /// below the reader ceiling; at 65 535 concurrently outstanding guards the
+  /// call SPINS until some reader releases instead of letting the 16-bit
+  /// outer count wrap — a wrapped count would let the mod-2^16 drain
+  /// condition fire with readers still out, freeing a version under them.
+  /// The gate-wide outstanding count bounds every per-version count from
+  /// above, so staying below 2^16 gate-wide keeps the drain rule exact.
   ReadGuard acquire() {
+    std::uint32_t prior =
+        readers_out_.fetch_add(1, std::memory_order_acquire);
+    if (prior >= kMaxOutstanding) [[unlikely]] {
+      saturation_stalls_.fetch_add(1, std::memory_order_relaxed);
+      do {
+        readers_out_.fetch_sub(1, std::memory_order_release);
+        std::this_thread::yield();
+        prior = readers_out_.fetch_add(1, std::memory_order_acquire);
+      } while (prior >= kMaxOutstanding);
+    }
+    ASNAP_DEBUG_ASSERT_MSG(prior < kMaxOutstanding,
+                           "VersionGate outer refcount ceiling breached");
     const std::uint64_t w = ctrl_.fetch_add(kCountOne, std::memory_order_acquire);
     Version* v = unpack(w);
     ASNAP_TRACE_EVENT(trace::EventKind::kMvccAcquire, trace_id_, v->epoch,
@@ -253,6 +277,7 @@ class VersionGate {
     s.cas_retries = cas_retries_.load(std::memory_order_relaxed);
     s.refcount_high_water = high_water_.load(std::memory_order_relaxed);
     s.grace_pending = grace_pending_.load(std::memory_order_relaxed);
+    s.saturation_stalls = saturation_stalls_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -263,6 +288,10 @@ class VersionGate {
   static constexpr int kPtrBits = 48;
   static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << kPtrBits) - 1;
   static constexpr std::uint64_t kCountOne = std::uint64_t{1} << kPtrBits;
+  /// Ceiling on concurrently outstanding ReadGuards across the gate. One
+  /// below 2^16: the packed outer count is 16 bits and the drain comparison
+  /// is exact only while per-version outstanding acquires stay below 2^16.
+  static constexpr std::uint32_t kMaxOutstanding = 0xFFFF;
 
   // Version::state packing: releases in bits [0,47), the deposited outer
   // count in bits [47,63), the deposit flag in bit 63. One atomic so the
@@ -301,6 +330,14 @@ class VersionGate {
         static_cast<std::uint16_t>(released) == outer) {
       park_quiesced(v);
     }
+    // Free the reader slot only AFTER the release is recorded on the
+    // version: a slot freed earlier could be re-acquired on the same
+    // version and push its outstanding count past the mod-2^16 bound the
+    // acquire() ceiling exists to protect.
+    [[maybe_unused]] const std::uint32_t before =
+        readers_out_.fetch_sub(1, std::memory_order_release);
+    ASNAP_DEBUG_ASSERT_MSG(before != 0,
+                           "VersionGate release without matching acquire");
   }
 
   /// Deposit the displaced version's final outer count. If every acquire
@@ -371,12 +408,18 @@ class VersionGate {
   std::atomic<Version*> grace_head_{nullptr};
   std::uint32_t trace_id_;
 
+  /// Outstanding ReadGuards, gate-wide. Separate from the packed word: the
+  /// word's 16-bit field is cumulative mod 2^16 (wrap there is legitimate),
+  /// so only a dedicated counter can see *outstanding* saturation coming.
+  std::atomic<std::uint32_t> readers_out_{0};
+
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> retired_{0};
   std::atomic<std::uint64_t> reclaimed_{0};
   std::atomic<std::uint64_t> cas_retries_{0};
   std::atomic<std::uint64_t> high_water_{0};
   std::atomic<std::uint64_t> grace_pending_{0};
+  std::atomic<std::uint64_t> saturation_stalls_{0};
 };
 
 }  // namespace asnap::mvcc

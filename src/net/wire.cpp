@@ -68,7 +68,8 @@ Bytes encode(const Frame& frame) {
   put_u32(out, kMagic);
   out.push_back(frame.version);
   out.push_back(frame.type);
-  put_u16(out, 0);  // reserved
+  // v1 frames have no flags field — those two bytes are reserved-zero.
+  put_u16(out, frame.version >= 2 ? frame.flags : 0);
   put_u64(out, frame.from);
   put_u64(out, frame.rid);
   put_u64(out, frame.epoch);
@@ -100,11 +101,16 @@ std::optional<Frame> decode(const std::uint8_t* body, std::size_t len,
   if (get_u32(body) != kMagic) return fail(error, DecodeError::kBadMagic);
   Frame f;
   f.version = body[4];
-  if (f.version != kWireVersion) {
+  if (f.version < kMinWireVersion || f.version > kWireVersion) {
     return fail(error, DecodeError::kBadVersion);
   }
   f.type = body[5];
-  // body[6..7]: reserved, ignored for forward compatibility.
+  // body[6..7]: flags since v2; reserved (and required-zero by nobody) in
+  // v1, where they decode as 0 = no flags — the conservative meaning.
+  f.flags = f.version >= 2
+                ? static_cast<std::uint16_t>(
+                      body[6] | (static_cast<std::uint16_t>(body[7]) << 8))
+                : 0;
   f.from = get_u64(body + 8);
   f.rid = get_u64(body + 16);
   f.epoch = get_u64(body + 24);

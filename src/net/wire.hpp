@@ -8,7 +8,7 @@
 // abd::RemoteRegisterClient — interoperate across restarts and versions:
 //
 //   frame  := u32 body_len | body                  (body_len <= kMaxBody)
-//   body   := u32 magic 'SNAP' | u8 version | u8 type | u16 reserved
+//   body   := u32 magic 'SNAP' | u8 version | u8 type | u16 flags
 //           | u64 from | u64 rid | u64 epoch | u64 reg | u64 ts
 //           | u32 value_len | value bytes
 //
@@ -24,9 +24,13 @@
 //
 // Versioning: a decoder rejects frames whose magic or version it does not
 // know, and a reader must treat a malformed frame as a broken peer (close
-// the connection) — never resynchronize mid-stream. Adding fields means
-// bumping kWireVersion; the u16 reserved field is zero today and gives v2 a
-// place for flags without growing the header.
+// the connection) — never resynchronize mid-stream. v2 spent the u16
+// reserved field on `flags` (bit 0 = kFlagTsConfirmed on kReadReply: the
+// replica knows `ts` is majority-acked, enabling one-round fast reads) and
+// added the fire-and-forget kConfirm type. A v2 decoder still accepts v1
+// frames — their zero reserved bytes read back as "no flags", which is the
+// safe, conservative meaning — so mixed-version clusters only lose fast
+// reads, never correctness.
 #pragma once
 
 #include <cstddef>
@@ -40,7 +44,10 @@
 namespace asnap::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x50414E53;  // "SNAP" little-endian
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version this decoder still accepts (v1 = pre-flags; decoded with
+/// flags = 0, i.e. nothing confirmed).
+inline constexpr std::uint8_t kMinWireVersion = 1;
 /// Header bytes after the length prefix, excluding the value payload.
 inline constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 2 + 8 * 5 + 4;
 /// Upper bound on one frame body: rejects corrupt length prefixes before
@@ -49,7 +56,9 @@ inline constexpr std::uint32_t kMaxBody = 1u << 20;
 
 /// Protocol message discriminators. 1..4 mirror abd::MsgType so a trace of
 /// either cluster reads the same; 5/6 are the socket transport's liveness
-/// probes (the real-network stand-in for Port::kDetector heartbeats).
+/// probes (the real-network stand-in for Port::kDetector heartbeats); 7 is
+/// v2's fire-and-forget stability notice (no reply — a daemon folds it into
+/// its per-register confirmed ts, and a v1 peer ignores the unknown type).
 enum Type : std::uint8_t {
   kReadReq = 1,
   kReadReply = 2,
@@ -57,13 +66,20 @@ enum Type : std::uint8_t {
   kWriteAck = 4,
   kPing = 5,
   kPong = 6,
+  kConfirm = 7,
 };
+
+/// Frame::flags bit 0, meaningful on kReadReply: the replying replica knows
+/// the reported `ts` is majority-acked (its confirmed ts >= its stored ts),
+/// so a reader adopting this (ts, value) may skip the write-back round.
+inline constexpr std::uint16_t kFlagTsConfirmed = 1u << 0;
 
 using Bytes = std::vector<std::uint8_t>;
 
 struct Frame {
   std::uint8_t version = kWireVersion;
   std::uint8_t type = 0;
+  std::uint16_t flags = 0;  ///< kFlag* bits; always 0 when decoded from v1
   std::uint64_t from = 0;   ///< sender node/client id
   std::uint64_t rid = 0;    ///< request id for RPC matching
   std::uint64_t epoch = 0;  ///< responder incarnation (replies)

@@ -45,6 +45,8 @@ enum class EventKind : std::uint16_t {
   kAbdRetransmit,     ///< a0 = request id
   kAbdQuorumReached,  ///< a0 = request id, a1 = replies accepted
   kAbdRoundTimeout,   ///< a0 = request id
+  kAbdFastRead,       ///< write-back skipped; a0 = reg, a1 = ts returned
+  kAbdFastFallback,   ///< a0 = reg, a1 = reason (kFastFallback*)
 
   // -- fault injector (pid = sending node id) -------------------------------
   kFaultDrop,   ///< a0 = destination node
@@ -110,6 +112,11 @@ inline constexpr std::uint64_t kAlgoUnboundedSw = 1;  ///< Figure 2 (A1)
 inline constexpr std::uint64_t kAlgoBoundedSw = 2;    ///< Figure 3 (A2)
 inline constexpr std::uint64_t kAlgoBoundedMw = 3;    ///< Figure 4 (A3)
 inline constexpr std::uint64_t kAlgoMvccGate = 4;     ///< A4 (no bound: 0 collects)
+
+/// Reason codes carried in kAbdFastFallback.a1: why a fast read had to run
+/// the write-back round after all.
+inline constexpr std::uint64_t kFastFallbackDisagree = 1;  ///< quorum split on ts
+inline constexpr std::uint64_t kFastFallbackGap = 2;       ///< replica gap / partial quorum evidence
 
 /// Stable lower_snake_case name of a kind ("scan_begin", ...). Returns
 /// "unknown" for out-of-range values (a torn slot that escaped validation).

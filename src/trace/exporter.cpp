@@ -129,6 +129,8 @@ const char* kind_name(EventKind kind) {
     case EventKind::kAbdRetransmit: return "abd_retransmit";
     case EventKind::kAbdQuorumReached: return "abd_quorum_reached";
     case EventKind::kAbdRoundTimeout: return "abd_round_timeout";
+    case EventKind::kAbdFastRead: return "abd_fast_read";
+    case EventKind::kAbdFastFallback: return "abd_fast_fallback";
     case EventKind::kFaultDrop: return "fault_drop";
     case EventKind::kFaultDup: return "fault_dup";
     case EventKind::kFaultDelay: return "fault_delay";
@@ -236,6 +238,8 @@ const char* kind_category(EventKind kind) {
     case EventKind::kAbdRetransmit:
     case EventKind::kAbdQuorumReached:
     case EventKind::kAbdRoundTimeout:
+    case EventKind::kAbdFastRead:
+    case EventKind::kAbdFastFallback:
       return "abd";
     case EventKind::kFaultDrop:
     case EventKind::kFaultDup:

@@ -401,5 +401,161 @@ TEST(AbdFault, SnapshotStaysLinearizableAcrossCrashAndRecovery) {
   ASSERT_FALSE(violation.has_value()) << *violation;
 }
 
+// --- the one-round fast read under faults (E16) ------------------------------
+//
+// The fast path's fallback boundary must engage exactly where the stability
+// evidence runs out: quorums straddling a half-propagated write, replicas
+// the breaker suspects, and replies from stale incarnations. Each case runs
+// a seeded workload and demands BOTH that the history stays atomic and that
+// the boundary was actually exercised (counters), so a regression that
+// quietly stops falling back — or quietly stops going fast — trips here
+// before it trips a linearizability checker somewhere downstream.
+
+// (a) Concurrent writes racing fast reads through a dropping+delaying
+// network: write rounds stop retransmitting once a majority acks, so slow
+// replicas permanently miss writes and read quorums straddle the
+// propagation front — ts disagreement — while ~drop_prob of the
+// fire-and-forget confirms vanish — no stability bit. Both force the
+// two-round fallback; the history must stay atomic through the mix of
+// one-round and two-round reads.
+TEST(FastReadFault, ConcurrentWritesForceFallbacksAndStayLinearizable) {
+  constexpr std::size_t kN = 5;
+  MessagePassingSnapshot<Tag> snap(kN, Tag{}, 0xFA57, fault_config());
+  net::FaultPlan plan;
+  plan.drop_prob = 0.3;
+  plan.dup_prob = 0.2;
+  plan.delay_prob = 0.3;
+  plan.min_delay = 100us;
+  plan.max_delay = 2ms;
+  snap.set_fault_plan(plan);
+
+  lin::Recorder recorder(kN);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t p = 0; p < 4; ++p) {
+      workers.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        std::uint64_t seq = 0;
+        for (int op = 0; op < 40; ++op) {
+          if (op % 4 == 0) {  // read-heavy: 3 scans per update
+            const lin::Time inv = recorder.tick();
+            snap.update(pid, Tag{pid, ++seq});
+            const lin::Time res = recorder.tick();
+            recorder.add_update(pid, pid, Tag{pid, seq}, inv, res);
+          } else {
+            const lin::Time inv = recorder.tick();
+            std::vector<Tag> view = snap.scan(pid);
+            const lin::Time res = recorder.tick();
+            recorder.add_scan(pid, std::move(view), inv, res);
+          }
+        }
+      });
+    }
+  }
+  const auto violation = lin::check_single_writer(recorder.take());
+  ASSERT_FALSE(violation.has_value()) << *violation;
+  EXPECT_GT(snap.fast_reads(), 0u)
+      << "stable registers must still go fast under loss";
+  EXPECT_GT(snap.fast_fallbacks(), 0u)
+      << "a 30%-loss run must have hit the fallback boundary";
+}
+
+// (b) Suspected replicas: with the breaker on and a minority crashed, query
+// quorums exclude the suspects — the evidence comes from fewer, live
+// replicas and must still be judged against the replies actually counted
+// (agree == accepted, not agree == n). Histories stay atomic and the fast
+// path keeps working in degraded mode.
+TEST(FastReadFault, SuspectedReplicasDoNotBreakFastReadEvidence) {
+  constexpr std::size_t kN = 5;
+  AbdConfig config = fault_config();
+  config.breaker.enabled = true;
+  MessagePassingSnapshot<Tag> snap(kN, Tag{}, 0xFA58, config);
+  lin::Recorder recorder(kN);
+
+  auto worker = [&](ProcessId pid, std::uint64_t& seq, int ops) {
+    for (int op = 0; op < ops; ++op) {
+      if (op % 4 == 0) {
+        const lin::Time inv = recorder.tick();
+        snap.update(pid, Tag{pid, ++seq});
+        const lin::Time res = recorder.tick();
+        recorder.add_update(pid, pid, Tag{pid, seq}, inv, res);
+      } else {
+        const lin::Time inv = recorder.tick();
+        std::vector<Tag> view = snap.scan(pid);
+        const lin::Time res = recorder.tick();
+        recorder.add_scan(pid, std::move(view), inv, res);
+      }
+    }
+  };
+
+  std::vector<std::uint64_t> seq(kN, 0);
+  {  // healthy phase: seeds RTT estimates and confirmed state
+    std::vector<std::jthread> phase1;
+    for (ProcessId p = 0; p < 3; ++p) {
+      phase1.emplace_back([&, p] { worker(p, seq[p], 8); });
+    }
+  }
+  snap.crash(3);
+  snap.crash(4);  // minority down: breaker learns to skip them
+  {
+    std::vector<std::jthread> phase2;
+    for (ProcessId p = 0; p < 3; ++p) {
+      phase2.emplace_back([&, p] { worker(p, seq[p], 16); });
+    }
+  }
+  const auto violation = lin::check_single_writer(recorder.take());
+  ASSERT_FALSE(violation.has_value()) << *violation;
+  EXPECT_GT(snap.fast_reads(), 0u)
+      << "degraded-mode reads must still use the fast path";
+}
+
+// (c) Stale incarnations: crash/recover churn while the workload runs. A
+// recovered node's resync must not mint stability evidence, and replies
+// from pre-crash incarnations must not count toward (or corrupt) a live
+// round's evidence. Atomicity is the judge.
+TEST(FastReadFault, CrashRecoverChurnKeepsFastReadsLinearizable) {
+  constexpr std::size_t kN = 5;
+  MessagePassingSnapshot<Tag> snap(kN, Tag{}, 0xFA59, fault_config());
+  snap.set_fault_plan(net::FaultPlan{.drop_prob = 0.1, .dup_prob = 0.2});
+  lin::Recorder recorder(kN);
+
+  std::atomic<bool> stop{false};
+  std::jthread churn([&] {
+    for (int round = 0; round < 3 && !stop.load(); ++round) {
+      snap.crash(4);
+      std::this_thread::sleep_for(5ms);
+      while (!snap.recover(4) && !stop.load()) {
+        std::this_thread::sleep_for(1ms);
+      }
+      std::this_thread::sleep_for(5ms);
+    }
+  });
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t p = 0; p < 3; ++p) {
+      workers.emplace_back([&, pid = static_cast<ProcessId>(p)] {
+        std::uint64_t seq = 0;
+        for (int op = 0; op < 30; ++op) {
+          if (op % 3 == 0) {
+            const lin::Time inv = recorder.tick();
+            snap.update(pid, Tag{pid, ++seq});
+            const lin::Time res = recorder.tick();
+            recorder.add_update(pid, pid, Tag{pid, seq}, inv, res);
+          } else {
+            const lin::Time inv = recorder.tick();
+            std::vector<Tag> view = snap.scan(pid);
+            const lin::Time res = recorder.tick();
+            recorder.add_scan(pid, std::move(view), inv, res);
+          }
+        }
+      });
+    }
+  }
+  stop.store(true);
+  churn.join();
+  const auto violation = lin::check_single_writer(recorder.take());
+  ASSERT_FALSE(violation.has_value()) << *violation;
+  EXPECT_GT(snap.fast_reads() + snap.fast_fallbacks(), 0u);
+}
+
 }  // namespace
 }  // namespace asnap::abd

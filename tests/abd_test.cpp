@@ -79,17 +79,38 @@ TEST(AbdCluster, MessageCountPerOperation) {
   cluster.write(0, 0, 7);
   const std::uint64_t write_msgs = cluster.messages_sent() - before_write;
   // One broadcast (n requests) + at least a majority of acks, at most n,
-  // plus possible stragglers from earlier rounds still being emitted.
+  // plus the fire-and-forget confirm broadcast (n) and possible stragglers
+  // from earlier rounds still being emitted.
   EXPECT_GE(write_msgs, kNodes + cluster.majority());
-  EXPECT_LE(write_msgs, 2 * kNodes + kNodes);
+  EXPECT_LE(write_msgs, 2 * kNodes + 2 * kNodes);
 
   const std::uint64_t before_read = cluster.messages_sent();
   (void)cluster.read(0, 1);
   const std::uint64_t read_msgs = cluster.messages_sent() - before_read;
+  // Fast reads are on by default and the write above was confirmed, so the
+  // read is ONE round: one broadcast plus at least the majority of replies,
+  // at most 2n — and strictly fewer messages than the old two-round floor.
+  EXPECT_EQ(cluster.fast_reads(), 1u);
+  EXPECT_EQ(cluster.fast_fallbacks(), 0u);
+  EXPECT_GE(read_msgs, kNodes + cluster.majority());
+  EXPECT_LT(read_msgs, 2 * kNodes + cluster.majority());
+}
+
+TEST(AbdCluster, MessageCountPerOperationSlowPath) {
+  constexpr std::size_t kNodes = 5;
+  AbdConfig config;
+  config.fast_reads = false;
+  AbdCluster<int> cluster(kNodes, kNodes, 0, /*seed=*/1, config);
+  cluster.write(0, 0, 7);
+  const std::uint64_t before_read = cluster.messages_sent();
+  (void)cluster.read(0, 1);
+  const std::uint64_t read_msgs = cluster.messages_sent() - before_read;
   // Two rounds (query + write-back): at least the two broadcasts plus the
-  // query-round majority; at most 4n plus stragglers.
+  // query-round majority; at most 4n plus the write-back confirm broadcast
+  // and stragglers.
+  EXPECT_EQ(cluster.fast_reads(), 0u);
   EXPECT_GE(read_msgs, 2 * kNodes + cluster.majority());
-  EXPECT_LE(read_msgs, 4 * kNodes + kNodes);
+  EXPECT_LE(read_msgs, 4 * kNodes + 2 * kNodes);
 }
 
 TEST(AbdCluster, SurvivesLinkFailures) {

@@ -119,6 +119,53 @@ TEST(Wire, TagAndU64CodecsRoundTrip) {
   EXPECT_EQ(*u, 0x1122334455ull);
 }
 
+TEST(Wire, FlagsRoundTripInV2Frames) {
+  Frame in;
+  in.type = net::wire::kReadReply;
+  in.from = 1;
+  in.rid = 77;
+  in.ts = 9;
+  in.flags = net::wire::kFlagTsConfirmed;
+  const Bytes buf = net::wire::encode(in);
+  const auto out = net::wire::decode(buf.data() + 4, buf.size() - 4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->version, net::wire::kWireVersion);
+  EXPECT_EQ(out->flags, net::wire::kFlagTsConfirmed);
+  EXPECT_EQ(out->ts, in.ts);
+}
+
+TEST(Wire, V1FramesStillDecodeWithFlagsZero) {
+  // A v1 peer knows nothing of the flags field — its bytes were reserved
+  // zeros. encode() must zero them for version-1 frames even if the caller
+  // set flags, and a v2 decoder must accept the frame with flags == 0
+  // rather than reject the version byte. This is the rolling-upgrade
+  // contract: old daemon replies simply never claim kFlagTsConfirmed, so
+  // clients fall back to the two-round read — slower, never unsafe.
+  Frame in;
+  in.version = 1;
+  in.type = net::wire::kReadReply;
+  in.from = 2;
+  in.rid = 78;
+  in.ts = 5;
+  in.value = {1, 2, 3};
+  in.flags = net::wire::kFlagTsConfirmed;  // must NOT survive a v1 encode
+  const Bytes buf = net::wire::encode(in);
+  const auto out = net::wire::decode(buf.data() + 4, buf.size() - 4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->version, 1);
+  EXPECT_EQ(out->flags, 0) << "v1 frames carry no flags";
+  EXPECT_EQ(out->ts, in.ts);
+  EXPECT_EQ(out->value, in.value);
+
+  // Below kMinWireVersion stays rejected.
+  Frame ancient;
+  ancient.version = 0;
+  const Bytes bad = net::wire::encode(ancient);
+  std::string error;
+  EXPECT_FALSE(net::wire::decode(bad.data() + 4, bad.size() - 4, &error));
+  EXPECT_EQ(error, "unknown wire version");
+}
+
 TEST(Wire, ParseEndpoints) {
   const auto eps = net::parse_endpoints("127.0.0.1:7001,10.0.0.2:80");
   ASSERT_TRUE(eps.has_value());
@@ -421,6 +468,76 @@ TEST_F(ClusterTest, RecoveredReplicaResyncsWritesItMissed) {
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->ts, 10u);
   EXPECT_EQ(net::wire::decode_u64(got->value), 1000u);
+}
+
+/// Raw single-replica read: one frame over a fresh socket, no quorum, no
+/// write-back, no confirm side effects — sees exactly what the daemon
+/// would reply to a client's query round.
+std::optional<Frame> probe_read(const net::Endpoint& ep, std::uint64_t reg) {
+  std::string err;
+  net::Socket sock = net::tcp_connect(ep, 1000ms, &err);
+  if (!sock.valid()) return std::nullopt;
+  Frame req;
+  req.type = net::wire::kReadReq;
+  req.from = 99;
+  req.rid = 1;
+  req.reg = reg;
+  if (!net::send_frame(sock, req)) return std::nullopt;
+  Frame reply;
+  if (net::recv_frame(sock, std::chrono::steady_clock::now() + 2s, &reply) !=
+      net::RecvStatus::kOk) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+TEST_F(ClusterTest, ConfirmedBitIsServedAndResetByRestart) {
+  abd::RemoteRegisterClient client(cluster_->endpoints(), 6, client_config());
+  ASSERT_EQ(client.try_write(0, 1, net::wire::encode_u64(5)),
+            abd::OpStatus::kOk);
+  // The confirm broadcast is fire-and-forget; each daemon folds it in
+  // asynchronously and must then serve reads with kFlagTsConfirmed.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(eventually([&] {
+      const auto r = probe_read(cluster_->endpoints()[i], 0);
+      return r.has_value() && r->ts == 1 &&
+             (r->flags & net::wire::kFlagTsConfirmed) != 0;
+    })) << "replica " << i << " never served the confirmed bit";
+  }
+
+  // Confirmed state is deliberately in-memory only: after kill -9 the WAL
+  // restores the VALUE, but the restarted incarnation must not claim it
+  // confirmed — it cannot know which of its log entries reached a
+  // majority, and a false claim would let fast reads return an
+  // unstabilized value.
+  ASSERT_TRUE(cluster_->kill9(2));
+  ASSERT_TRUE(eventually([&] { return incarnations(2) >= 2; }, 15s));
+  ASSERT_TRUE(eventually(
+      [&] {
+        const auto r = probe_read(cluster_->endpoints()[2], 0);
+        return r.has_value() && r->ts == 1;
+      },
+      10s))
+      << "restarted replica lost the write";
+  const auto after = probe_read(cluster_->endpoints()[2], 0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->flags & net::wire::kFlagTsConfirmed, 0)
+      << "restart manufactured stability evidence";
+
+  // A fresh completed write re-establishes the bit. The confirm rides a
+  // fire-and-forget frame that is dropped if the bus link to the restarted
+  // replica is still in reconnect cooldown, so retry with fresh timestamps
+  // until one write's confirm lands there.
+  std::uint64_t ts = 1;
+  EXPECT_TRUE(eventually(
+      [&] {
+        (void)client.try_write(0, ++ts, net::wire::encode_u64(6));
+        const auto r = probe_read(cluster_->endpoints()[2], 0);
+        return r.has_value() && r->ts >= 2 &&
+               (r->flags & net::wire::kFlagTsConfirmed) != 0;
+      },
+      10s))
+      << "no write's confirm ever reached the restarted replica";
 }
 
 }  // namespace

@@ -129,6 +129,39 @@ TEST(VersionGate, OuterRefcountWrapsCleanlyPast64K) {
   EXPECT_EQ(Payload::live.load(), before);
 }
 
+// Reader-ceiling regression: 65 535 *concurrently outstanding* guards is
+// the most the 16-bit outer count can represent. The 65 536th acquire must
+// stall (counted in saturation_stalls) instead of wrapping — a wrapped
+// count would satisfy the mod-2^16 drain condition with readers still out
+// and free a version under them. The stalled acquire must complete as soon
+// as one guard releases.
+TEST(VersionGate, AcquireStallsAtOutstandingReaderCeiling) {
+  mvcc::VersionGate<int> gate(42);
+  std::vector<mvcc::VersionGate<int>::ReadGuard> held;
+  held.reserve(0xFFFF);
+  for (std::uint32_t i = 0; i < 0xFFFF; ++i) held.push_back(gate.acquire());
+  ASSERT_EQ(gate.stats().saturation_stalls, 0u)
+      << "stalled below the ceiling";
+
+  std::atomic<bool> acquired{false};
+  std::thread reader([&] {
+    auto g = gate.acquire();  // the 65 536th: must wait for a release
+    EXPECT_EQ(*g, 42);
+    acquired.store(true, std::memory_order_release);
+  });
+  // The spin loop counts its first stall before waiting, so this is a
+  // reliable "the reader is inside acquire()" signal.
+  while (gate.stats().saturation_stalls == 0) std::this_thread::yield();
+  // Race-free: with 65 535 guards still held the spinner can never get
+  // through, no matter how long we pause here.
+  EXPECT_FALSE(acquired.load(std::memory_order_acquire));
+
+  held.pop_back();  // release one slot
+  reader.join();
+  EXPECT_TRUE(acquired.load(std::memory_order_acquire));
+  EXPECT_GT(gate.stats().saturation_stalls, 0u);
+}
+
 TEST(VersionGate, RefcountHighWaterTracksOutstandingReaders) {
   mvcc::VersionGate<int> gate(0);
   auto g1 = gate.acquire();

@@ -43,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "abd/remote_client.hpp"
@@ -98,6 +99,14 @@ struct Store {
   abd::WalState state;
   std::unique_ptr<abd::ReplicaWal> wal;
   std::uint64_t epoch = 0;
+  /// Highest majority-acked ts per register (wire kConfirm). In-memory
+  /// ONLY, deliberately not in the WAL: resetting to "nothing confirmed" on
+  /// restart is conservative — it costs fast-read hits, never safety — and
+  /// crucially a restarted daemon must not resurrect confirmation for state
+  /// it restored from its log or background resync (a resynced value was
+  /// adopted from a quorum READ, which proves nothing about majority
+  /// stability of THIS replica's ts).
+  std::unordered_map<std::uint64_t, std::uint64_t> confirmed;
   static constexpr std::uint64_t kCompactBytes = 8ull << 20;
 
   /// Apply WRITE(reg, ts, value): durably log iff it advances the replica.
@@ -121,6 +130,20 @@ struct Store {
     if (it == state.regs.end()) return {0, {}};
     return it->second;
   }
+
+  /// CONFIRM(reg, ts): ts is majority-acked; fold the maximum.
+  void apply_confirm(std::uint64_t reg, std::uint64_t ts) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = confirmed[reg];
+    if (ts > slot) slot = ts;
+  }
+
+  /// Highest confirmed ts for reg (0 = nothing confirmed this incarnation).
+  std::uint64_t confirmed_ts(std::uint64_t reg) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = confirmed.find(reg);
+    return it == confirmed.end() ? 0 : it->second;
+  }
 };
 
 void serve_connection(std::size_t id, Store& store, net::Socket conn) {
@@ -141,6 +164,9 @@ void serve_connection(std::size_t id, Store& store, net::Socket conn) {
         reply.type = net::wire::kReadReply;
         reply.ts = ts;
         reply.value = value;
+        if (ts > 0 && store.confirmed_ts(req.reg) >= ts) {
+          reply.flags |= net::wire::kFlagTsConfirmed;
+        }
         break;
       }
       case net::wire::kWriteReq: {
@@ -158,6 +184,9 @@ void serve_connection(std::size_t id, Store& store, net::Socket conn) {
       case net::wire::kPing:
         reply.type = net::wire::kPong;
         break;
+      case net::wire::kConfirm:
+        store.apply_confirm(req.reg, req.ts);
+        continue;  // fire-and-forget: no reply frame
       default:
         continue;  // unknown type: ignore (forward compatibility)
     }
@@ -169,7 +198,11 @@ void serve_connection(std::size_t id, Store& store, net::Socket conn) {
 /// rounds (including this daemon's own listener — the self reply counts
 /// toward the majority, as in AbdCluster::recover) and adopt anything
 /// newer. Restores full f-tolerance after a restart; correctness never
-/// depended on it (see file header).
+/// depended on it (see file header). Uses try_query — a query with NO
+/// write-back — and installs through apply_write, which deliberately does
+/// not touch Store::confirmed: a resync read skipping write-back has not
+/// stabilized anything, so the restarted replica must keep answering reads
+/// without kFlagTsConfirmed until a live writer/reader confirms again.
 void resync(std::size_t id, const Args& args, Store& store) {
   abd::AbdConfig config;
   config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(

@@ -12,6 +12,13 @@
 //                   lets an isolated node "commit" without a majority; the
 //                   linearizability checker must catch it, so this scenario
 //                   is expected to FAIL (ctest wraps it in WILL_FAIL).
+//   broken-fastread NEGATIVE control: unsafe_always_fast_read skips the
+//                   read write-back unconditionally (the exact mutant the
+//                   fast-read stability evidence exists to prevent). A
+//                   deterministic partition schedule around a timed-out
+//                   write produces a new/old read inversion that
+//                   check_single_writer must reject, so this scenario is
+//                   expected to FAIL (ctest wraps it in WILL_FAIL).
 //   real            REAL PROCESSES: spawn --nodes abd_replicad daemons on
 //                   127.0.0.1 sockets, run a checked workload through
 //                   abd::RemoteRegisterClient while injecting kill -9 and
@@ -38,11 +45,12 @@
 //                   so ctest wraps it in WILL_FAIL.
 //
 // Usage:
-//   chaos_run [--scenario mixed|breaker-ab|broken-breaker|real|net|
-//              net+kill|net-split]
+//   chaos_run [--scenario mixed|breaker-ab|broken-breaker|broken-fastread|
+//              real|net|net+kill|net-split]
 //             [--seconds S] [--nodes N] [--seed K]
 //             [--crash-rate HZ] [--partition-rate HZ] [--loss P]
-//             [--breaker on|off] [--trace out.json|out.jsonl]
+//             [--breaker on|off] [--fast on|off]
+//             [--trace out.json|out.jsonl]
 //   real/net-scenario extras:
 //             [--writers W] [--think-ms T] [--stall-ms T]
 //             [--replicad PATH] [--keep-state]
@@ -105,6 +113,7 @@ struct Cli {
   double partition_rate = 0.5;
   double loss = 0.10;
   bool breaker = true;
+  bool fast = true;  ///< one-round fast reads (AbdConfig::fast_reads)
   std::string trace_path;
   // --scenario real extras:
   std::size_t writers = 3;
@@ -153,6 +162,11 @@ void print_report(const std::string& label, const chaos::RunReport& r) {
       (unsigned long long)r.breaker_skips, (unsigned long long)r.fail_fasts,
       (unsigned long long)r.stale_epoch_replies,
       (unsigned long long)r.round_timeouts, (unsigned long long)r.retransmits);
+  std::printf(
+      "  rounds      : %llu protocol rounds, %llu fast reads, %llu fast "
+      "fallbacks\n",
+      (unsigned long long)r.protocol_rounds, (unsigned long long)r.fast_reads,
+      (unsigned long long)r.fast_fallbacks);
   std::printf(
       "  latency     : update p50 %.1f us p99 %.1f us | scan p50 %.1f us "
       "p99 %.1f us\n",
@@ -206,7 +220,11 @@ void print_json(const Cli& cli, const std::string& label, bool breaker,
       .field("breaker_skips", r.breaker_skips)
       .field("fail_fasts", r.fail_fasts)
       .field("stale_epoch_replies", r.stale_epoch_replies)
-      .field("round_timeouts", r.round_timeouts);
+      .field("round_timeouts", r.round_timeouts)
+      .field("fast", cli.fast)
+      .field("protocol_rounds", r.protocol_rounds)
+      .field("fast_reads", r.fast_reads)
+      .field("fast_fallbacks", r.fast_fallbacks);
   j.print();
 }
 
@@ -216,6 +234,7 @@ chaos::OrchestratorOptions base_options(const Cli& cli) {
   opt.seed = cli.seed;
   opt.duration = seconds_us(cli.seconds);
   opt.abd.breaker.enabled = cli.breaker;
+  opt.abd.fast_reads = cli.fast;
   return opt;
 }
 
@@ -300,6 +319,118 @@ int run_broken_breaker(const Cli& cli) {
         "shrink, but the run passed\n");
   }
   return r.ok() ? 0 : 1;
+}
+
+/// NEGATIVE control for the fast-read path. unsafe_always_fast_read skips
+/// the read write-back even when the query quorum DISAGREED on the best
+/// timestamp — exactly the mutant the stability evidence exists to reject.
+/// A deterministic schedule makes the skip observable as a new/old read
+/// inversion:
+///
+///   1. write A = Tag{0,1} completes (and is confirmed) everywhere;
+///   2. links 0-1 and 0-2 are cut, so write B = Tag{0,2} times out having
+///      reached only replica 0 — an INDETERMINATE write, no confirm;
+///   3. reader at node 1 (quorum {0,1}) sees {ts=2, ts=1}: disagreement and
+///      no confirmed bit, yet the mutant returns B without writing back;
+///   4. reader at node 2 (quorum {1,2}, link to 0 cut) then sees ts=1
+///      unanimously and returns A — a read AFTER a read of B returned the
+///      older A.
+///
+/// check_single_writer must reject the history (ctest wraps this scenario
+/// in WILL_FAIL). With the real stability rule, step 3 falls back to the
+/// write-back and step 4 returns B — the fault-matrix tests pin that.
+int run_broken_fastread(const Cli& cli) {
+  using Tag = lin::Tag;
+  abd::AbdConfig config;
+  config.unsafe_always_fast_read = true;
+  // Short deadline so the partitioned write in step 2 times out quickly;
+  // healthy in-process rounds finish in microseconds, so reads are unhurt.
+  config.op_deadline = std::chrono::milliseconds(50);
+  abd::AbdCluster<Tag> cluster(3, 1, Tag{}, cli.seed, config);
+  lin::Recorder recorder(/*num_words=*/1);
+  std::vector<std::string> violations;
+
+  {  // step 1: a confirmed base value
+    const lin::Time inv = recorder.tick();
+    const abd::OpStatus st = cluster.try_write(0, 0, Tag{0, 1});
+    const lin::Time res = recorder.tick();
+    if (st != abd::OpStatus::kOk) {
+      violations.push_back("setup: base write failed");
+    }
+    recorder.add_update(0, 0, Tag{0, 1}, inv, res);
+  }
+
+  // step 2: isolate the writer from the rest; the write reaches only the
+  // writer's own replica and times out — indeterminate, never confirmed.
+  cluster.cut_link(0, 1);
+  cluster.cut_link(0, 2);
+  const lin::Time b_inv = recorder.tick();
+  if (cluster.try_write(0, 0, Tag{0, 2}) == abd::OpStatus::kOk) {
+    violations.push_back("setup: partitioned write unexpectedly completed");
+  }
+
+  // step 3: node 1 reads with quorum {0,1} (link 1-2 cut).
+  cluster.restore_link(0, 1);
+  cluster.restore_link(0, 2);
+  cluster.cut_link(1, 2);
+  {
+    const lin::Time inv = recorder.tick();
+    const auto got = cluster.try_read(0, 1);
+    const lin::Time res = recorder.tick();
+    if (!got.has_value()) {
+      violations.push_back("setup: first read failed");
+    } else {
+      recorder.add_scan(1, {*got}, inv, res);
+    }
+  }
+
+  // step 4: node 2 reads with quorum {1,2} (links to 0 cut). The mutant
+  // never wrote ts=2 back, so both replies are the old ts=1.
+  cluster.restore_link(1, 2);
+  cluster.cut_link(0, 1);
+  cluster.cut_link(0, 2);
+  {
+    const lin::Time inv = recorder.tick();
+    const auto got = cluster.try_read(0, 2);
+    const lin::Time res = recorder.tick();
+    if (!got.has_value()) {
+      violations.push_back("setup: second read failed");
+    } else {
+      recorder.add_scan(2, {*got}, inv, res);
+    }
+  }
+
+  // The timed-out write is indeterminate: possibly applied any time up to
+  // now (the Jepsen :info convention used by every harness in this repo).
+  recorder.add_update(0, 0, Tag{0, 2}, b_inv, recorder.tick());
+
+  const lin::History history = recorder.take();
+  if (const auto violation = lin::check_single_writer(history)) {
+    violations.push_back("linearizability: " + *violation);
+  }
+
+  std::printf("== broken-fastread (negative control) ==\n");
+  std::printf("  fast reads  : %llu (mutant: write-back always skipped)\n",
+              (unsigned long long)cluster.fast_reads());
+  if (violations.empty()) {
+    std::printf(
+        "  verdict     : PASS — but the checker was EXPECTED to catch the "
+        "unconditional write-back skip\n");
+  } else {
+    std::printf("  verdict     : FAIL (%zu violation(s), as intended)\n",
+                violations.size());
+    for (const std::string& v : violations) {
+      std::printf("    - %s\n", v.c_str());
+    }
+  }
+  bench::JsonWriter j("E16-fastread-negative");
+  j.field("scenario", std::string("broken-fastread"))
+      .field("seed", (std::uint64_t)cli.seed)
+      .field("violations", (std::uint64_t)violations.size())
+      .field("fast_reads", cluster.fast_reads())
+      .field("history_ops", (std::uint64_t)history.total_ops());
+  j.print();
+  return violations.empty() ? 0 : 1;
 }
 
 // --- --scenario real: kill -9 chaos against live abd_replicad processes ----
@@ -426,6 +557,7 @@ void real_worker_loop(const std::vector<net::Endpoint>& eps, ProcessId p,
   abd::AbdConfig config;
   config.op_deadline = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::seconds(3));
+  config.fast_reads = cli.fast;
   abd::RemoteRegisterClient client(eps, /*client_id=*/100 + p, config);
   const auto think =
       std::chrono::microseconds(static_cast<std::int64_t>(cli.think_ms * 1e3));
@@ -522,6 +654,12 @@ void print_real_report(const std::string& label, const RealReport& r) {
       (unsigned long long)r.client.round_timeouts,
       (unsigned long long)r.reconnects);
   std::printf(
+      "  rounds      : %llu protocol rounds, %llu fast reads, %llu fast "
+      "fallbacks\n",
+      (unsigned long long)r.client.protocol_rounds,
+      (unsigned long long)r.client.fast_reads,
+      (unsigned long long)r.client.fast_fallbacks);
+  std::printf(
       "  latency     : update p50 %.1f us p99 %.1f us | scan p50 %.1f us "
       "p99 %.1f us\n",
       r.update_hist.percentile(0.50) / 1e3,
@@ -569,7 +707,11 @@ void print_real_json(const Cli& cli, const std::string& scenario,
       .field("retransmit_waves", r.client.retransmit_waves)
       .field("stale_epoch_replies", r.client.stale_epoch_replies)
       .field("round_timeouts", r.client.round_timeouts)
-      .field("reconnects", r.reconnects);
+      .field("reconnects", r.reconnects)
+      .field("fast", cli.fast)
+      .field("protocol_rounds", r.client.protocol_rounds)
+      .field("fast_reads", r.client.fast_reads)
+      .field("fast_fallbacks", r.client.fast_fallbacks);
   if (r.net_mode) {
     j.field("loss", cli.loss)
         .field("delay_ms", cli.delay_ms)
@@ -863,6 +1005,9 @@ int run_real(const Cli& cli, NetMode mode) {
     report.scans_ok += ws.scans_ok;
     report.failed_update_attempts += ws.failed_update_attempts;
     report.failed_scans += ws.failed_scans;
+    report.client.protocol_rounds += ws.stats.protocol_rounds;
+    report.client.fast_reads += ws.stats.fast_reads;
+    report.client.fast_fallbacks += ws.stats.fast_fallbacks;
     report.client.retransmit_waves += ws.stats.retransmit_waves;
     report.client.dup_replies += ws.stats.dup_replies;
     report.client.stale_epoch_replies += ws.stats.stale_epoch_replies;
@@ -924,6 +1069,8 @@ int main(int argc, char** argv) {
       std::atof(bench::consume_flag(argc, argv, "--loss", "0.1").c_str());
   cli.breaker =
       bench::consume_flag(argc, argv, "--breaker", "on") != std::string("off");
+  cli.fast =
+      bench::consume_flag(argc, argv, "--fast", "on") != std::string("off");
   cli.trace_path = bench::consume_flag(argc, argv, "--trace", "");
   cli.writers = static_cast<std::size_t>(
       std::atoi(bench::consume_flag(argc, argv, "--writers", "3").c_str()));
@@ -961,13 +1108,15 @@ int main(int argc, char** argv) {
   if (cli.scenario == "mixed") return run_mixed(cli);
   if (cli.scenario == "breaker-ab") return run_breaker_ab(cli);
   if (cli.scenario == "broken-breaker") return run_broken_breaker(cli);
+  if (cli.scenario == "broken-fastread") return run_broken_fastread(cli);
   if (cli.scenario == "real") return run_real(cli, NetMode::kNone);
   if (cli.scenario == "net") return run_real(cli, NetMode::kNet);
   if (cli.scenario == "net+kill") return run_real(cli, NetMode::kNetKill);
   if (cli.scenario == "net-split") return run_real(cli, NetMode::kSplit);
   std::fprintf(stderr,
                "chaos_run: unknown --scenario '%s' (mixed, breaker-ab, "
-               "broken-breaker, real, net, net+kill, net-split)\n",
+               "broken-breaker, broken-fastread, real, net, net+kill, "
+               "net-split)\n",
                cli.scenario.c_str());
   return 2;
 }

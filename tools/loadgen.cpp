@@ -437,6 +437,29 @@ int report(Front& front, std::size_t total_words, const Options& opt) {
                 static_cast<double>(out.fabric.global_scans)
           : 0.0;
 
+  // ABD round accounting (backend=cluster / backend=abd only): fast-read
+  // hits vs slow-path fallbacks, and protocol rounds separate from the
+  // retransmit waves inside them.
+  bool have_rounds = false;
+  std::uint64_t protocol_rounds = 0, fast_reads = 0, fast_fallbacks = 0;
+  if constexpr (requires { front.backend().abd_stats(); }) {
+    const auto s = front.backend().abd_stats();
+    protocol_rounds = s.protocol_rounds;
+    fast_reads = s.fast_reads;
+    fast_fallbacks = s.fast_fallbacks;
+    have_rounds = true;
+  } else if constexpr (requires { front.backend().fast_reads(); }) {
+    protocol_rounds = front.backend().protocol_rounds();
+    fast_reads = front.backend().fast_reads();
+    fast_fallbacks = front.backend().fast_fallbacks();
+    have_rounds = true;
+  }
+  const std::uint64_t fast_attempts = fast_reads + fast_fallbacks;
+  const double fast_hit_ratio =
+      fast_attempts ? static_cast<double>(fast_reads) /
+                          static_cast<double>(fast_attempts)
+                    : 0.0;
+
   std::printf("loadgen %s backend=%s mode=%s slots=%zu shards=%zu clients=%zu "
               "read=%.2f cache=%s %.2fs\n",
               opt.experiment.c_str(), opt.backend.c_str(), opt.mode.c_str(),
@@ -483,6 +506,14 @@ int report(Front& front, std::size_t total_words, const Options& opt) {
   std::printf("  shed        %llu (client-observed %llu)\n",
               static_cast<unsigned long long>(out.svc.sheds),
               static_cast<unsigned long long>(m.sheds));
+  if (have_rounds) {
+    std::printf("  abd rounds  %llu protocol rounds; fast reads %llu, "
+                "fallbacks %llu (hit %.1f%%)\n",
+                static_cast<unsigned long long>(protocol_rounds),
+                static_cast<unsigned long long>(fast_reads),
+                static_cast<unsigned long long>(fast_fallbacks),
+                100.0 * fast_hit_ratio);
+  }
   if (opt.checking()) {
     std::printf("  check       %s%s\n",
                 out.violations == 0 ? "LINEARIZABLE" : "VIOLATION",
@@ -526,6 +557,10 @@ int report(Front& front, std::size_t total_words, const Options& opt) {
       .field("lease_steals", out.lease.steals)
       .field("lease_timeouts", out.lease.timeouts)
       .field("sheds", out.svc.sheds)
+      .field("protocol_rounds", protocol_rounds)
+      .field("fast_reads", fast_reads)
+      .field("fast_fallbacks", fast_fallbacks)
+      .field("fast_hit_ratio", fast_hit_ratio)
       .field("violations", out.violations);
   json.print();
   return out.violations == 0 ? 0 : 1;
@@ -625,6 +660,27 @@ class ClusterSnapshot {
     return {std::move(ts), std::move(tags)};
   }
 
+ public:
+  /// Summed client-side round counters across all writer/scanner clients
+  /// (the E16 fast-hit accounting for --backend cluster).
+  abd::RemoteRegisterClient::Stats abd_stats() const {
+    abd::RemoteRegisterClient::Stats total;
+    const auto add = [&](const abd::RemoteRegisterClient& c) {
+      const auto s = c.stats();
+      total.protocol_rounds += s.protocol_rounds;
+      total.fast_reads += s.fast_reads;
+      total.fast_fallbacks += s.fast_fallbacks;
+      total.retransmit_waves += s.retransmit_waves;
+      total.dup_replies += s.dup_replies;
+      total.stale_epoch_replies += s.stale_epoch_replies;
+      total.round_timeouts += s.round_timeouts;
+    };
+    for (const auto& c : writers_) add(*c);
+    for (const auto& c : scanners_) add(*c);
+    return total;
+  }
+
+ private:
   std::size_t slots_;
   std::vector<std::unique_ptr<abd::RemoteRegisterClient>> writers_;
   std::vector<std::unique_ptr<abd::RemoteRegisterClient>> scanners_;

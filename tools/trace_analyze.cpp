@@ -153,6 +153,14 @@ struct Analysis {
   trace::LogHistogram retransmits_per_round;
   std::uint64_t rounds = 0;
   std::uint64_t round_timeouts = 0;
+  // Fast-read round complexity (PR 10): one-round reads vs slow-path
+  // fallbacks, with the fallback reason split out. Protocol rounds and
+  // retransmit waves stay separately accounted (a wave is a resend INSIDE
+  // a round, never a new round).
+  std::uint64_t fast_reads = 0;
+  std::uint64_t fast_fallbacks = 0;
+  std::uint64_t fast_fallback_disagree = 0;
+  std::uint64_t fast_fallback_gap = 0;
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_dups = 0;
   std::uint64_t fault_delays = 0;
@@ -288,6 +296,12 @@ Analysis analyze(std::vector<Row> rows) {
         if (r.kind == "abd_round_timeout") ++out.round_timeouts;
         p.open = false;
       }
+    } else if (r.kind == "abd_fast_read") {
+      ++out.fast_reads;
+    } else if (r.kind == "abd_fast_fallback") {
+      ++out.fast_fallbacks;
+      if (r.a1 == 1) ++out.fast_fallback_disagree;
+      if (r.a1 == 2) ++out.fast_fallback_gap;
     } else if (r.kind == "fault_drop") {
       ++out.fault_drops;
     } else if (r.kind == "fault_dup") {
@@ -506,6 +520,27 @@ std::size_t report(const Analysis& a) {
                 static_cast<unsigned long long>(
                     a.retransmits_per_round.percentile(0.99)),
                 static_cast<unsigned long long>(a.retransmits_per_round.max()));
+  }
+  if (a.fast_reads + a.fast_fallbacks != 0) {
+    // Round complexity of reads: a fast read is 1 round, a fallback is 2
+    // (query + write-back). Retransmit waves are NOT rounds and are
+    // reported above, per round.
+    const std::uint64_t reads = a.fast_reads + a.fast_fallbacks;
+    const double rounds_per_read =
+        static_cast<double>(a.fast_reads + 2 * a.fast_fallbacks) /
+        static_cast<double>(reads);
+    std::printf("\n== ABD read round complexity ==\n");
+    std::printf("reads: %llu  fast (1-round): %llu  fallback (2-round): %llu "
+                "(%llu ts-disagree, %llu stability-gap)\n",
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(a.fast_reads),
+                static_cast<unsigned long long>(a.fast_fallbacks),
+                static_cast<unsigned long long>(a.fast_fallback_disagree),
+                static_cast<unsigned long long>(a.fast_fallback_gap));
+    std::printf("fast-hit ratio: %.1f%%  rounds/read: %.2f\n",
+                100.0 * static_cast<double>(a.fast_reads) /
+                    static_cast<double>(reads),
+                rounds_per_read);
   }
   if (a.fault_drops + a.fault_dups + a.fault_delays != 0) {
     std::printf("\n== fault injector ==\n");
